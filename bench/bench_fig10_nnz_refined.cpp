@@ -1,0 +1,18 @@
+// Figure 10: NNZ balance on the refined single-turbine mesh — the case
+// where the paper finds ParMETIS's advantage washes out ("while the use
+// of ParMETIS reduces the maximum, it also reduces the minimum ... the
+// overall spread seems largely unchanged compared to RCB", §5.2, with a
+// suspected breakdown at large processor counts [43]).
+//
+// Thin wrapper: runs the Fig. 5 analysis on the refined case.
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+int main(int, char** argv) {
+  const std::string self(argv[0]);
+  const auto dir = self.substr(0, self.find_last_of('/') + 1);
+  const std::string cmd = dir + "bench_fig5_nnz_balance 0.7 refined";
+  std::printf("(delegating: %s)\n\n", cmd.c_str());
+  return std::system(cmd.c_str());
+}

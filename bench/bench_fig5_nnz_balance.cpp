@@ -1,0 +1,80 @@
+// Figure 5: median nonzeros per rank (error bars = min/max) of the
+// pressure-Poisson system for RCB vs ParMETIS-style graph decomposition
+// on the low-resolution single-turbine mesh.
+//
+// Expected shape (paper): the graph partitioner reduces the nnz spread
+// dramatically (the paper reports ~10x on its production meshes) with an
+// essentially flat median; RCB shows a wide min/max band.
+
+#include <cstdio>
+
+#include "assembly/graph.hpp"
+#include "bench_util.hpp"
+#include "part/graph_partition.hpp"
+
+using namespace exw;
+
+namespace {
+
+/// Per-rank owned-pattern nnz of the pressure system over all meshes.
+std::vector<double> pressure_nnz(const mesh::OversetSystem& sys, int nranks,
+                                 assembly::PartitionMethod method) {
+  std::vector<double> nnz(static_cast<std::size_t>(nranks), 0.0);
+  for (const auto& db : sys.meshes) {
+    const auto layout = assembly::make_layout(db, nranks, method);
+    std::vector<std::uint8_t> dirichlet(static_cast<std::size_t>(db.num_nodes()), 0);
+    for (std::size_t i = 0; i < dirichlet.size(); ++i) {
+      const auto role = db.roles[i];
+      dirichlet[i] = role == mesh::NodeRole::kOutflow ||
+                     role == mesh::NodeRole::kFringe ||
+                     role == mesh::NodeRole::kHole;
+    }
+    assembly::EquationGraph graph(db, layout, dirichlet);
+    for (int r = 0; r < nranks; ++r) {
+      nnz[static_cast<std::size_t>(r)] +=
+          static_cast<double>(graph.rank(r).owned.nnz());
+    }
+  }
+  return nnz;
+}
+
+std::vector<RankId> iota_parts(std::size_t n) {
+  std::vector<RankId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<RankId>(i);
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double refine = bench::env_refine(argc > 1 ? std::atof(argv[1]) : 0.8);
+  const auto which = (argc > 2 && std::string(argv[2]) == "refined")
+                         ? mesh::TurbineCase::kSingleRefined
+                         : mesh::TurbineCase::kSingle;
+  auto sys = mesh::make_turbine_case(which, refine);
+  const bool refined = which == mesh::TurbineCase::kSingleRefined;
+  std::printf("Fig. %s — pressure-system NNZ per rank, RCB vs graph "
+              "partitioner, %s (%lld nodes)\n\n",
+              refined ? "10" : "5", sys.name.c_str(),
+              static_cast<long long>(sys.total_nodes()));
+  std::printf("%8s  %-8s %12s %12s %12s %10s %9s\n", "ranks", "method",
+              "median", "min", "max", "max/min", "stddev");
+
+  for (int ranks : {12, 24, 48, 96, 192}) {
+    double spread[2] = {0, 0};
+    int mi = 0;
+    for (auto method :
+         {assembly::PartitionMethod::kRcb, assembly::PartitionMethod::kGraph}) {
+      const auto nnz = pressure_nnz(sys, ranks, method);
+      const auto s = part::balance_stats(nnz, iota_parts(nnz.size()), ranks);
+      spread[mi++] = (s.max - s.min) / s.median;
+      std::printf("%8d  %-8s %12.0f %12.0f %12.0f %10.2f %9.0f\n", ranks,
+                  method == assembly::PartitionMethod::kRcb ? "RCB" : "graph",
+                  s.median, s.min, s.max, s.max / std::max(s.min, 1.0),
+                  s.stddev);
+    }
+    std::printf("%8s  spread reduction (RCB/graph): %.1fx\n\n", "",
+                spread[0] / std::max(spread[1], 1e-12));
+  }
+  return 0;
+}

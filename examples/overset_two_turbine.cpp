@@ -1,0 +1,64 @@
+// Two turbines in sequence (the paper's dual-turbine case): demonstrates
+// the overset machinery — two rotating rotor meshes embedded in one
+// background, per-mesh systems coupled through fringe exchange — and the
+// wake interaction measured through the transported scalar.
+//
+//   ./build/examples/overset_two_turbine [refine] [nranks] [steps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cfd/simulation.hpp"
+
+using namespace exw;
+
+int main(int argc, char** argv) {
+  const double refine = argc > 1 ? std::atof(argv[1]) : 0.4;
+  const int nranks = argc > 2 ? std::atoi(argv[2]) : 24;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  auto sys = mesh::make_turbine_case(mesh::TurbineCase::kDual, refine);
+  std::printf("case: %s | %lld nodes over %zu component meshes\n",
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              sys.meshes.size());
+
+  // Overset inventory: which mesh donates to which.
+  std::vector<std::vector<int>> donations(sys.meshes.size(),
+                                          std::vector<int>(sys.meshes.size(), 0));
+  for (const auto& c : sys.constraints) {
+    donations[static_cast<std::size_t>(c.donor_mesh)]
+             [static_cast<std::size_t>(c.mesh)] += 1;
+  }
+  std::printf("overset donor -> receptor constraint counts:\n");
+  for (std::size_t d = 0; d < donations.size(); ++d) {
+    for (std::size_t m = 0; m < donations.size(); ++m) {
+      if (donations[d][m] > 0) {
+        std::printf("  %-12s -> %-12s : %d fringe nodes\n",
+                    sys.meshes[d].name.c_str(), sys.meshes[m].name.c_str(),
+                    donations[d][m]);
+      }
+    }
+  }
+
+  par::Runtime rt(nranks);
+  cfd::SimConfig cfg = cfd::SimConfig::optimized();
+  cfd::Simulation sim(sys, cfg, rt);
+
+  for (int s = 0; s < steps; ++s) {
+    rt.tracer().reset();
+    sim.step();
+    const auto& nli = rt.tracer().phase("nli");
+    std::printf(
+        "step %d: div=%.3e vel=%.3f scalar=%.4f prs_it=%d | NLI(gpu)=%.3f s\n",
+        s, static_cast<double>(sim.divergence_rms()),
+        static_cast<double>(sim.velocity_rms()),
+        static_cast<double>(sim.scalar_mean()),
+        sim.continuity_stats().gmres_iterations,
+        nli.modeled_time(perf::MachineModel::summit_gpu()));
+  }
+
+  std::printf("\nrotor azimuths advanced independently; connectivity was "
+              "rebuilt every step (%zu constraints).\n",
+              sys.constraints.size());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+/// \file config.hpp
+/// BoomerAMG-style configuration knobs (paper §4, §5.1 "parameter tuning
+/// of the BoomerAMG preconditioner ... yielded modest but nontrivial
+/// gains").
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace exw::amg {
+
+/// Interpolation operators of §4.1.
+enum class InterpType : std::uint8_t {
+  kDirect,   ///< classical direct interpolation
+  kBamg,     ///< BAMG-direct closed form (Eq. 2)
+  kMmExt,    ///< matrix-matrix extended ("MM-ext")
+  kMmExtI,   ///< "MM-ext+i" variant (includes the diagonal i-connection)
+};
+
+/// Smoothers of §4.2.
+enum class SmootherType : std::uint8_t {
+  kJacobi,      ///< diagonally-scaled Richardson
+  kL1Jacobi,    ///< l1-scaled Jacobi (always convergent)
+  kHybridGs,    ///< process-local true Gauss-Seidel, Jacobi across ranks
+  kTwoStageGs,  ///< two-stage GS: inner Jacobi-Richardson sweeps (Eqs. 5-7)
+  kSgs2,        ///< two-stage *symmetric* GS, compact form (Eqs. 11-14)
+  kChebyshev,   ///< polynomial smoother (collective-free alternative)
+};
+
+struct AmgConfig {
+  Real strong_threshold = 0.25;  ///< SoC threshold theta
+  int agg_levels = 2;   ///< aggressive (two-stage) coarsening on first N levels
+  InterpType interp = InterpType::kMmExt;
+  int pmax = 4;                ///< max interpolation entries per row
+  Real trunc_factor = 0.0;     ///< drop |w| < trunc * max|w| before pmax
+  int max_levels = 20;
+  GlobalIndex max_coarse_size = 64;  ///< direct-solve threshold
+  SmootherType smoother = SmootherType::kTwoStageGs;
+  int pre_sweeps = 1;
+  int post_sweeps = 1;
+  int inner_sweeps = 1;  ///< Jacobi-Richardson inner iterations (two-stage GS)
+  Real jacobi_weight = 0.8;
+  sparse::SpGemmAlgo spgemm = sparse::SpGemmAlgo::kHash;
+  std::uint64_t pmis_seed = 42;
+};
+
+}  // namespace exw::amg

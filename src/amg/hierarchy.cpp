@@ -1,0 +1,165 @@
+#include "amg/hierarchy.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+#include "amg/coarsen.hpp"
+#include "amg/interp.hpp"
+#include "amg/rap.hpp"
+#include "common/error.hpp"
+
+namespace exw::amg {
+
+namespace {
+
+/// One coarsening round: S -> PMIS -> P. Returns false if coarsening
+/// stalled (no F points / empty coarse grid).
+bool coarsen_once(const linalg::ParCsr& a, const AmgConfig& cfg,
+                  std::uint64_t seed, linalg::ParCsr& p_out,
+                  GlobalIndex& coarse_size) {
+  const Strength s = compute_strength(a, cfg.strong_threshold);
+  const Coarsening c = pmis(a, s, seed);
+  coarse_size = c.coarse_size();
+  if (coarse_size == 0 || coarse_size >= a.global_rows()) {
+    return false;
+  }
+  p_out = build_interpolation(a, s, c, cfg);
+  return true;
+}
+
+}  // namespace
+
+AmgHierarchy::AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg)
+    : cfg_(cfg) {
+  setup(a);
+}
+
+void AmgHierarchy::setup(const linalg::ParCsr& a) {
+  par::Runtime& rt = a.runtime();
+  levels_.emplace_back();
+  levels_.back().a = a;
+
+  std::uint64_t seed = cfg_.pmis_seed;
+  while (static_cast<int>(levels_.size()) < cfg_.max_levels &&
+         levels_.back().a.global_rows() > cfg_.max_coarse_size) {
+    AmgLevel& lvl = levels_.back();
+    const int level_index = static_cast<int>(levels_.size()) - 1;
+    const bool aggressive = level_index < cfg_.agg_levels;
+
+    linalg::ParCsr p1;
+    GlobalIndex n1 = 0;
+    seed = hash64(seed + 1);
+    if (!coarsen_once(lvl.a, cfg_, seed, p1, n1)) {
+      break;
+    }
+    linalg::ParCsr a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm);
+
+    if (aggressive && a1.global_rows() > cfg_.max_coarse_size) {
+      // Second stage: coarsen the first-stage grid again and combine the
+      // interpolations (P = P1 * P2) — distance-2 coarsening with
+      // two-stage interpolation.
+      linalg::ParCsr p2;
+      GlobalIndex n2 = 0;
+      seed = hash64(seed + 2);
+      if (coarsen_once(a1, cfg_, seed, p2, n2)) {
+        p1 = par_matmat(p1, p2, cfg_.spgemm);
+        truncate_interpolation(p1, cfg_.pmax, cfg_.trunc_factor);
+        a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm);
+      }
+    }
+
+    lvl.p = std::move(p1);
+    lvl.has_p = true;
+    levels_.emplace_back();
+    levels_.back().a = std::move(a1);
+  }
+
+  // Smoothers + work vectors per level; dense LU on the coarsest.
+  for (auto& lvl : levels_) {
+    lvl.smoother = std::make_unique<Smoother>(lvl.a, cfg_.smoother,
+                                              cfg_.inner_sweeps,
+                                              cfg_.jacobi_weight);
+    lvl.x = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
+    lvl.b = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
+    lvl.r = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
+  }
+  const auto& coarsest = levels_.back().a;
+  coarse_lu_ = sparse::DenseLu(coarsest.to_serial());
+  rt.tracer().kernel(0, std::pow(static_cast<double>(coarsest.global_rows()), 3.0) / 3.0,
+                     8.0 * std::pow(static_cast<double>(coarsest.global_rows()), 2.0));
+}
+
+void AmgHierarchy::vcycle(const linalg::ParVector& b, linalg::ParVector& x) {
+  cycle_level(0, b, x);
+}
+
+void AmgHierarchy::cycle_level(std::size_t l, const linalg::ParVector& b,
+                               linalg::ParVector& x) {
+  AmgLevel& lvl = levels_[l];
+  if (l + 1 == levels_.size() || !lvl.has_p) {
+    coarse_solve(b, x);
+    return;
+  }
+  AmgLevel& next = levels_[l + 1];
+
+  lvl.smoother->apply(b, x, cfg_.pre_sweeps);
+  lvl.a.residual(b, x, *lvl.r);
+  // Restrict with R = P^T.
+  lvl.p.matvec_transpose(*lvl.r, *next.b);
+  next.x->fill(0.0);
+  cycle_level(l + 1, *next.b, *next.x);
+  // Prolong and correct.
+  lvl.p.matvec(*next.x, *lvl.r);
+  x.axpy(1.0, *lvl.r);
+  lvl.smoother->apply(b, x, cfg_.post_sweeps);
+}
+
+void AmgHierarchy::coarse_solve(const linalg::ParVector& b,
+                                linalg::ParVector& x) {
+  // Gather, solve directly, scatter. Charged as one small collective plus
+  // an O(n^2) triangular-solve kernel on one rank.
+  par::Runtime& rt = levels_.back().a.runtime();
+  const auto n = static_cast<double>(b.global_size());
+  rt.tracer().collective(n * sizeof(Real));
+  RealVector rhs = b.gather();
+  coarse_lu_.solve_in_place(rhs);
+  rt.tracer().kernel(0, 2.0 * n * n, 8.0 * n * n);
+  rt.tracer().collective(n * sizeof(Real));
+  x.scatter(rhs);
+}
+
+double AmgHierarchy::grid_complexity() const {
+  double sum = 0;
+  for (const auto& lvl : levels_) {
+    sum += static_cast<double>(lvl.a.global_rows());
+  }
+  return sum / static_cast<double>(levels_.front().a.global_rows());
+}
+
+double AmgHierarchy::operator_complexity() const {
+  double sum = 0;
+  for (const auto& lvl : levels_) {
+    sum += static_cast<double>(lvl.a.global_nnz());
+  }
+  return sum / static_cast<double>(levels_.front().a.global_nnz());
+}
+
+std::string AmgHierarchy::describe() const {
+  std::ostringstream os;
+  os << "AMG hierarchy: " << levels_.size() << " levels\n";
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto& a = levels_[l].a;
+    os << "  level " << l << ": rows=" << a.global_rows()
+       << " nnz=" << a.global_nnz() << " avg_row="
+       << static_cast<double>(a.global_nnz()) /
+              static_cast<double>(std::max<GlobalIndex>(1, a.global_rows()))
+       << "\n";
+  }
+  os << "  grid complexity " << grid_complexity() << ", operator complexity "
+     << operator_complexity();
+  return os.str();
+}
+
+}  // namespace exw::amg

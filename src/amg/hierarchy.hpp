@@ -1,0 +1,73 @@
+#pragma once
+/// \file hierarchy.hpp
+/// BoomerAMG-style multilevel hierarchy and V-cycle (paper §4).
+///
+/// Setup builds "a multilevel hierarchy that consists of linear systems
+/// with exponentially decreasing sizes on coarser levels": SoC -> PMIS ->
+/// interpolation -> Galerkin RAP per level. On the first `agg_levels`
+/// levels, aggressive coarsening is applied as two back-to-back
+/// coarsening rounds whose interpolations are combined as P = P1 * P2
+/// (two-stage interpolation; this realizes the distance-2 coarsening rate
+/// of the paper's S^2 + S construction — DESIGN.md records the
+/// equivalence). The coarsest system is solved directly.
+///
+/// The pressure-Poisson configuration of §4.2 — aggressive PMIS on the
+/// first two levels, MM-based second-stage interpolation, two-stage GS
+/// smoothing inside a V-cycle — is the default AmgConfig.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amg/config.hpp"
+#include "amg/smoothers.hpp"
+#include "linalg/parcsr.hpp"
+#include "linalg/parvector.hpp"
+#include "sparse/dense.hpp"
+
+namespace exw::amg {
+
+struct AmgLevel {
+  linalg::ParCsr a;
+  linalg::ParCsr p;  ///< to the next coarser level (unused on coarsest)
+  std::unique_ptr<Smoother> smoother;
+  // Work vectors (allocated once at setup).
+  std::unique_ptr<linalg::ParVector> x, b, r;
+  bool has_p = false;
+};
+
+class AmgHierarchy {
+ public:
+  /// Build the hierarchy for `a` (setup phase; charge via an enclosing
+  /// PhaseScope, e.g. "precond_setup").
+  AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg);
+
+  /// One V-cycle for A x = b (x is both initial guess and result).
+  void vcycle(const linalg::ParVector& b, linalg::ParVector& x);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const AmgLevel& level(int l) const {
+    return levels_[static_cast<std::size_t>(l)];
+  }
+  const AmgConfig& config() const { return cfg_; }
+
+  /// Sum of rows over levels / fine rows.
+  double grid_complexity() const;
+  /// Sum of nnz over levels / fine nnz.
+  double operator_complexity() const;
+  /// One line per level: rows, nnz, avg row size.
+  std::string describe() const;
+
+ private:
+  void setup(const linalg::ParCsr& a);
+  void cycle_level(std::size_t l, const linalg::ParVector& b,
+                   linalg::ParVector& x);
+  /// Gather + dense-LU solve on the coarsest level.
+  void coarse_solve(const linalg::ParVector& b, linalg::ParVector& x);
+
+  AmgConfig cfg_;
+  std::vector<AmgLevel> levels_;
+  sparse::DenseLu coarse_lu_;
+};
+
+}  // namespace exw::amg

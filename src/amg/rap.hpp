@@ -1,0 +1,32 @@
+#pragma once
+/// \file rap.hpp
+/// Distributed Galerkin triple product A_c = P^T A P (paper §4.1).
+///
+/// "Galerkin triple-matrix products are used to build coarse-level
+/// operators. This computation is performed using parallel primitives
+/// from Thrust and routines from cuSPARSE or hypre's own sparse kernels."
+///
+/// Formulation: each rank owns fine rows i of both A and P, fetches the
+/// external P rows referenced by its A offd columns, forms AP row-by-row
+/// with a sparse accumulator, then expands the outer product
+/// (P(i,jc), AP(i,kc)) into COO triples of the coarse matrix. The triples
+/// for coarse rows owned elsewhere are exactly the "shared" set of the
+/// paper's Algorithm 1, so global assembly of the coarse operator reuses
+/// the same sort/reduce machinery as the application matrices.
+
+#include "amg/config.hpp"
+#include "linalg/parcsr.hpp"
+
+namespace exw::amg {
+
+/// Coarse operator P^T A P. `algo` selects the SpGEMM flavor used for
+/// cost accounting and for the local products (hash vs sort-expand).
+linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
+                            sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kHash);
+
+/// Distributed C = A * B (result rows follow A's row partition; used for
+/// the two-stage interpolation product P = P1 * P2 of §4.1).
+linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
+                          sparse::SpGemmAlgo algo = sparse::SpGemmAlgo::kHash);
+
+}  // namespace exw::amg

@@ -1,0 +1,302 @@
+#include "amg/smoothers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exw::amg {
+
+LduSplit LduSplit::build(const linalg::ParCsr& a) {
+  LduSplit out;
+  const int nranks = a.nranks();
+  out.lower.resize(static_cast<std::size_t>(nranks));
+  out.upper.resize(static_cast<std::size_t>(nranks));
+  out.dinv.resize(static_cast<std::size_t>(nranks));
+  out.l1_dinv.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto& b = a.block(r);
+    const LocalIndex n = b.diag.nrows();
+    sparse::Csr lo(n, n), up(n, n);
+    auto& dinv = out.dinv[static_cast<std::size_t>(r)];
+    auto& l1 = out.l1_dinv[static_cast<std::size_t>(r)];
+    dinv.assign(static_cast<std::size_t>(n), 0.0);
+    l1.assign(static_cast<std::size_t>(n), 0.0);
+    for (LocalIndex i = 0; i < n; ++i) {
+      Real d = 0, off_rank_l1 = 0;
+      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        const LocalIndex c = b.diag.cols()[static_cast<std::size_t>(k)];
+        const Real v = b.diag.vals()[static_cast<std::size_t>(k)];
+        if (c < i) {
+          lo.cols_vec().push_back(c);
+          lo.vals_vec().push_back(v);
+        } else if (c > i) {
+          up.cols_vec().push_back(c);
+          up.vals_vec().push_back(v);
+        } else {
+          d = v;
+        }
+      }
+      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        off_rank_l1 += std::abs(b.offd.vals()[static_cast<std::size_t>(k)]);
+      }
+      lo.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
+          static_cast<LocalIndex>(lo.cols_vec().size());
+      up.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
+          static_cast<LocalIndex>(up.cols_vec().size());
+      EXW_REQUIRE(d != 0.0, "zero diagonal in smoother setup");
+      dinv[static_cast<std::size_t>(i)] = 1.0 / d;
+      l1[static_cast<std::size_t>(i)] = 1.0 / (d + off_rank_l1);
+    }
+    out.lower[static_cast<std::size_t>(r)] = std::move(lo);
+    out.upper[static_cast<std::size_t>(r)] = std::move(up);
+  }
+  return out;
+}
+
+Real estimate_eig_max(const linalg::ParCsr& a) {
+  // Gershgorin on Dinv A: max_i (1 + sum_{j != i} |a_ij| / a_ii).
+  Real bound = 0;
+  for (int r = 0; r < a.nranks(); ++r) {
+    const auto& b = a.block(r);
+    const auto d = b.diag.diagonal();
+    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
+      Real row = 0;
+      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        if (b.diag.cols()[static_cast<std::size_t>(k)] != i) {
+          row += std::abs(b.diag.vals()[static_cast<std::size_t>(k)]);
+        }
+      }
+      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        row += std::abs(b.offd.vals()[static_cast<std::size_t>(k)]);
+      }
+      const Real dii = d[static_cast<std::size_t>(i)];
+      if (dii > 0) {
+        bound = std::max(bound, 1.0 + row / dii);
+      }
+    }
+  }
+  return bound;
+}
+
+Smoother::Smoother(const linalg::ParCsr& a, SmootherType type,
+                   int inner_sweeps, Real jacobi_weight)
+    : a_(&a), type_(type), inner_sweeps_(inner_sweeps), weight_(jacobi_weight),
+      ldu_(LduSplit::build(a)) {
+  if (type == SmootherType::kChebyshev) {
+    eig_max_ = estimate_eig_max(a);
+    a.runtime().tracer().collective(sizeof(Real));  // eig-bound reduction
+  }
+}
+
+void Smoother::apply(const linalg::ParVector& b, linalg::ParVector& x,
+                     int sweeps) const {
+  for (int s = 0; s < sweeps; ++s) {
+    switch (type_) {
+      case SmootherType::kJacobi: sweep_jacobi(b, x, false); break;
+      case SmootherType::kL1Jacobi: sweep_jacobi(b, x, true); break;
+      case SmootherType::kHybridGs: sweep_hybrid_gs(b, x); break;
+      case SmootherType::kTwoStageGs: sweep_two_stage(b, x); break;
+      case SmootherType::kSgs2: sweep_sgs2(b, x); break;
+      case SmootherType::kChebyshev: sweep_chebyshev(b, x); break;
+    }
+  }
+}
+
+void Smoother::apply_zero(const linalg::ParVector& r, linalg::ParVector& z,
+                          int sweeps) const {
+  z.fill(0.0);
+  apply(r, z, sweeps);
+}
+
+void Smoother::sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
+                            bool l1) const {
+  // x += w * Dinv * (b - A x).
+  linalg::ParVector r(a_->runtime(), a_->rows());
+  a_->residual(b, x, r);
+  auto& tracer = a_->runtime().tracer();
+  for (int rk = 0; rk < a_->nranks(); ++rk) {
+    auto& xl = x.local(rk);
+    const auto& rl = r.local(rk);
+    const auto& d = l1 ? ldu_.l1_dinv[static_cast<std::size_t>(rk)]
+                       : ldu_.dinv[static_cast<std::size_t>(rk)];
+    for (std::size_t i = 0; i < xl.size(); ++i) {
+      xl[i] += weight_ * d[i] * rl[i];
+    }
+    tracer.kernel(rk, 3.0 * static_cast<double>(xl.size()),
+                  4.0 * sizeof(Real) * static_cast<double>(xl.size()));
+  }
+}
+
+void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
+                               linalg::ParVector& x) const {
+  // One round of neighbor communication, then a true sequential forward
+  // GS sweep on the local rows (off-rank values frozen).
+  const auto ext = a_->halo_exchange(x);
+  auto& tracer = a_->runtime().tracer();
+  for (int rk = 0; rk < a_->nranks(); ++rk) {
+    const auto& blk = a_->block(rk);
+    auto& xl = x.local(rk);
+    const auto& bl = b.local(rk);
+    const auto& el = ext[static_cast<std::size_t>(rk)];
+    for (LocalIndex i = 0; i < blk.diag.nrows(); ++i) {
+      Real acc = bl[static_cast<std::size_t>(i)];
+      Real diag = 1.0;
+      for (LocalIndex k = blk.diag.row_begin(i); k < blk.diag.row_end(i); ++k) {
+        const LocalIndex c = blk.diag.cols()[static_cast<std::size_t>(k)];
+        const Real v = blk.diag.vals()[static_cast<std::size_t>(k)];
+        if (c == i) {
+          diag = v;
+        } else {
+          acc -= v * xl[static_cast<std::size_t>(c)];
+        }
+      }
+      for (LocalIndex k = blk.offd.row_begin(i); k < blk.offd.row_end(i); ++k) {
+        acc -= blk.offd.vals()[static_cast<std::size_t>(k)] *
+               el[static_cast<std::size_t>(
+                   blk.offd.cols()[static_cast<std::size_t>(k)])];
+      }
+      xl[static_cast<std::size_t>(i)] = acc / diag;
+    }
+    const auto nnz = static_cast<double>(blk.diag.nnz() + blk.offd.nnz());
+    tracer.kernel(rk, 2.0 * nnz, nnz * (sizeof(Real) + sizeof(LocalIndex)));
+  }
+}
+
+void Smoother::jr_lower(RankId r, const RealVector& rhs, RealVector& g) const {
+  // Eqs. (5)-(7): g_0 = Dinv rhs; g_{j+1} = Dinv (rhs - L g_j).
+  const auto& lo = ldu_.lower[static_cast<std::size_t>(r)];
+  const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
+  const std::size_t n = rhs.size();
+  g.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = d[i] * rhs[i];
+  }
+  RealVector lg(n);
+  auto& tracer = a_->runtime().tracer();
+  for (int j = 0; j < inner_sweeps_; ++j) {
+    lo.spmv(g, lg);
+    for (std::size_t i = 0; i < n; ++i) {
+      g[i] = d[i] * (rhs[i] - lg[i]);
+    }
+    tracer.kernel(r, 2.0 * static_cast<double>(lo.nnz()) + 3.0 * static_cast<double>(n),
+                  (sizeof(Real) + sizeof(LocalIndex)) * static_cast<double>(lo.nnz()) +
+                      4.0 * sizeof(Real) * static_cast<double>(n));
+  }
+}
+
+void Smoother::jr_upper(RankId r, const RealVector& rhs, RealVector& g) const {
+  const auto& up = ldu_.upper[static_cast<std::size_t>(r)];
+  const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
+  const std::size_t n = rhs.size();
+  g.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = d[i] * rhs[i];
+  }
+  RealVector ug(n);
+  auto& tracer = a_->runtime().tracer();
+  for (int j = 0; j < inner_sweeps_; ++j) {
+    up.spmv(g, ug);
+    for (std::size_t i = 0; i < n; ++i) {
+      g[i] = d[i] * (rhs[i] - ug[i]);
+    }
+    tracer.kernel(r, 2.0 * static_cast<double>(up.nnz()) + 3.0 * static_cast<double>(n),
+                  (sizeof(Real) + sizeof(LocalIndex)) * static_cast<double>(up.nnz()) +
+                      4.0 * sizeof(Real) * static_cast<double>(n));
+  }
+}
+
+void Smoother::sweep_two_stage(const linalg::ParVector& b,
+                               linalg::ParVector& x) const {
+  // x += Mtilde^-1 (b - A x) with Mtilde^-1 ~ (L+D)^-1 by inner JR.
+  linalg::ParVector r(a_->runtime(), a_->rows());
+  a_->residual(b, x, r);
+  RealVector g;
+  for (int rk = 0; rk < a_->nranks(); ++rk) {
+    jr_lower(rk, r.local(rk), g);
+    auto& xl = x.local(rk);
+    for (std::size_t i = 0; i < xl.size(); ++i) {
+      xl[i] += g[i];
+    }
+    a_->runtime().tracer().kernel(
+        rk, static_cast<double>(xl.size()),
+        3.0 * sizeof(Real) * static_cast<double>(xl.size()));
+  }
+}
+
+void Smoother::sweep_sgs2(const linalg::ParVector& b,
+                          linalg::ParVector& x) const {
+  // Symmetric two-stage GS: M = (L+D) D^-1 (D+U), both triangular solves
+  // approximated by inner JR sweeps (compact form of Eqs. 11-14).
+  linalg::ParVector r(a_->runtime(), a_->rows());
+  a_->residual(b, x, r);
+  RealVector g, h, t;
+  for (int rk = 0; rk < a_->nranks(); ++rk) {
+    const auto& d = ldu_.dinv[static_cast<std::size_t>(rk)];
+    jr_lower(rk, r.local(rk), g);
+    // rhs for the backward stage: D * g.
+    t.resize(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t[i] = g[i] / d[i];
+    }
+    jr_upper(rk, t, h);
+    auto& xl = x.local(rk);
+    for (std::size_t i = 0; i < xl.size(); ++i) {
+      xl[i] += h[i];
+    }
+    a_->runtime().tracer().kernel(
+        rk, 2.0 * static_cast<double>(xl.size()),
+        4.0 * sizeof(Real) * static_cast<double>(xl.size()));
+  }
+}
+
+void Smoother::sweep_chebyshev(const linalg::ParVector& b,
+                               linalg::ParVector& x) const {
+  // Degree-k Chebyshev on Dinv A over [eig_max/30, 1.1 eig_max] (the
+  // upper part of the spectrum that smoothers must damp). Entirely made
+  // of SpMVs and AXPYs: no triangular solves and no extra collectives —
+  // the classic GPU-friendly alternative to Gauss-Seidel.
+  const Real lmax = 1.1 * eig_max_;
+  const Real lmin = lmax / 30.0;
+  const Real theta = 0.5 * (lmax + lmin);
+  const Real delta = 0.5 * (lmax - lmin);
+  const int degree = std::max(1, inner_sweeps_ + 1);
+
+  par::Runtime& rt = a_->runtime();
+  linalg::ParVector r(rt, a_->rows());
+  linalg::ParVector d(rt, a_->rows());
+  linalg::ParVector dinv_r(rt, a_->rows());
+  a_->residual(b, x, r);
+
+  auto scale_dinv = [&](const linalg::ParVector& src, linalg::ParVector& dst) {
+    for (int rk = 0; rk < a_->nranks(); ++rk) {
+      const auto& dv = ldu_.dinv[static_cast<std::size_t>(rk)];
+      auto& out = dst.local(rk);
+      const auto& in = src.local(rk);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = dv[i] * in[i];
+      }
+      rt.tracer().kernel(rk, static_cast<double>(out.size()),
+                         3.0 * sizeof(Real) * static_cast<double>(out.size()));
+    }
+  };
+
+  // d_0 = (1/theta) Dinv r.
+  scale_dinv(r, d);
+  d.scale(1.0 / theta);
+  Real sigma = theta / delta;
+  for (int k = 0; k < degree; ++k) {
+    x.axpy(1.0, d);
+    if (k + 1 == degree) break;
+    a_->matvec(d, dinv_r);     // dinv_r = A d (reuse as scratch)
+    r.axpy(-1.0, dinv_r);      // r -= A d
+    scale_dinv(r, dinv_r);     // dinv_r = Dinv r
+    const Real sigma_next = 1.0 / (2.0 * theta / delta - sigma);
+    const Real rho = sigma * sigma_next;
+    // d = rho d + (2 sigma_next / delta) Dinv r.
+    d.scale(rho);
+    d.axpy(2.0 * sigma_next / delta, dinv_r);
+    sigma = sigma_next;
+  }
+}
+
+}  // namespace exw::amg

@@ -1,0 +1,43 @@
+#pragma once
+/// \file soc.hpp
+/// Strength-of-connection matrix S (paper §4.1).
+///
+/// "A strength-of-connection matrix S is typically first computed to
+/// indicate directions of algebraic smoothness... The construction of S
+/// can be performed efficiently on GPUs, because each row of S can be
+/// computed independently by selecting entries in the corresponding row
+/// of A with a prescribed threshold value theta."
+///
+/// Classical definition (for the essentially-M-matrices of the pressure
+/// Poisson system): j strongly influences i iff
+///     -a_ij >= theta * max_{k != i} (-a_ik).
+/// The result is stored as boolean masks over A's diag/offd entries so no
+/// copy of the values is needed.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/parcsr.hpp"
+
+namespace exw::amg {
+
+/// Per-rank strength masks, parallel to A's diag/offd value arrays.
+struct Strength {
+  std::vector<std::vector<std::uint8_t>> diag;  ///< [rank][entry]
+  std::vector<std::vector<std::uint8_t>> offd;
+
+  bool strong_diag(RankId r, std::size_t k) const {
+    return diag[static_cast<std::size_t>(r)][k] != 0;
+  }
+  bool strong_offd(RankId r, std::size_t k) const {
+    return offd[static_cast<std::size_t>(r)][k] != 0;
+  }
+};
+
+/// Compute S(A, theta). Diagonal entries are never strong.
+Strength compute_strength(const linalg::ParCsr& a, Real theta);
+
+/// Count of strong entries per rank (cost accounting / tests).
+std::vector<double> strong_counts(const Strength& s);
+
+}  // namespace exw::amg

@@ -1,0 +1,93 @@
+#include "assembly/ij.hpp"
+
+#include "common/error.hpp"
+
+namespace exw::assembly {
+
+IJMatrix::IJMatrix(par::Runtime& rt, par::RowPartition rows,
+                   par::RowPartition cols)
+    : rt_(&rt), rows_(std::move(rows)), cols_(std::move(cols)) {
+  owned_.resize(static_cast<std::size_t>(rt.nranks()));
+  shared_.resize(static_cast<std::size_t>(rt.nranks()));
+}
+
+void IJMatrix::SetValues2(RankId rank, std::span<const GlobalIndex> rows,
+                          std::span<const GlobalIndex> cols,
+                          std::span<const Real> values) {
+  EXW_REQUIRE(rows.size() == cols.size() && rows.size() == values.size(),
+              "IJ SetValues2 array mismatch");
+  auto& coo = owned_[static_cast<std::size_t>(rank)];
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXW_REQUIRE(rows_.owns(rank, rows[k]),
+                "SetValues2 requires rows owned by the calling rank");
+    coo.push(rows[k], cols[k], values[k]);
+  }
+}
+
+void IJMatrix::AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
+                            std::span<const GlobalIndex> cols,
+                            std::span<const Real> values) {
+  EXW_REQUIRE(rows.size() == cols.size() && rows.size() == values.size(),
+              "IJ AddToValues2 array mismatch");
+  auto& coo = shared_[static_cast<std::size_t>(rank)];
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXW_REQUIRE(!rows_.owns(rank, rows[k]),
+                "AddToValues2 is for rows owned by other ranks");
+    coo.push(rows[k], cols[k], values[k]);
+  }
+}
+
+linalg::ParCsr IJMatrix::Assemble(GlobalAssemblyAlgo algo) {
+  // Stage-2 output contract: owned/shared sorted and duplicate-free.
+  for (auto& coo : owned_) coo.normalize();
+  for (auto& coo : shared_) coo.normalize();
+  auto matrix = assemble_matrix(*rt_, rows_, cols_, owned_, shared_, algo);
+  for (auto& coo : owned_) coo.clear();
+  for (auto& coo : shared_) coo.clear();
+  return matrix;
+}
+
+IJVector::IJVector(par::Runtime& rt, par::RowPartition rows)
+    : rt_(&rt), rows_(std::move(rows)) {
+  owned_.resize(static_cast<std::size_t>(rt.nranks()));
+  for (int r = 0; r < rt.nranks(); ++r) {
+    owned_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(rows_.local_size(r)), 0.0);
+  }
+  shared_.resize(static_cast<std::size_t>(rt.nranks()));
+}
+
+void IJVector::SetValues2(RankId rank, std::span<const GlobalIndex> rows,
+                          std::span<const Real> values) {
+  EXW_REQUIRE(rows.size() == values.size(), "IJ SetValues2 array mismatch");
+  auto& dense = owned_[static_cast<std::size_t>(rank)];
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXW_REQUIRE(rows_.owns(rank, rows[k]),
+                "SetValues2 requires rows owned by the calling rank");
+    dense[static_cast<std::size_t>(rows_.to_local(rank, rows[k]))] += values[k];
+  }
+}
+
+void IJVector::AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
+                            std::span<const Real> values) {
+  EXW_REQUIRE(rows.size() == values.size(), "IJ AddToValues2 array mismatch");
+  auto& coo = shared_[static_cast<std::size_t>(rank)];
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXW_REQUIRE(!rows_.owns(rank, rows[k]),
+                "AddToValues2 is for rows owned by other ranks");
+    coo.push(rows[k], values[k]);
+  }
+}
+
+linalg::ParVector IJVector::Assemble() {
+  for (auto& coo : shared_) coo.sort();
+  auto vec = assemble_vector(*rt_, rows_, owned_, shared_);
+  for (int r = 0; r < rt_->nranks(); ++r) {
+    owned_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(rows_.local_size(r)), 0.0);
+    shared_[static_cast<std::size_t>(r)].clear();
+  }
+  return vec;
+}
+
+}  // namespace exw::assembly

@@ -1,0 +1,65 @@
+#pragma once
+/// \file ij.hpp
+/// hypre-shaped IJ assembly interface (paper §3.3).
+///
+/// The application injects assembled COO matrices through four calls and
+/// finalizes with Assemble, exactly the six-call pattern of the paper:
+///   HYPRE_IJMatrixSetValues2   -> IJMatrix::SetValues2   (owned rows)
+///   HYPRE_IJMatrixAddToValues2 -> IJMatrix::AddToValues2 (off-rank rows)
+///   HYPRE_IJMatrixAssemble     -> IJMatrix::Assemble     (Algorithm 1)
+/// and the IJVector analogues (Algorithm 2).
+
+#include <span>
+#include <vector>
+
+#include "assembly/global.hpp"
+
+namespace exw::assembly {
+
+class IJMatrix {
+ public:
+  IJMatrix(par::Runtime& rt, par::RowPartition rows, par::RowPartition cols);
+
+  /// Set entries of rows owned by `rank` (duplicates summed at Assemble).
+  void SetValues2(RankId rank, std::span<const GlobalIndex> rows,
+                  std::span<const GlobalIndex> cols,
+                  std::span<const Real> values);
+
+  /// Add contributions to rows owned by *other* ranks.
+  void AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
+                    std::span<const GlobalIndex> cols,
+                    std::span<const Real> values);
+
+  /// Run global assembly (Algorithm 1) and return the ParCSR matrix.
+  /// Buffers are consumed.
+  linalg::ParCsr Assemble(
+      GlobalAssemblyAlgo algo = GlobalAssemblyAlgo::kSortReduce);
+
+ private:
+  par::Runtime* rt_;
+  par::RowPartition rows_;
+  par::RowPartition cols_;
+  std::vector<sparse::Coo> owned_;
+  std::vector<sparse::Coo> shared_;
+};
+
+class IJVector {
+ public:
+  IJVector(par::Runtime& rt, par::RowPartition rows);
+
+  void SetValues2(RankId rank, std::span<const GlobalIndex> rows,
+                  std::span<const Real> values);
+  void AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
+                    std::span<const Real> values);
+
+  /// Run global assembly (Algorithm 2) and return the ParVector.
+  linalg::ParVector Assemble();
+
+ private:
+  par::Runtime* rt_;
+  par::RowPartition rows_;
+  std::vector<RealVector> owned_;
+  std::vector<sparse::CooVector> shared_;
+};
+
+}  // namespace exw::assembly

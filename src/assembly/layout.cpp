@@ -1,0 +1,72 @@
+#include "assembly/layout.hpp"
+
+#include "common/error.hpp"
+#include "part/graph_partition.hpp"
+#include "part/rcb.hpp"
+
+namespace exw::assembly {
+
+MeshLayout make_layout_from_parts(const mesh::MeshDB& db,
+                                  std::vector<RankId> parts, int nranks) {
+  MeshLayout layout;
+  layout.nranks = nranks;
+  layout.node_rank = std::move(parts);
+  layout.numbering = part::make_numbering(layout.node_rank, nranks);
+  layout.edge_rank.resize(static_cast<std::size_t>(db.num_edges()));
+  // An edge is evaluated by the owner of its lower-numbered endpoint (in
+  // the new numbering), mirroring element-ownership in Nalu-Wind: most
+  // contributions are local, cut edges produce shared rows.
+  for (std::size_t e = 0; e < layout.edge_rank.size(); ++e) {
+    const auto& edge = db.edges[e];
+    const GlobalIndex ra = layout.row_of(edge.a);
+    const GlobalIndex rb = layout.row_of(edge.b);
+    layout.edge_rank[e] =
+        layout.numbering.rows.rank_of(std::min(ra, rb));
+  }
+  return layout;
+}
+
+MeshLayout make_layout(const mesh::MeshDB& db, int nranks,
+                       PartitionMethod method, std::uint64_t seed) {
+  EXW_REQUIRE(db.num_nodes() >= nranks, "more ranks than mesh nodes");
+  // Node weight = expected matrix row size: diagonal + neighbors for
+  // live rows, 1 for rows the discretization reduces to identity
+  // (boundary / fringe / hole). The graph partitioner balances this —
+  // the paper's Fig. 5 objective — while RCB, like the original
+  // Nalu-Wind decomposition, balances plain node counts and is blind to
+  // the row-size variation (the source of its 10x nnz spread).
+  std::vector<double> vwgt(static_cast<std::size_t>(db.num_nodes()), 1.0);
+  for (const auto& e : db.edges) {
+    vwgt[static_cast<std::size_t>(e.a)] += 1.0;
+    vwgt[static_cast<std::size_t>(e.b)] += 1.0;
+  }
+  // Identity rows of the dominant (pressure) system: outflow, overset
+  // fringe, and hole nodes. Inflow/symmetry/wall rows are Dirichlet only
+  // for momentum — the pressure system keeps their full stencils, so
+  // they must carry full weight.
+  for (std::size_t i = 0; i < vwgt.size(); ++i) {
+    const auto role = db.roles[i];
+    if (role == mesh::NodeRole::kOutflow || role == mesh::NodeRole::kFringe ||
+        role == mesh::NodeRole::kHole) {
+      vwgt[i] = 1.0;
+    }
+  }
+  std::vector<RankId> parts;
+  if (method == PartitionMethod::kRcb) {
+    parts = part::rcb_partition(db.coords, {}, nranks);
+  } else {
+    std::vector<LocalIndex> ei(db.edges.size()), ej(db.edges.size());
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      ei[e] = static_cast<LocalIndex>(db.edges[e].a);
+      ej[e] = static_cast<LocalIndex>(db.edges[e].b);
+    }
+    part::Graph g = part::graph_from_edges(
+        static_cast<LocalIndex>(db.num_nodes()), ei, ej, vwgt);
+    part::GraphPartOptions opts;
+    opts.seed = seed;
+    parts = part::graph_partition(g, nranks, opts);
+  }
+  return make_layout_from_parts(db, std::move(parts), nranks);
+}
+
+}  // namespace exw::assembly

@@ -1,0 +1,714 @@
+#include "cfd/simulation.hpp"
+
+#include <cmath>
+
+#include "assembly/global.hpp"
+#include "common/error.hpp"
+#include "mesh/vtk_writer.hpp"
+#include "linalg/parvector.hpp"
+#include "solver/precond.hpp"
+
+namespace exw::cfd {
+
+namespace {
+
+using mesh::NodeRole;
+
+/// Per-rank element/node counts for charging the physics and local
+/// assembly kernels.
+struct RankCounts {
+  std::vector<double> edges;
+  std::vector<double> nodes;
+};
+
+RankCounts count_work(const assembly::MeshLayout& layout) {
+  RankCounts c;
+  c.edges.assign(static_cast<std::size_t>(layout.nranks), 0.0);
+  c.nodes.assign(static_cast<std::size_t>(layout.nranks), 0.0);
+  for (RankId r : layout.edge_rank) c.edges[static_cast<std::size_t>(r)] += 1.0;
+  for (RankId r : layout.node_rank) c.nodes[static_cast<std::size_t>(r)] += 1.0;
+  return c;
+}
+
+void charge_per_rank(perf::Tracer& tracer, const std::vector<double>& items,
+                     double flops_per_item, double bytes_per_item) {
+  for (std::size_t r = 0; r < items.size(); ++r) {
+    if (items[r] > 0) {
+      tracer.kernel(static_cast<RankId>(r), items[r] * flops_per_item,
+                    items[r] * bytes_per_item);
+    }
+  }
+}
+
+}  // namespace
+
+Simulation::Simulation(mesh::OversetSystem& system, const SimConfig& cfg,
+                       par::Runtime& rt)
+    : system_(&system), cfg_(cfg), rt_(&rt) {
+  blocks_.resize(system.meshes.size());
+  for (std::size_t m = 0; m < system.meshes.size(); ++m) {
+    blocks_[m].db = &system.meshes[m];
+    blocks_[m].mesh_index = static_cast<int>(m);
+    setup_block(blocks_[m]);
+  }
+  exchange_fringe_values();
+}
+
+void Simulation::setup_block(MeshBlock& blk) {
+  const mesh::MeshDB& db = *blk.db;
+  const auto n = static_cast<std::size_t>(db.num_nodes());
+
+  // Stage 0: domain decomposition + DoF renumbering.
+  blk.layout = assembly::make_layout(db, rt_->nranks(), cfg_.partition);
+
+  // Dirichlet masks per equation family (paper §3.1: "periodic, Dirichlet,
+  // and overset DoFs are accounted for precisely").
+  blk.mom_dirichlet.assign(n, 0);
+  blk.prs_dirichlet.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (db.roles[i]) {
+      case NodeRole::kInterior:
+        break;
+      case NodeRole::kInflow:
+      case NodeRole::kSymmetry:
+      case NodeRole::kWall:
+        blk.mom_dirichlet[i] = 1;  // velocity fixed, pressure Neumann
+        break;
+      case NodeRole::kOutflow:
+        blk.prs_dirichlet[i] = 1;  // pressure fixed, velocity Neumann
+        break;
+      case NodeRole::kFringe:
+      case NodeRole::kHole:
+        blk.mom_dirichlet[i] = 1;
+        blk.prs_dirichlet[i] = 1;
+        break;
+    }
+  }
+
+  // Stage 1: graph computation (pattern is a topology invariant: built
+  // once, reused every Picard iteration).
+  {
+    perf::PhaseScope scope(rt_->tracer(), "graph");
+    blk.mom_graph = std::make_unique<assembly::EquationGraph>(
+        db, blk.layout, blk.mom_dirichlet);
+    blk.prs_graph = std::make_unique<assembly::EquationGraph>(
+        db, blk.layout, blk.prs_dirichlet);
+    charge_per_rank(rt_->tracer(), blk.mom_graph->pattern_nnz_per_rank(), 16.0,
+                    64.0);
+    charge_per_rank(rt_->tracer(), blk.prs_graph->pattern_nnz_per_rank(), 16.0,
+                    64.0);
+  }
+
+  // Initial condition: uniform inflow, ambient scalar; boundary values on
+  // their Dirichlet nodes.
+  blk.u.assign(n, cfg_.inflow_speed);
+  blk.v.assign(n, 0.0);
+  blk.w.assign(n, 0.0);
+  blk.p.assign(n, 0.0);
+  blk.scl.assign(n, cfg_.scalar_inflow);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (db.roles[i] == NodeRole::kWall || db.roles[i] == NodeRole::kHole) {
+      const Vec3 bc = boundary_velocity(blk, static_cast<GlobalIndex>(i));
+      blk.u[i] = bc.x;
+      blk.v[i] = bc.y;
+      blk.w[i] = bc.z;
+      blk.scl[i] = 0.0;
+    }
+  }
+  blk.u_old = blk.u;
+  blk.v_old = blk.v;
+  blk.w_old = blk.w;
+  blk.scl_old = blk.scl;
+  blk.edge_flux.assign(static_cast<std::size_t>(db.num_edges()), 0.0);
+}
+
+Vec3 Simulation::mesh_velocity(const MeshBlock& blk, const Vec3& x) const {
+  const mesh::RotationSpec& spec =
+      system_->motion[static_cast<std::size_t>(blk.mesh_index)];
+  if (!spec.rotating) {
+    return Vec3{};
+  }
+  const Vec3 axis = spec.axis * (1.0 / spec.axis.norm());
+  return axis.cross(x - spec.center) * spec.omega;
+}
+
+Vec3 Simulation::boundary_velocity(const MeshBlock& blk,
+                                   GlobalIndex node) const {
+  const mesh::MeshDB& db = *blk.db;
+  const auto i = static_cast<std::size_t>(node);
+  switch (db.roles[i]) {
+    case NodeRole::kInflow:
+    case NodeRole::kSymmetry:
+      return Vec3{cfg_.inflow_speed, 0, 0};
+    case NodeRole::kWall:
+      return mesh_velocity(blk, db.coords[i]);  // no-slip on rotating blade
+    case NodeRole::kFringe:
+      return Vec3{blk.u[i], blk.v[i], blk.w[i]};  // donor-interpolated
+    case NodeRole::kHole:
+      return Vec3{};
+    default:
+      return Vec3{blk.u[i], blk.v[i], blk.w[i]};
+  }
+}
+
+void Simulation::exchange_fringe_values() {
+  // Overset (additive Schwarz) coupling: every fringe node takes the
+  // donor-interpolated field values, used as Dirichlet data by the next
+  // per-mesh solves.
+  perf::PhaseScope scope(rt_->tracer(), "overset");
+  for (const auto& c : system_->constraints) {
+    MeshBlock& rec = blocks_[static_cast<std::size_t>(c.mesh)];
+    const MeshBlock& don = blocks_[static_cast<std::size_t>(c.donor_mesh)];
+    Real su = 0, sv = 0, sw = 0, sp = 0, ss = 0;
+    for (int k = 0; k < 8; ++k) {
+      const auto d = static_cast<std::size_t>(c.donors[static_cast<std::size_t>(k)]);
+      const Real wk = c.weights[static_cast<std::size_t>(k)];
+      su += wk * don.u[d];
+      sv += wk * don.v[d];
+      sw += wk * don.w[d];
+      sp += wk * don.p[d];
+      ss += wk * don.scl[d];
+    }
+    const auto i = static_cast<std::size_t>(c.node);
+    rec.u[i] = su;
+    rec.v[i] = sv;
+    rec.w[i] = sw;
+    rec.p[i] = sp;
+    rec.scl[i] = ss;
+  }
+  // Charge: the TIOGA-style exchange moves 5 fields x 8 donors per
+  // constraint between ranks.
+  const auto nc = static_cast<double>(system_->constraints.size());
+  rt_->tracer().kernel(0, 80.0 * nc, 320.0 * nc);
+  rt_->tracer().collective(8.0);
+}
+
+void Simulation::compute_fluxes(MeshBlock& blk) {
+  const mesh::MeshDB& db = *blk.db;
+  for (std::size_t e = 0; e < db.edges.size(); ++e) {
+    const auto& edge = db.edges[e];
+    const auto a = static_cast<std::size_t>(edge.a);
+    const auto b = static_cast<std::size_t>(edge.b);
+    const Vec3 dx = db.coords[b] - db.coords[a];
+    const Vec3 uavg{0.5 * (blk.u[a] + blk.u[b]), 0.5 * (blk.v[a] + blk.v[b]),
+                    0.5 * (blk.w[a] + blk.w[b])};
+    const Vec3 um = mesh_velocity(
+        blk, (db.coords[a] + db.coords[b]) * 0.5);
+    (void)dx;
+    blk.edge_flux[e] = cfg_.density * (uavg - um).dot(edge.area);
+  }
+}
+
+void Simulation::solve_momentum(MeshBlock& blk) {
+  perf::Tracer& tracer = rt_->tracer();
+  perf::PhaseScope eq(tracer, "momentum");
+  const mesh::MeshDB& db = *blk.db;
+  const RankCounts counts = count_work(blk.layout);
+  const Real mu = cfg_.viscosity;
+  const Real rho = cfg_.density;
+
+  // Nodal pressure gradient (for the momentum RHS).
+  std::vector<Vec3> gradp(static_cast<std::size_t>(db.num_nodes()), Vec3{});
+  {
+    perf::PhaseScope ph(tracer, "physics");
+    compute_fluxes(blk);
+    for (const auto& edge : db.edges) {
+      const auto a = static_cast<std::size_t>(edge.a);
+      const auto b = static_cast<std::size_t>(edge.b);
+      const Real pf = 0.5 * (blk.p[a] + blk.p[b]);
+      gradp[a] += edge.area * pf;
+      gradp[b] += edge.area * (-pf);
+    }
+    for (std::size_t i = 0; i < gradp.size(); ++i) {
+      gradp[i] += db.node_boundary_area[i] * blk.p[i];
+      const Real vol = std::max(db.node_volume[i], Real{1e-30});
+      gradp[i] = gradp[i] * (1.0 / vol);
+    }
+    charge_per_rank(tracer, counts.edges, 60.0, 200.0);
+    charge_per_rank(tracer, counts.nodes, 10.0, 60.0);
+  }
+
+  // Local assembly: matrix once + RHS for the u component.
+  auto fill_node_rhs = [&](int component) {
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (blk.mom_dirichlet[i]) {
+        const Vec3 bc = boundary_velocity(blk, node);
+        const Real val = component == 0 ? bc.x : (component == 1 ? bc.y : bc.z);
+        blk.mom_graph->add_node_rhs(node, val, cfg_.atomic_local_assembly);
+      } else {
+        const Real vol = db.node_volume[i];
+        const Real mass = rho * vol / cfg_.dt;
+        const Real uo = component == 0 ? blk.u_old[i]
+                        : component == 1 ? blk.v_old[i] : blk.w_old[i];
+        const Real gp = component == 0 ? gradp[i].x
+                        : component == 1 ? gradp[i].y : gradp[i].z;
+        blk.mom_graph->add_node_rhs(node, mass * uo - vol * gp,
+                                    cfg_.atomic_local_assembly);
+      }
+    }
+    charge_per_rank(tracer, counts.nodes, 8.0, 48.0);
+  };
+
+  {
+    perf::PhaseScope ph(tracer, "local");
+    blk.mom_graph->zero_values();
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      const auto& edge = db.edges[e];
+      const Real diff = mu * edge.coeff;
+      const Real f = blk.edge_flux[e];
+      // Upwinded advection + diffusion, rows a and b.
+      const std::array<Real, 4> m{std::max(f, 0.0) + diff,
+                                  std::min(f, 0.0) - diff,
+                                  std::min(-f, 0.0) - diff,
+                                  std::max(-f, 0.0) + diff};
+      blk.mom_graph->add_edge(e, m, {0.0, 0.0}, cfg_.atomic_local_assembly);
+    }
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (blk.mom_dirichlet[i]) {
+        blk.mom_graph->add_node(node, 1.0, 0.0, cfg_.atomic_local_assembly);
+      } else {
+        // Time term plus the boundary advection closure (outflow faces of
+        // the node's dual cell); together with the edge fluxes this makes
+        // constant velocity an exact steady state.
+        const Vec3 ui{blk.u[i], blk.v[i], blk.w[i]};
+        const Real fb = rho * (ui - mesh_velocity(blk, db.coords[i]))
+                                  .dot(db.node_boundary_area[i]);
+        blk.mom_graph->add_node(node, rho * db.node_volume[i] / cfg_.dt + fb,
+                                0.0, cfg_.atomic_local_assembly);
+      }
+    }
+    fill_node_rhs(0);
+    charge_per_rank(tracer, counts.edges, 30.0, 160.0);
+    charge_per_rank(tracer, counts.nodes, 6.0, 40.0);
+  }
+
+  const auto& rows = blk.layout.numbering.rows;
+  std::vector<sparse::Coo> owned, shared;
+  std::vector<RealVector> rhs_owned;
+  std::vector<sparse::CooVector> rhs_shared;
+  auto collect = [&](assembly::EquationGraph& g) {
+    owned.clear();
+    shared.clear();
+    rhs_owned.clear();
+    rhs_shared.clear();
+    for (int r = 0; r < g.nranks(); ++r) {
+      owned.push_back(g.rank(r).owned);
+      shared.push_back(g.rank(r).shared);
+      rhs_owned.push_back(g.rank(r).rhs_owned);
+      rhs_shared.push_back(g.rank(r).rhs_shared);
+    }
+  };
+
+  linalg::ParCsr a;
+  linalg::ParVector rhs;
+  {
+    perf::PhaseScope ph(tracer, "global");
+    collect(*blk.mom_graph);
+    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
+                                  cfg_.assembly_algo);
+    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
+                                    cfg_.assembly_algo);
+  }
+
+  std::unique_ptr<solver::SmootherPrecond> precond;
+  {
+    perf::PhaseScope ph(tracer, "setup");
+    precond = std::make_unique<solver::SmootherPrecond>(
+        a, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
+        cfg_.sgs_inner_sweeps);
+  }
+
+  mom_stats_ = EquationStats{};
+  linalg::ParVector x(*rt_, rows);
+  auto solve_component = [&](RealVector& field) {
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      x.at(blk.layout.row_of(node)) = field[static_cast<std::size_t>(node)];
+    }
+    solver::SolveStats st;
+    {
+      perf::PhaseScope ph(tracer, "solve");
+      st = solver::gmres_solve(a, rhs, x, *precond, cfg_.momentum_gmres);
+    }
+    mom_stats_.gmres_iterations += st.iterations;
+    mom_stats_.solves += 1;
+    mom_stats_.final_residual = st.final_residual;
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      field[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
+    }
+  };
+
+  solve_component(blk.u);
+  for (int component = 1; component < 3; ++component) {
+    {
+      perf::PhaseScope ph(tracer, "local");
+      blk.mom_graph->zero_rhs();
+      fill_node_rhs(component);
+    }
+    {
+      perf::PhaseScope ph(tracer, "global");
+      rhs_owned.clear();
+      rhs_shared.clear();
+      for (int r = 0; r < blk.mom_graph->nranks(); ++r) {
+        rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
+        rhs_shared.push_back(blk.mom_graph->rank(r).rhs_shared);
+      }
+      rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
+                                      cfg_.assembly_algo);
+    }
+    solve_component(component == 1 ? blk.v : blk.w);
+  }
+}
+
+void Simulation::solve_continuity(MeshBlock& blk) {
+  perf::Tracer& tracer = rt_->tracer();
+  perf::PhaseScope eq(tracer, "continuity");
+  const mesh::MeshDB& db = *blk.db;
+  const RankCounts counts = count_work(blk.layout);
+  const Real rho = cfg_.density;
+  const auto n = static_cast<std::size_t>(db.num_nodes());
+
+  // Physics: volume divergence of the predicted velocity.
+  RealVector div(n, 0.0);
+  {
+    perf::PhaseScope ph(tracer, "physics");
+    compute_fluxes(blk);
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      const auto& edge = db.edges[e];
+      div[static_cast<std::size_t>(edge.a)] += blk.edge_flux[e] / rho;
+      div[static_cast<std::size_t>(edge.b)] -= blk.edge_flux[e] / rho;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 ui{blk.u[i], blk.v[i], blk.w[i]};
+      div[i] += (ui - mesh_velocity(blk, db.coords[i]))
+                    .dot(db.node_boundary_area[i]);
+    }
+    charge_per_rank(tracer, counts.edges, 20.0, 120.0);
+  }
+
+  {
+    perf::PhaseScope ph(tracer, "local");
+    blk.prs_graph->zero_values();
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      const Real g = db.edges[e].coeff;
+      blk.prs_graph->add_edge(e, {g, -g, -g, g}, {0.0, 0.0},
+                              cfg_.atomic_local_assembly);
+    }
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (blk.prs_dirichlet[i]) {
+        // Solve for total pressure: Dirichlet rows pin p_new; since the
+        // RHS later gains A p_old, store (p_bc - p_old) here.
+        Real p_bc = 0.0;  // outflow and hole reference pressure
+        if (db.roles[i] == NodeRole::kFringe) {
+          p_bc = blk.p[i];  // donor-interpolated
+        }
+        blk.prs_graph->add_node(node, 1.0, p_bc - blk.p[i],
+                                cfg_.atomic_local_assembly);
+      } else {
+        blk.prs_graph->add_node(node, 0.0, -(rho / cfg_.dt) * div[i],
+                                cfg_.atomic_local_assembly);
+      }
+    }
+    charge_per_rank(tracer, counts.edges, 16.0, 120.0);
+    charge_per_rank(tracer, counts.nodes, 6.0, 40.0);
+  }
+
+  const auto& rows = blk.layout.numbering.rows;
+  linalg::ParCsr a;
+  linalg::ParVector rhs;
+  linalg::ParVector p_old_vec(*rt_, rows);
+  {
+    perf::PhaseScope ph(tracer, "global");
+    std::vector<sparse::Coo> owned, shared;
+    std::vector<RealVector> rhs_owned;
+    std::vector<sparse::CooVector> rhs_shared;
+    for (int r = 0; r < blk.prs_graph->nranks(); ++r) {
+      owned.push_back(blk.prs_graph->rank(r).owned);
+      shared.push_back(blk.prs_graph->rank(r).shared);
+      rhs_owned.push_back(blk.prs_graph->rank(r).rhs_owned);
+      rhs_shared.push_back(blk.prs_graph->rank(r).rhs_shared);
+    }
+    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
+                                  cfg_.assembly_algo);
+    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
+                                    cfg_.assembly_algo);
+    // Total-pressure form: rhs += A p_old.
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      p_old_vec.at(blk.layout.row_of(node)) =
+          blk.p[static_cast<std::size_t>(node)];
+    }
+    a.matvec(p_old_vec, rhs, 1.0, 1.0);
+  }
+
+  std::unique_ptr<solver::AmgPrecond> precond;
+  {
+    perf::PhaseScope ph(tracer, "setup");
+    precond = std::make_unique<solver::AmgPrecond>(a, cfg_.pressure_amg);
+  }
+  prs_stats_ = EquationStats{};
+  prs_stats_.amg_levels = precond->hierarchy().num_levels();
+  prs_stats_.amg_operator_complexity =
+      precond->hierarchy().operator_complexity();
+
+  linalg::ParVector x(*rt_, rows);
+  x.copy_from(p_old_vec);
+  solver::SolveStats st;
+  {
+    perf::PhaseScope ph(tracer, "solve");
+    st = solver::gmres_solve(a, rhs, x, *precond, cfg_.pressure_gmres);
+  }
+  prs_stats_.gmres_iterations = st.iterations;
+  prs_stats_.solves = 1;
+  prs_stats_.final_residual = st.final_residual;
+
+  // Projection: u -= (dt / rho) grad(p_new - p_old); p := p_new.
+  {
+    perf::PhaseScope ph(tracer, "physics");
+    RealVector dp(n, 0.0);
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      dp[i] = x.at(blk.layout.row_of(node)) - blk.p[i];
+      blk.p[i] += dp[i];
+    }
+    std::vector<Vec3> grad(n, Vec3{});
+    for (const auto& edge : db.edges) {
+      const auto ai = static_cast<std::size_t>(edge.a);
+      const auto bi = static_cast<std::size_t>(edge.b);
+      const Real pf = 0.5 * (dp[ai] + dp[bi]);
+      grad[ai] += edge.area * pf;
+      grad[bi] += edge.area * (-pf);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] += db.node_boundary_area[i] * dp[i];
+    }
+    const Real c = cfg_.dt / rho;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (blk.mom_dirichlet[i]) continue;  // keep boundary velocities
+      const Real vol = std::max(db.node_volume[i], Real{1e-30});
+      blk.u[i] -= c * grad[i].x / vol;
+      blk.v[i] -= c * grad[i].y / vol;
+      blk.w[i] -= c * grad[i].z / vol;
+    }
+    charge_per_rank(tracer, counts.edges, 30.0, 160.0);
+    charge_per_rank(tracer, counts.nodes, 10.0, 60.0);
+  }
+}
+
+void Simulation::solve_scalar(MeshBlock& blk) {
+  perf::Tracer& tracer = rt_->tracer();
+  perf::PhaseScope eq(tracer, "scalar");
+  const mesh::MeshDB& db = *blk.db;
+  const RankCounts counts = count_work(blk.layout);
+  const Real rho = cfg_.density;
+  const Real mu = cfg_.viscosity;
+
+  {
+    perf::PhaseScope ph(tracer, "physics");
+    compute_fluxes(blk);
+    charge_per_rank(tracer, counts.edges, 30.0, 150.0);
+  }
+  {
+    perf::PhaseScope ph(tracer, "local");
+    blk.mom_graph->zero_values();
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      const auto& edge = db.edges[e];
+      const Real diff = mu * edge.coeff;
+      const Real f = blk.edge_flux[e];
+      const std::array<Real, 4> m{std::max(f, 0.0) + diff,
+                                  std::min(f, 0.0) - diff,
+                                  std::min(-f, 0.0) - diff,
+                                  std::max(-f, 0.0) + diff};
+      blk.mom_graph->add_edge(e, m, {0.0, 0.0}, cfg_.atomic_local_assembly);
+    }
+    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      if (blk.mom_dirichlet[i]) {
+        Real bc = cfg_.scalar_inflow;
+        if (db.roles[i] == NodeRole::kFringe) bc = blk.scl[i];
+        if (db.roles[i] == NodeRole::kWall || db.roles[i] == NodeRole::kHole) bc = 0.0;
+        blk.mom_graph->add_node(node, 1.0, bc, cfg_.atomic_local_assembly);
+      } else {
+        const Real vol = db.node_volume[i];
+        const Real mass = rho * vol / cfg_.dt;
+        const Vec3 ui{blk.u[i], blk.v[i], blk.w[i]};
+        const Real fb = rho * (ui - mesh_velocity(blk, db.coords[i]))
+                                  .dot(db.node_boundary_area[i]);
+        // Shear-production-like source keeps the scalar field nontrivial.
+        blk.mom_graph->add_node(node, mass + fb,
+                                mass * blk.scl_old[i] + cfg_.scalar_source * vol,
+                                cfg_.atomic_local_assembly);
+      }
+    }
+    charge_per_rank(tracer, counts.edges, 30.0, 160.0);
+    charge_per_rank(tracer, counts.nodes, 8.0, 48.0);
+  }
+
+  const auto& rows = blk.layout.numbering.rows;
+  linalg::ParCsr a;
+  linalg::ParVector rhs;
+  {
+    perf::PhaseScope ph(tracer, "global");
+    std::vector<sparse::Coo> owned, shared;
+    std::vector<RealVector> rhs_owned;
+    std::vector<sparse::CooVector> rhs_shared;
+    for (int r = 0; r < blk.mom_graph->nranks(); ++r) {
+      owned.push_back(blk.mom_graph->rank(r).owned);
+      shared.push_back(blk.mom_graph->rank(r).shared);
+      rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
+      rhs_shared.push_back(blk.mom_graph->rank(r).rhs_shared);
+    }
+    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
+                                  cfg_.assembly_algo);
+    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
+                                    cfg_.assembly_algo);
+  }
+  std::unique_ptr<solver::SmootherPrecond> precond;
+  {
+    perf::PhaseScope ph(tracer, "setup");
+    precond = std::make_unique<solver::SmootherPrecond>(
+        a, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
+        cfg_.sgs_inner_sweeps);
+  }
+  scl_stats_ = EquationStats{};
+  linalg::ParVector x(*rt_, rows);
+  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    x.at(blk.layout.row_of(node)) = blk.scl[static_cast<std::size_t>(node)];
+  }
+  solver::SolveStats st;
+  {
+    perf::PhaseScope ph(tracer, "solve");
+    st = solver::gmres_solve(a, rhs, x, *precond, cfg_.momentum_gmres);
+  }
+  scl_stats_.gmres_iterations = st.iterations;
+  scl_stats_.solves = 1;
+  scl_stats_.final_residual = st.final_residual;
+  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    blk.scl[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
+  }
+}
+
+void Simulation::step() {
+  perf::Tracer& tracer = rt_->tracer();
+  time_ += cfg_.dt;
+  step_count_ += 1;
+
+  {
+    // Mesh motion + overset connectivity update (outside NLI, as in the
+    // paper's breakdowns).
+    perf::PhaseScope scope(tracer, "motion");
+    mesh::advance_motion(*system_, time_);
+    const auto nc = static_cast<double>(system_->constraints.size());
+    tracer.kernel(0, 200.0 * nc, 400.0 * nc);
+  }
+
+  for (auto& blk : blocks_) {
+    blk.u_old = blk.u;
+    blk.v_old = blk.v;
+    blk.w_old = blk.w;
+    blk.scl_old = blk.scl;
+  }
+
+  perf::PhaseScope nli(tracer, "nli");
+  for (int picard = 0; picard < cfg_.picard_iters; ++picard) {
+    exchange_fringe_values();
+    for (auto& blk : blocks_) {
+      solve_momentum(blk);
+    }
+    for (auto& blk : blocks_) {
+      solve_continuity(blk);
+    }
+    for (auto& blk : blocks_) {
+      solve_scalar(blk);
+    }
+  }
+}
+
+std::vector<double> Simulation::pressure_nnz_per_rank(int mesh_index) const {
+  const MeshBlock& blk = blocks_[static_cast<std::size_t>(mesh_index)];
+  std::vector<double> nnz(static_cast<std::size_t>(rt_->nranks()), 0.0);
+  for (int r = 0; r < blk.prs_graph->nranks(); ++r) {
+    nnz[static_cast<std::size_t>(r)] +=
+        static_cast<double>(blk.prs_graph->rank(r).owned.nnz());
+  }
+  return nnz;
+}
+
+bool Simulation::write_vtk(const std::string& prefix) const {
+  bool ok = true;
+  for (const auto& blk : blocks_) {
+    mesh::VtkFields fields;
+    fields.scalars["pressure"] = blk.p;
+    fields.scalars["scalar"] = blk.scl;
+    std::vector<Real> vel(3 * blk.u.size());
+    for (std::size_t i = 0; i < blk.u.size(); ++i) {
+      vel[3 * i] = blk.u[i];
+      vel[3 * i + 1] = blk.v[i];
+      vel[3 * i + 2] = blk.w[i];
+    }
+    fields.vectors["velocity"] = std::move(vel);
+    const std::string path = prefix + "_" + blk.db->name + "_" +
+                             std::to_string(step_count_) + ".vtk";
+    ok = mesh::write_vtk(*blk.db, fields, path) && ok;
+  }
+  return ok;
+}
+
+Real Simulation::velocity_rms() const {
+  double sum = 0;
+  double count = 0;
+  for (const auto& blk : blocks_) {
+    for (std::size_t i = 0; i < blk.u.size(); ++i) {
+      sum += blk.u[i] * blk.u[i] + blk.v[i] * blk.v[i] + blk.w[i] * blk.w[i];
+      count += 1;
+    }
+  }
+  return std::sqrt(sum / std::max(count, 1.0));
+}
+
+Real Simulation::divergence_rms() const {
+  double sum = 0;
+  double count = 0;
+  for (const auto& blk : blocks_) {
+    const mesh::MeshDB& db = *blk.db;
+    RealVector div(static_cast<std::size_t>(db.num_nodes()), 0.0);
+    for (std::size_t e = 0; e < db.edges.size(); ++e) {
+      const auto& edge = db.edges[e];
+      const auto a = static_cast<std::size_t>(edge.a);
+      const auto b = static_cast<std::size_t>(edge.b);
+      const Vec3 uavg{0.5 * (blk.u[a] + blk.u[b]), 0.5 * (blk.v[a] + blk.v[b]),
+                      0.5 * (blk.w[a] + blk.w[b])};
+      const Vec3 um = mesh_velocity(blk, (db.coords[a] + db.coords[b]) * 0.5);
+      const Real f = (uavg - um).dot(edge.area);
+      div[a] += f;
+      div[b] -= f;
+    }
+    for (std::size_t i = 0; i < div.size(); ++i) {
+      const Vec3 ui{blk.u[i], blk.v[i], blk.w[i]};
+      div[i] += (ui - mesh_velocity(blk, db.coords[i]))
+                    .dot(db.node_boundary_area[i]);
+    }
+    for (std::size_t i = 0; i < div.size(); ++i) {
+      if (blk.prs_dirichlet[i] || blk.mom_dirichlet[i]) continue;
+      const Real d = div[i] / std::max(db.node_volume[i], Real{1e-30});
+      sum += d * d;
+      count += 1;
+    }
+  }
+  return std::sqrt(sum / std::max(count, 1.0));
+}
+
+Real Simulation::scalar_mean() const {
+  double sum = 0;
+  double count = 0;
+  for (const auto& blk : blocks_) {
+    for (Real s : blk.scl) {
+      sum += s;
+      count += 1;
+    }
+  }
+  return sum / std::max(count, 1.0);
+}
+
+}  // namespace exw::cfd

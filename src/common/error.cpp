@@ -1,0 +1,19 @@
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace exw {
+
+Real Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+Real norm(const Vec3& v) { return v.norm(); }
+
+namespace detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace detail
+}  // namespace exw

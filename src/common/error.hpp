@@ -1,0 +1,47 @@
+#pragma once
+/// \file error.hpp
+/// Error handling: checked preconditions that throw exw::Error.
+///
+/// Following the CppCoreGuidelines we use exceptions (via RAII-safe code)
+/// rather than abort() so that tests can assert on failure paths.
+
+#include <stdexcept>
+#include <string>
+
+namespace exw {
+
+/// Exception type thrown by all EXW_REQUIRE / EXW_THROW failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace exw
+
+/// Throw exw::Error with file/line context.
+#define EXW_THROW(msg) ::exw::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Precondition check, active in all build types (cheap checks only).
+#define EXW_REQUIRE(cond, msg)                          \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      EXW_THROW(std::string("requirement failed: ") +   \
+                #cond + " — " + (msg));                 \
+    }                                                   \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define EXW_ASSERT(cond) ((void)0)
+#else
+#define EXW_ASSERT(cond)                                   \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      EXW_THROW(std::string("assertion failed: ") #cond); \
+    }                                                      \
+  } while (0)
+#endif

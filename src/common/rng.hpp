@@ -1,0 +1,47 @@
+#pragma once
+/// \file rng.hpp
+/// Counter-based deterministic random numbers.
+///
+/// BoomerAMG's PMIS coarsening uses cuRAND to attach a random weight to
+/// each DoF. For a reproduction that must give identical coarse grids
+/// regardless of how the mesh is partitioned across simulated ranks, we
+/// instead hash the *global* index: rank-count-invariant, reproducible,
+/// and massively parallel in spirit (each value is independent).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace exw {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) derived from (seed, counter).
+constexpr double uniform01(std::uint64_t seed, std::uint64_t counter) {
+  const std::uint64_t h = hash64(seed ^ hash64(counter));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Stateful convenience generator for tests and workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed) {}
+
+  double uniform() { return uniform01(seed_, counter_++); }
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  std::uint64_t next_u64() { return hash64(seed_ ^ hash64(counter_++)); }
+  /// Integer in [0, n).
+  std::uint64_t index(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace exw

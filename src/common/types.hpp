@@ -1,0 +1,57 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental scalar and index types used across the library.
+///
+/// Global indices address degrees of freedom (DoFs) in the assembled global
+/// linear system; local indices address rows/entries owned by one simulated
+/// MPI rank. We follow hypre's convention of signed index types so that -1
+/// can flag "not found / not owned".
+
+#include <cstdint>
+#include <vector>
+
+namespace exw {
+
+/// Floating-point type for all field and matrix values.
+using Real = double;
+
+/// Global DoF / mesh-entity index (64-bit: the paper's refined mesh has
+/// 634M nodes; a reproduction must not bake in 32-bit limits).
+using GlobalIndex = std::int64_t;
+
+/// Rank-local index.
+using LocalIndex = std::int32_t;
+
+/// Simulated MPI rank id.
+using RankId = int;
+
+/// Invalid-index sentinels.
+inline constexpr GlobalIndex kInvalidGlobal = -1;
+inline constexpr LocalIndex kInvalidLocal = -1;
+
+/// Small geometric vector.
+struct Vec3 {
+  Real x{0}, y{0}, z{0};
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(Real s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Real dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  Real norm() const;
+};
+
+Real norm(const Vec3& v);
+
+/// Convenience alias for dense value arrays.
+using RealVector = std::vector<Real>;
+
+}  // namespace exw

@@ -1,0 +1,388 @@
+#include "linalg/parcsr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exw::linalg {
+
+namespace {
+constexpr int kTagHalo = 101;
+constexpr int kTagRowReq = 102;
+constexpr int kTagRowHdr = 103;
+constexpr int kTagRowCol = 104;
+constexpr int kTagRowVal = 105;
+}  // namespace
+
+ParCsr::ParCsr(par::Runtime& rt, par::RowPartition rows,
+               par::RowPartition cols, std::vector<RankBlock> blocks)
+    : rt_(&rt), rows_(std::move(rows)), cols_(std::move(cols)),
+      blocks_(std::move(blocks)) {
+  EXW_REQUIRE(static_cast<int>(blocks_.size()) == rows_.nranks(),
+              "one block per rank required");
+  EXW_REQUIRE(rows_.nranks() == cols_.nranks(),
+              "row/col partitions must agree on rank count");
+  for (int r = 0; r < rows_.nranks(); ++r) {
+    const auto& b = blocks_[static_cast<std::size_t>(r)];
+    EXW_REQUIRE(b.diag.nrows() == rows_.local_size(r), "diag block rows");
+    EXW_REQUIRE(b.offd.nrows() == rows_.local_size(r), "offd block rows");
+    EXW_REQUIRE(b.offd.ncols() == static_cast<LocalIndex>(b.col_map.size()),
+                "offd cols must match col_map");
+    EXW_REQUIRE(std::is_sorted(b.col_map.begin(), b.col_map.end()),
+                "col_map must be ascending");
+  }
+  build_comm_pkg();
+}
+
+void ParCsr::build_comm_pkg() {
+  const int nranks = rows_.nranks();
+  comm_.sends.assign(static_cast<std::size_t>(nranks), {});
+  comm_.recvs.assign(static_cast<std::size_t>(nranks), {});
+  // Group each rank's col_map by owner (ascending col_map => grouped runs),
+  // then mirror the request onto the owner's send list.
+  for (int r = 0; r < nranks; ++r) {
+    const auto& map = blocks_[static_cast<std::size_t>(r)].col_map;
+    std::size_t i = 0;
+    while (i < map.size()) {
+      const RankId owner = cols_.rank_of(map[i]);
+      EXW_REQUIRE(owner != r, "owned column found in offd col_map");
+      std::size_t j = i;
+      CommPkg::Send send;
+      send.dst = r;
+      while (j < map.size() && cols_.rank_of(map[j]) == owner) {
+        send.idx.push_back(cols_.to_local(owner, map[j]));
+        ++j;
+      }
+      comm_.recvs[static_cast<std::size_t>(r)].push_back(
+          CommPkg::Recv{owner, static_cast<LocalIndex>(j - i)});
+      comm_.sends[static_cast<std::size_t>(owner)].push_back(std::move(send));
+      i = j;
+    }
+  }
+}
+
+ParCsr ParCsr::from_serial(par::Runtime& rt, const sparse::Csr& global,
+                           const par::RowPartition& rows,
+                           const par::RowPartition& cols) {
+  std::vector<RankBlock> blocks(static_cast<std::size_t>(rows.nranks()));
+  for (int r = 0; r < rows.nranks(); ++r) {
+    RankBlock& b = blocks[static_cast<std::size_t>(r)];
+    const GlobalIndex row0 = rows.first_row(r);
+    const GlobalIndex row1 = rows.end_row(r);
+    const GlobalIndex col0 = cols.first_row(r);
+    const GlobalIndex col1 = cols.end_row(r);
+    const auto nlocal = static_cast<LocalIndex>(row1 - row0);
+
+    // Collect off-diagonal global columns for this rank.
+    std::vector<GlobalIndex> offd_cols;
+    for (GlobalIndex i = row0; i < row1; ++i) {
+      const auto li = static_cast<LocalIndex>(i);
+      for (LocalIndex k = global.row_begin(li); k < global.row_end(li); ++k) {
+        const GlobalIndex c = global.cols()[static_cast<std::size_t>(k)];
+        if (c < col0 || c >= col1) {
+          offd_cols.push_back(c);
+        }
+      }
+    }
+    std::sort(offd_cols.begin(), offd_cols.end());
+    offd_cols.erase(std::unique(offd_cols.begin(), offd_cols.end()),
+                    offd_cols.end());
+    b.col_map = offd_cols;
+
+    b.diag = sparse::Csr(nlocal, static_cast<LocalIndex>(col1 - col0));
+    b.offd = sparse::Csr(nlocal, static_cast<LocalIndex>(offd_cols.size()));
+    auto& drp = b.diag.row_ptr_mut();
+    auto& orp = b.offd.row_ptr_mut();
+    for (GlobalIndex i = row0; i < row1; ++i) {
+      const auto li = static_cast<LocalIndex>(i);
+      for (LocalIndex k = global.row_begin(li); k < global.row_end(li); ++k) {
+        const GlobalIndex c = global.cols()[static_cast<std::size_t>(k)];
+        const Real v = global.vals()[static_cast<std::size_t>(k)];
+        if (c >= col0 && c < col1) {
+          b.diag.cols_vec().push_back(static_cast<LocalIndex>(c - col0));
+          b.diag.vals_vec().push_back(v);
+        } else {
+          const auto it =
+              std::lower_bound(offd_cols.begin(), offd_cols.end(), c);
+          b.offd.cols_vec().push_back(
+              static_cast<LocalIndex>(it - offd_cols.begin()));
+          b.offd.vals_vec().push_back(v);
+        }
+      }
+      drp[static_cast<std::size_t>(i - row0) + 1] =
+          static_cast<LocalIndex>(b.diag.cols_vec().size());
+      orp[static_cast<std::size_t>(i - row0) + 1] =
+          static_cast<LocalIndex>(b.offd.cols_vec().size());
+    }
+  }
+  return ParCsr(rt, rows, cols, std::move(blocks));
+}
+
+GlobalIndex ParCsr::nnz_of_rank(RankId r) const {
+  const auto& b = blocks_[static_cast<std::size_t>(r)];
+  return static_cast<GlobalIndex>(b.diag.nnz() + b.offd.nnz());
+}
+
+GlobalIndex ParCsr::global_nnz() const {
+  GlobalIndex n = 0;
+  for (int r = 0; r < nranks(); ++r) n += nnz_of_rank(r);
+  return n;
+}
+
+std::vector<double> ParCsr::nnz_per_rank() const {
+  std::vector<double> out(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r) {
+    out[static_cast<std::size_t>(r)] = static_cast<double>(nnz_of_rank(r));
+  }
+  return out;
+}
+
+std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
+  auto& transport = rt_->transport();
+  const int nranks = rows_.nranks();
+  // Pack + send owned values requested by neighbors.
+  for (int r = 0; r < nranks; ++r) {
+    for (const auto& send : comm_.sends[static_cast<std::size_t>(r)]) {
+      RealVector buf(send.idx.size());
+      const auto& xl = x.local(r);
+      for (std::size_t i = 0; i < send.idx.size(); ++i) {
+        buf[i] = xl[static_cast<std::size_t>(send.idx[i])];
+      }
+      rt_->tracer().kernel(r, 0.0,
+                           2.0 * sizeof(Real) * static_cast<double>(buf.size()));
+      transport.send(r, send.dst, kTagHalo, std::move(buf));
+    }
+  }
+  // Receive in col_map order.
+  std::vector<RealVector> ext(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto& e = ext[static_cast<std::size_t>(r)];
+    e.reserve(blocks_[static_cast<std::size_t>(r)].col_map.size());
+    for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
+      auto buf = transport.recv<Real>(r, recv.src, kTagHalo);
+      EXW_ASSERT(static_cast<LocalIndex>(buf.size()) == recv.count);
+      e.insert(e.end(), buf.begin(), buf.end());
+    }
+  }
+  return ext;
+}
+
+void ParCsr::matvec(const ParVector& x, ParVector& y, Real alpha,
+                    Real beta) const {
+  EXW_REQUIRE(x.global_size() == global_cols(), "matvec x size mismatch");
+  EXW_REQUIRE(y.global_size() == global_rows(), "matvec y size mismatch");
+  const auto ext = halo_exchange(x);
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& b = blocks_[static_cast<std::size_t>(r)];
+    auto& yl = y.local(r);
+    b.diag.spmv(x.local(r), yl, alpha, beta);
+    if (b.offd.nnz() > 0) {
+      b.offd.spmv(ext[static_cast<std::size_t>(r)], yl, alpha, 1.0);
+    }
+    const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
+    rt_->tracer().kernel(r, 2.0 * nnz,
+                         nnz * (sizeof(Real) + sizeof(LocalIndex)) +
+                             sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
+  }
+}
+
+void ParCsr::residual(const ParVector& b, const ParVector& x,
+                      ParVector& r) const {
+  r.copy_from(b);
+  matvec(x, r, -1.0, 1.0);
+}
+
+void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
+                              Real beta) const {
+  EXW_REQUIRE(x.global_size() == global_rows(), "matvec_T x size mismatch");
+  EXW_REQUIRE(y.global_size() == global_cols(), "matvec_T y size mismatch");
+  auto& transport = rt_->transport();
+  const int nranks = rows_.nranks();
+
+  // Local transpose products: diag^T into owned part of y; offd^T into a
+  // buffer laid out in col_map order, shipped to the owners (the exact
+  // reverse of the halo exchange, so the comm package is reused).
+  std::vector<RealVector> offd_contrib(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto& b = blocks_[static_cast<std::size_t>(r)];
+    auto& yl = y.local(r);
+    b.diag.spmv_transpose(x.local(r), yl, alpha, beta);
+    auto& buf = offd_contrib[static_cast<std::size_t>(r)];
+    buf.assign(b.col_map.size(), 0.0);
+    if (b.offd.nnz() > 0) {
+      b.offd.spmv_transpose(x.local(r), buf, alpha, 0.0);
+    }
+    const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
+    rt_->tracer().kernel(r, 2.0 * nnz,
+                         nnz * (sizeof(Real) + sizeof(LocalIndex)) +
+                             sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
+  }
+  // Reverse-direction exchange: each recv run in col_map order becomes a
+  // send back to its source rank.
+  for (int r = 0; r < nranks; ++r) {
+    std::size_t offset = 0;
+    for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
+      RealVector buf(offd_contrib[static_cast<std::size_t>(r)].begin() +
+                         static_cast<std::ptrdiff_t>(offset),
+                     offd_contrib[static_cast<std::size_t>(r)].begin() +
+                         static_cast<std::ptrdiff_t>(offset + static_cast<std::size_t>(recv.count)));
+      transport.send(r, recv.src, kTagHalo, std::move(buf));
+      offset += static_cast<std::size_t>(recv.count);
+    }
+  }
+  for (int owner = 0; owner < nranks; ++owner) {
+    auto& yl = y.local(owner);
+    for (const auto& send : comm_.sends[static_cast<std::size_t>(owner)]) {
+      auto buf = transport.recv<Real>(owner, send.dst, kTagHalo);
+      EXW_ASSERT(buf.size() == send.idx.size());
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        yl[static_cast<std::size_t>(send.idx[i])] += buf[i];
+      }
+      rt_->tracer().kernel(owner, static_cast<double>(buf.size()),
+                           3.0 * sizeof(Real) * static_cast<double>(buf.size()));
+    }
+  }
+}
+
+std::vector<RealVector> ParCsr::diagonals() const {
+  std::vector<RealVector> out(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r) {
+    out[static_cast<std::size_t>(r)] =
+        blocks_[static_cast<std::size_t>(r)].diag.diagonal();
+  }
+  return out;
+}
+
+sparse::Csr ParCsr::to_serial() const {
+  std::vector<LocalIndex> ti, tj;
+  std::vector<Real> tv;
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& b = blocks_[static_cast<std::size_t>(r)];
+    const GlobalIndex row0 = rows_.first_row(r);
+    const GlobalIndex col0 = cols_.first_row(r);
+    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
+      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        ti.push_back(static_cast<LocalIndex>(row0 + i));
+        tj.push_back(static_cast<LocalIndex>(
+            col0 + b.diag.cols()[static_cast<std::size_t>(k)]));
+        tv.push_back(b.diag.vals()[static_cast<std::size_t>(k)]);
+      }
+      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        ti.push_back(static_cast<LocalIndex>(row0 + i));
+        tj.push_back(static_cast<LocalIndex>(
+            b.col_map[static_cast<std::size_t>(
+                b.offd.cols()[static_cast<std::size_t>(k)])]));
+        tv.push_back(b.offd.vals()[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  return sparse::Csr::from_triples(static_cast<LocalIndex>(global_rows()),
+                                   static_cast<LocalIndex>(global_cols()),
+                                   std::move(ti), std::move(tj), std::move(tv));
+}
+
+std::size_t ExtRows::find(GlobalIndex g) const {
+  const auto it = std::lower_bound(row_ids.begin(), row_ids.end(), g);
+  if (it == row_ids.end() || *it != g) {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(it - row_ids.begin());
+}
+
+std::vector<ExtRows> fetch_external_rows(
+    const ParCsr& m, const std::vector<std::vector<GlobalIndex>>& needed) {
+  par::Runtime& rt = m.runtime();
+  auto& transport = rt.transport();
+  const int nranks = m.nranks();
+  EXW_REQUIRE(static_cast<int>(needed.size()) == nranks,
+              "one request list per rank");
+
+  // 1. Send row-id requests to owners.
+  std::vector<std::vector<std::vector<GlobalIndex>>> reqs(
+      static_cast<std::size_t>(nranks));  // [owner][requester] -> ids
+  for (auto& v : reqs) v.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    std::vector<GlobalIndex> sorted = needed[static_cast<std::size_t>(r)];
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      const RankId owner = m.rows().rank_of(sorted[i]);
+      EXW_REQUIRE(owner != r, "requested an owned row as external");
+      std::size_t j = i;
+      std::vector<GlobalIndex> ids;
+      while (j < sorted.size() && m.rows().rank_of(sorted[j]) == owner) {
+        ids.push_back(sorted[j]);
+        ++j;
+      }
+      transport.send(r, owner, kTagRowReq, ids);
+      reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)] =
+          std::move(ids);
+      i = j;
+    }
+  }
+
+  // 2. Owners reply with (row length header, global cols, values).
+  for (int owner = 0; owner < nranks; ++owner) {
+    const auto& b = m.block(owner);
+    const GlobalIndex row0 = m.rows().first_row(owner);
+    const GlobalIndex col0 = m.cols().first_row(owner);
+    for (int r = 0; r < nranks; ++r) {
+      const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
+      if (ids.empty()) continue;
+      (void)transport.recv<GlobalIndex>(owner, r, kTagRowReq);
+      std::vector<GlobalIndex> hdr;
+      std::vector<GlobalIndex> cols;
+      std::vector<Real> vals;
+      for (GlobalIndex g : ids) {
+        const auto li = static_cast<LocalIndex>(g - row0);
+        GlobalIndex len = 0;
+        for (LocalIndex k = b.diag.row_begin(li); k < b.diag.row_end(li); ++k) {
+          cols.push_back(col0 + b.diag.cols()[static_cast<std::size_t>(k)]);
+          vals.push_back(b.diag.vals()[static_cast<std::size_t>(k)]);
+          ++len;
+        }
+        for (LocalIndex k = b.offd.row_begin(li); k < b.offd.row_end(li); ++k) {
+          cols.push_back(
+              b.col_map[static_cast<std::size_t>(
+                  b.offd.cols()[static_cast<std::size_t>(k)])]);
+          vals.push_back(b.offd.vals()[static_cast<std::size_t>(k)]);
+          ++len;
+        }
+        hdr.push_back(len);
+      }
+      transport.send(owner, r, kTagRowHdr, std::move(hdr));
+      transport.send(owner, r, kTagRowCol, std::move(cols));
+      transport.send(owner, r, kTagRowVal, std::move(vals));
+    }
+  }
+
+  // 3. Requesters assemble ExtRows in ascending row order.
+  std::vector<ExtRows> out(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ExtRows& e = out[static_cast<std::size_t>(r)];
+    e.row_ptr.push_back(0);
+    for (int owner = 0; owner < nranks; ++owner) {
+      const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
+      if (ids.empty()) continue;
+      auto hdr = transport.recv<GlobalIndex>(r, owner, kTagRowHdr);
+      auto cols = transport.recv<GlobalIndex>(r, owner, kTagRowCol);
+      auto vals = transport.recv<Real>(r, owner, kTagRowVal);
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        e.row_ids.push_back(ids[i]);
+        const auto len = static_cast<std::size_t>(hdr[i]);
+        for (std::size_t k = 0; k < len; ++k) {
+          e.cols.push_back(cols[cursor + k]);
+          e.vals.push_back(vals[cursor + k]);
+        }
+        cursor += len;
+        e.row_ptr.push_back(e.cols.size());
+      }
+    }
+    EXW_ASSERT(std::is_sorted(e.row_ids.begin(), e.row_ids.end()));
+  }
+  return out;
+}
+
+}  // namespace exw::linalg

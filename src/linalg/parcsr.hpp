@@ -1,0 +1,129 @@
+#pragma once
+/// \file parcsr.hpp
+/// Distributed sparse matrix in hypre's ParCSR layout.
+///
+/// Each simulated rank owns a contiguous block of global rows and stores
+/// them as two CSR blocks (paper §3.3, Algorithm 1, line 7): `diag` holds
+/// the columns owned by the same rank (local square-ish block) and `offd`
+/// holds columns owned by other ranks, compressed through `col_map`
+/// (offd local column -> global column, ascending). This split is "an
+/// efficient decomposition for performing SpMVs in parallel": the diag
+/// product needs no communication and the offd product consumes exactly
+/// the halo values fetched by the communication package.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/parvector.hpp"
+#include "par/partition.hpp"
+#include "par/runtime.hpp"
+#include "sparse/csr.hpp"
+
+namespace exw::linalg {
+
+/// One rank's share of the matrix.
+struct RankBlock {
+  sparse::Csr diag;
+  sparse::Csr offd;
+  std::vector<GlobalIndex> col_map;  ///< offd local col -> global col
+};
+
+/// hypre-style communication package: who sends which owned values where.
+struct CommPkg {
+  struct Send {
+    RankId dst = 0;
+    std::vector<LocalIndex> idx;  ///< local col indices to pack
+  };
+  struct Recv {
+    RankId src = 0;
+    LocalIndex count = 0;  ///< contiguous run in col_map order
+  };
+  std::vector<std::vector<Send>> sends;  ///< [rank]
+  std::vector<std::vector<Recv>> recvs;  ///< [rank], ascending src
+};
+
+class ParCsr {
+ public:
+  ParCsr() = default;
+
+  /// Wrap per-rank blocks (col_map sorted ascending, offd cols indexing
+  /// into it). Builds the communication package.
+  ParCsr(par::Runtime& rt, par::RowPartition rows, par::RowPartition cols,
+         std::vector<RankBlock> blocks);
+
+  /// Split a serial CSR into ParCSR form (tests / reference paths).
+  static ParCsr from_serial(par::Runtime& rt, const sparse::Csr& global,
+                            const par::RowPartition& rows,
+                            const par::RowPartition& cols);
+
+  const par::RowPartition& rows() const { return rows_; }
+  const par::RowPartition& cols() const { return cols_; }
+  int nranks() const { return rows_.nranks(); }
+  GlobalIndex global_rows() const { return rows_.global_size(); }
+  GlobalIndex global_cols() const { return cols_.global_size(); }
+
+  const RankBlock& block(RankId r) const {
+    return blocks_[static_cast<std::size_t>(r)];
+  }
+  RankBlock& block_mut(RankId r) { return blocks_[static_cast<std::size_t>(r)]; }
+  const CommPkg& comm() const { return comm_; }
+
+  GlobalIndex nnz_of_rank(RankId r) const;
+  GlobalIndex global_nnz() const;
+  /// Per-rank nonzero counts — the quantity of Figs. 5 and 10.
+  std::vector<double> nnz_per_rank() const;
+
+  /// Fetch halo values of `x` (laid out per rank in col_map order),
+  /// charging pack kernels and one message per neighbor pair.
+  std::vector<RealVector> halo_exchange(const ParVector& x) const;
+
+  /// y = alpha * A * x + beta * y (x over cols(), y over rows()).
+  void matvec(const ParVector& x, ParVector& y, Real alpha = 1.0,
+              Real beta = 0.0) const;
+
+  /// r = b - A * x.
+  void residual(const ParVector& b, const ParVector& x, ParVector& r) const;
+
+  /// y = alpha * A^T * x + beta * y (x over rows(), y over cols()).
+  /// Off-diagonal contributions are sent to the owning ranks — the
+  /// reverse of the halo pattern; used for AMG restriction with R = P^T.
+  void matvec_transpose(const ParVector& x, ParVector& y, Real alpha = 1.0,
+                        Real beta = 0.0) const;
+
+  /// Per-rank diagonal of the diag block.
+  std::vector<RealVector> diagonals() const;
+
+  /// Reassemble the full matrix on one "rank" (tests only).
+  sparse::Csr to_serial() const;
+
+  par::Runtime& runtime() const { return *rt_; }
+
+ private:
+  void build_comm_pkg();
+
+  par::Runtime* rt_ = nullptr;
+  par::RowPartition rows_;
+  par::RowPartition cols_;
+  std::vector<RankBlock> blocks_;
+  CommPkg comm_;
+};
+
+/// Rows of a distributed matrix fetched from other ranks, with *global*
+/// column indices (used by the distributed Galerkin product).
+struct ExtRows {
+  std::vector<GlobalIndex> row_ids;   ///< global row ids, ascending
+  std::vector<std::size_t> row_ptr;   ///< size row_ids.size() + 1
+  std::vector<GlobalIndex> cols;
+  std::vector<Real> vals;
+
+  /// Index of global row `g` in row_ids, or npos.
+  std::size_t find(GlobalIndex g) const;
+};
+
+/// For each rank, fetch the rows of `m` listed in `needed[r]` (global row
+/// ids owned by other ranks). One request + one reply message per
+/// neighbor pair is charged.
+std::vector<ExtRows> fetch_external_rows(
+    const ParCsr& m, const std::vector<std::vector<GlobalIndex>>& needed);
+
+}  // namespace exw::linalg

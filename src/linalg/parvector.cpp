@@ -1,0 +1,156 @@
+#include "linalg/parvector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exw::linalg {
+
+namespace {
+// Bytes moved per element for streaming BLAS-1 kernels.
+constexpr double kRead = sizeof(Real);
+}  // namespace
+
+ParVector::ParVector(par::Runtime& rt, par::RowPartition rows)
+    : rt_(&rt), rows_(std::move(rows)) {
+  EXW_REQUIRE(rows_.nranks() == rt.nranks(),
+              "vector partition does not match runtime rank count");
+  local_.resize(static_cast<std::size_t>(rows_.nranks()));
+  for (int r = 0; r < rows_.nranks(); ++r) {
+    local_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(rows_.local_size(r)), 0.0);
+  }
+}
+
+Real& ParVector::at(GlobalIndex g) {
+  const RankId r = rows_.rank_of(g);
+  return local_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+      rows_.to_local(r, g))];
+}
+
+Real ParVector::at(GlobalIndex g) const {
+  const RankId r = rows_.rank_of(g);
+  return local_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+      rows_.to_local(r, g))];
+}
+
+void ParVector::fill(Real value) {
+  for (int r = 0; r < nranks(); ++r) {
+    auto& x = local_[static_cast<std::size_t>(r)];
+    std::fill(x.begin(), x.end(), value);
+    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(x.size()));
+  }
+}
+
+void ParVector::copy_from(const ParVector& other) {
+  EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
+  for (int r = 0; r < nranks(); ++r) {
+    local_[static_cast<std::size_t>(r)] = other.local_[static_cast<std::size_t>(r)];
+    rt_->tracer().kernel(
+        r, 0.0,
+        2.0 * kRead * static_cast<double>(local_[static_cast<std::size_t>(r)].size()));
+  }
+}
+
+void ParVector::scale(Real alpha) {
+  for (int r = 0; r < nranks(); ++r) {
+    auto& x = local_[static_cast<std::size_t>(r)];
+    for (auto& v : x) v *= alpha;
+    rt_->tracer().kernel(r, static_cast<double>(x.size()),
+                         2.0 * kRead * static_cast<double>(x.size()));
+  }
+}
+
+void ParVector::axpy(Real alpha, const ParVector& x) {
+  EXW_REQUIRE(x.global_size() == global_size(), "vector size mismatch");
+  for (int r = 0; r < nranks(); ++r) {
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += alpha * xs[i];
+    }
+    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
+                         3.0 * kRead * static_cast<double>(y.size()));
+  }
+}
+
+void ParVector::aypx(Real alpha, const ParVector& x) {
+  EXW_REQUIRE(x.global_size() == global_size(), "vector size mismatch");
+  for (int r = 0; r < nranks(); ++r) {
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = alpha * y[i] + xs[i];
+    }
+    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
+                         3.0 * kRead * static_cast<double>(y.size()));
+  }
+}
+
+double ParVector::dot(const ParVector& other) const {
+  EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
+  std::vector<double> partial(static_cast<std::size_t>(nranks()), 0.0);
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& x = local_[static_cast<std::size_t>(r)];
+    const auto& y = other.local_[static_cast<std::size_t>(r)];
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      s += x[i] * y[i];
+    }
+    partial[static_cast<std::size_t>(r)] = s;
+    rt_->tracer().kernel(r, 2.0 * static_cast<double>(x.size()),
+                         2.0 * kRead * static_cast<double>(x.size()));
+  }
+  return rt_->allreduce_sum(partial);
+}
+
+double ParVector::norm2() const { return std::sqrt(dot(*this)); }
+
+double ParVector::dot_compensated(const ParVector& other) const {
+  EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
+  std::vector<double> partial(static_cast<std::size_t>(nranks()), 0.0);
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& x = local_[static_cast<std::size_t>(r)];
+    const auto& y = other.local_[static_cast<std::size_t>(r)];
+    // Neumaier (Kahan-Babuska) compensation: robust even when a term is
+    // larger in magnitude than the running sum.
+    double sum = 0, comp = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double v = x[i] * y[i];
+      const double t = sum + v;
+      if (std::abs(sum) >= std::abs(v)) {
+        comp += (sum - t) + v;
+      } else {
+        comp += (v - t) + sum;
+      }
+      sum = t;
+    }
+    partial[static_cast<std::size_t>(r)] = sum + comp;
+    rt_->tracer().kernel(r, 8.0 * static_cast<double>(x.size()),
+                         2.0 * kRead * static_cast<double>(x.size()));
+  }
+  return rt_->allreduce_sum(partial);
+}
+
+RealVector ParVector::gather() const {
+  RealVector out(static_cast<std::size_t>(global_size()));
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& x = local_[static_cast<std::size_t>(r)];
+    std::copy(x.begin(), x.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)));
+  }
+  return out;
+}
+
+void ParVector::scatter(const RealVector& global) {
+  EXW_REQUIRE(global.size() == static_cast<std::size_t>(global_size()),
+              "vector size mismatch");
+  for (int r = 0; r < nranks(); ++r) {
+    auto& x = local_[static_cast<std::size_t>(r)];
+    std::copy(global.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)),
+              global.begin() + static_cast<std::ptrdiff_t>(rows_.end_row(r)),
+              x.begin());
+  }
+}
+
+}  // namespace exw::linalg

@@ -1,0 +1,58 @@
+#include "mesh/motion.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exw::mesh {
+
+Vec3 rotate_point(const Vec3& p, const Vec3& center, const Vec3& axis,
+                  Real theta) {
+  const Vec3 v = p - center;
+  const Real c = std::cos(theta);
+  const Real s = std::sin(theta);
+  const Vec3 rotated =
+      v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0 - c));
+  return center + rotated;
+}
+
+void rotate_mesh(MeshDB& db, const RotationSpec& spec, Real theta) {
+  const Real n = spec.axis.norm();
+  EXW_REQUIRE(n > 0, "degenerate rotation axis");
+  const Vec3 axis = spec.axis * (1.0 / n);
+  const bool first_rotation = db.ref_edges_.empty();
+  if (first_rotation) {
+    // Cache the reference dual geometry so repeated rotations compose
+    // from the reference configuration (no drift).
+    db.ref_edges_ = db.edges;
+    db.ref_boundary_area_ = db.node_boundary_area;
+  }
+  for (std::size_t i = 0; i < db.coords.size(); ++i) {
+    db.coords[i] = rotate_point(db.ref_coords[i], spec.center, axis, theta);
+  }
+  // Rigid rotation: scalar couplings are invariant, area vectors rotate.
+  const Vec3 origin{0, 0, 0};
+  for (std::size_t e = 0; e < db.edges.size(); ++e) {
+    db.edges[e].area =
+        rotate_point(db.ref_edges_[e].area, origin, axis, theta);
+  }
+  for (std::size_t i = 0; i < db.node_boundary_area.size(); ++i) {
+    db.node_boundary_area[i] =
+        rotate_point(db.ref_boundary_area_[i], origin, axis, theta);
+  }
+}
+
+void advance_motion(OversetSystem& system, Real t) {
+  bool moved = false;
+  for (std::size_t m = 0; m < system.meshes.size(); ++m) {
+    const RotationSpec& spec = system.motion[m];
+    if (!spec.rotating || spec.omega == 0.0) continue;
+    rotate_mesh(system.meshes[m], spec, spec.omega * t);
+    moved = true;
+  }
+  if (moved) {
+    system.update_connectivity();
+  }
+}
+
+}  // namespace exw::mesh

@@ -1,0 +1,26 @@
+#pragma once
+/// \file motion.hpp
+/// Rigid mesh motion: rotor rotation (paper §2).
+///
+/// Nalu-Wind meshes move with the turbine through rotor rotation; overset
+/// connectivity must be continually updated as they move. Rotation is
+/// rigid, so dual-mesh coefficients and volumes are invariant and only
+/// coordinates (and donor search) need updating each step.
+
+#include "mesh/overset.hpp"
+
+namespace exw::mesh {
+
+/// Rotate `p` by angle `theta` about the axis (unit `axis` through
+/// `center`) — Rodrigues' formula.
+Vec3 rotate_point(const Vec3& p, const Vec3& center, const Vec3& axis,
+                  Real theta);
+
+/// Set mesh coordinates to the reference configuration rotated by theta.
+void rotate_mesh(MeshDB& db, const RotationSpec& spec, Real theta);
+
+/// Advance all rotating meshes of the system to time `t` and rebuild
+/// overset connectivity.
+void advance_motion(OversetSystem& system, Real t);
+
+}  // namespace exw::mesh

@@ -1,0 +1,211 @@
+#include <memory>
+#include "mesh/overset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exw::mesh {
+
+GlobalIndex OversetSystem::total_nodes() const {
+  GlobalIndex n = 0;
+  for (const auto& m : meshes) n += m.num_nodes();
+  return n;
+}
+
+GlobalIndex OversetSystem::total_hexes() const {
+  GlobalIndex n = 0;
+  for (const auto& m : meshes) n += m.num_hexes();
+  return n;
+}
+
+CellLocator::CellLocator(const MeshDB& db, GlobalIndex target_bins) : db_(db) {
+  db.bounding_box(lo_, hi_);
+  // Pad so boundary points land inside.
+  const Vec3 ext = hi_ - lo_;
+  const Real pad = 1e-6 * std::max({ext.x, ext.y, ext.z, Real{1.0}});
+  lo_ = lo_ - Vec3{pad, pad, pad};
+  hi_ = hi_ + Vec3{pad, pad, pad};
+  const Real vol = std::max((hi_.x - lo_.x) * (hi_.y - lo_.y) * (hi_.z - lo_.z),
+                            Real{1e-30});
+  const Real cells_per_bin = 8.0;
+  const auto want = static_cast<Real>(db.num_hexes()) / cells_per_bin;
+  const Real h = std::cbrt(vol / std::max(want, Real{1.0}));
+  nx_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.x - lo_.x) / h), 1, target_bins);
+  ny_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.y - lo_.y) / h), 1, target_bins);
+  nz_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.z - lo_.z) / h), 1, target_bins);
+  bins_.resize(static_cast<std::size_t>(nx_ * ny_ * nz_));
+  centroids_.resize(static_cast<std::size_t>(db.num_hexes()));
+
+  for (GlobalIndex c = 0; c < db.num_hexes(); ++c) {
+    Vec3 clo{1e300, 1e300, 1e300}, chi{-1e300, -1e300, -1e300};
+    Vec3 centroid{};
+    for (GlobalIndex n : db.hexes[static_cast<std::size_t>(c)]) {
+      const Vec3& p = db.coords[static_cast<std::size_t>(n)];
+      clo = {std::min(clo.x, p.x), std::min(clo.y, p.y), std::min(clo.z, p.z)};
+      chi = {std::max(chi.x, p.x), std::max(chi.y, p.y), std::max(chi.z, p.z)};
+      centroid += p * 0.125;
+    }
+    centroids_[static_cast<std::size_t>(c)] = centroid;
+    GlobalIndex bx0, by0, bz0, bx1, by1, bz1;
+    bin_coords(clo, bx0, by0, bz0);
+    bin_coords(chi, bx1, by1, bz1);
+    for (GlobalIndex bz = bz0; bz <= bz1; ++bz) {
+      for (GlobalIndex by = by0; by <= by1; ++by) {
+        for (GlobalIndex bx = bx0; bx <= bx1; ++bx) {
+          bins_[bin_index(bx, by, bz)].cells.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+void CellLocator::bin_coords(const Vec3& p, GlobalIndex& bx, GlobalIndex& by,
+                             GlobalIndex& bz) const {
+  auto clampi = [](Real t, GlobalIndex n) {
+    return std::clamp<GlobalIndex>(static_cast<GlobalIndex>(t), 0, n - 1);
+  };
+  bx = clampi((p.x - lo_.x) / (hi_.x - lo_.x) * static_cast<Real>(nx_), nx_);
+  by = clampi((p.y - lo_.y) / (hi_.y - lo_.y) * static_cast<Real>(ny_), ny_);
+  bz = clampi((p.z - lo_.z) / (hi_.z - lo_.z) * static_cast<Real>(nz_), nz_);
+}
+
+GlobalIndex CellLocator::find_cell(const Vec3& p) const {
+  if (db_.num_hexes() == 0) return kInvalidGlobal;
+  GlobalIndex bx, by, bz;
+  bin_coords(p, bx, by, bz);
+  GlobalIndex best = kInvalidGlobal;
+  Real best_d2 = 1e300;
+  // Expand ring by ring until a candidate is found (guaranteed to
+  // terminate: the whole mesh is binned).
+  const GlobalIndex max_ring = std::max({nx_, ny_, nz_});
+  for (GlobalIndex ring = 0; ring <= max_ring; ++ring) {
+    for (GlobalIndex dz = -ring; dz <= ring; ++dz) {
+      for (GlobalIndex dy = -ring; dy <= ring; ++dy) {
+        for (GlobalIndex dx = -ring; dx <= ring; ++dx) {
+          if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring) {
+            continue;  // only the shell of this ring
+          }
+          const GlobalIndex x = bx + dx, y = by + dy, z = bz + dz;
+          if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_) {
+            continue;
+          }
+          for (GlobalIndex c : bins_[bin_index(x, y, z)].cells) {
+            const Vec3 d = centroids_[static_cast<std::size_t>(c)] - p;
+            const Real d2 = d.dot(d);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best = c;
+            }
+          }
+        }
+      }
+    }
+    if (best != kInvalidGlobal) break;
+  }
+  return best;
+}
+
+void donor_weights(const MeshDB& db, GlobalIndex cell, const Vec3& p,
+                   std::array<GlobalIndex, 8>& donors,
+                   std::array<Real, 8>& weights) {
+  const auto& h = db.hexes[static_cast<std::size_t>(cell)];
+  Real total = 0;
+  for (int c = 0; c < 8; ++c) {
+    donors[static_cast<std::size_t>(c)] = h[static_cast<std::size_t>(c)];
+    const Vec3 d = db.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(c)])] - p;
+    const Real w = 1.0 / (std::sqrt(d.dot(d)) + 1e-12);
+    weights[static_cast<std::size_t>(c)] = w;
+    total += w;
+  }
+  for (auto& w : weights) {
+    w /= total;
+  }
+}
+
+HoleCutResult cut_hole(MeshDB& background, const Vec3& hub, const Vec3& axis,
+                       Real inner_radius, Real outer_radius,
+                       Real half_thickness, Real fringe_shell) {
+  HoleCutResult res;
+  const Real axis_norm = axis.norm();
+  EXW_REQUIRE(axis_norm > 0, "degenerate rotation axis");
+  const Vec3 a = axis * (1.0 / axis_norm);
+  // Signed distance to the swept annulus: axial |d.a|, radial |d - (d.a)a|.
+  auto region = [&](const Vec3& p, Real grow) {
+    const Vec3 d = p - hub;
+    const Real ax = std::abs(d.dot(a));
+    const Vec3 rad_vec = d - a * d.dot(a);
+    const Real rad = rad_vec.norm();
+    return ax <= half_thickness + grow && rad >= inner_radius - grow &&
+           rad <= outer_radius + grow;
+  };
+  for (std::size_t n = 0; n < background.coords.size(); ++n) {
+    if (background.roles[n] != NodeRole::kInterior) continue;
+    if (region(background.coords[n], 0.0)) {
+      background.roles[n] = NodeRole::kHole;
+      res.holes += 1;
+    }
+  }
+  // Fringe = interior nodes in the shell just outside the hole region.
+  for (std::size_t n = 0; n < background.coords.size(); ++n) {
+    if (background.roles[n] != NodeRole::kInterior) continue;
+    if (region(background.coords[n], fringe_shell)) {
+      background.roles[n] = NodeRole::kFringe;
+      res.fringe += 1;
+    }
+  }
+  return res;
+}
+
+void OversetSystem::update_connectivity() {
+  constraints.clear();
+  // Build one locator per mesh lazily (only meshes that act as donors).
+  std::vector<std::unique_ptr<CellLocator>> locators(meshes.size());
+  auto locator = [&](int m) -> CellLocator& {
+    if (!locators[static_cast<std::size_t>(m)]) {
+      locators[static_cast<std::size_t>(m)] =
+          std::make_unique<CellLocator>(meshes[static_cast<std::size_t>(m)]);
+    }
+    return *locators[static_cast<std::size_t>(m)];
+  };
+
+  // Donor-mesh policy: background fringe nodes (mesh 0) take donors from
+  // the nearest rotor mesh; rotor fringe nodes take donors from the
+  // background. With several rotors, "nearest" = rotor whose hub is
+  // closest (hubs are far apart compared to rotor diameters).
+  const int nmesh = static_cast<int>(meshes.size());
+  for (int m = 0; m < nmesh; ++m) {
+    const MeshDB& rec = meshes[static_cast<std::size_t>(m)];
+    for (GlobalIndex n = 0; n < rec.num_nodes(); ++n) {
+      if (rec.roles[static_cast<std::size_t>(n)] != NodeRole::kFringe) continue;
+      const Vec3& p = rec.coords[static_cast<std::size_t>(n)];
+      int dm;
+      if (m == 0) {
+        dm = 1;
+        Real best = 1e300;
+        for (int r = 1; r < nmesh; ++r) {
+          const Vec3 d = p - motion[static_cast<std::size_t>(r)].center;
+          const Real d2 = d.dot(d);
+          if (d2 < best) {
+            best = d2;
+            dm = r;
+          }
+        }
+      } else {
+        dm = 0;
+      }
+      const GlobalIndex cell = locator(dm).find_cell(p);
+      EXW_REQUIRE(cell != kInvalidGlobal, "fringe node found no donor cell");
+      OversetConstraint c;
+      c.mesh = m;
+      c.node = n;
+      c.donor_mesh = dm;
+      donor_weights(meshes[static_cast<std::size_t>(dm)], cell, p, c.donors,
+                    c.weights);
+      constraints.push_back(c);
+    }
+  }
+}
+
+}  // namespace exw::mesh

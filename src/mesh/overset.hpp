@@ -1,0 +1,112 @@
+#pragma once
+/// \file overset.hpp
+/// Overset-grid assembly (the TIOGA stand-in).
+///
+/// The ExaWind overset method (paper §2): independent meshes overlap; a
+/// hole is cut in the background where a body-fitted mesh provides the
+/// solution; *fringe* nodes on each side of the overlap receive the
+/// solution interpolated from *donor* cells of the other mesh; and the
+/// global coupled system is approximated by solving per-mesh systems
+/// inside outer (Picard) iterations — an additive Schwarz coupling.
+/// Connectivity must be recomputed as the rotor rotates; the donor search
+/// here is rebuilt each step via a uniform spatial hash over donor-cell
+/// bounding boxes.
+///
+/// Simplification vs TIOGA (recorded in DESIGN.md): donor weights are
+/// inverse-distance weights over the 8 nodes of the containing hex rather
+/// than exact iso-parametric coordinates. The coupling *structure*
+/// (which DoFs are receptors, which are donors, when connectivity is
+/// rebuilt) matches the paper; pointwise interpolation order does not
+/// affect the linear-solver behaviour under study.
+
+#include <array>
+#include <vector>
+
+#include "mesh/meshdb.hpp"
+
+namespace exw::mesh {
+
+/// One fringe receptor: node `node` of mesh `mesh` takes its value from
+/// 8 donor nodes of mesh `donor_mesh` with the given weights (sum = 1).
+struct OversetConstraint {
+  int mesh = 0;
+  GlobalIndex node = 0;
+  int donor_mesh = 0;
+  std::array<GlobalIndex, 8> donors{};
+  std::array<Real, 8> weights{};
+};
+
+/// Rigid rotation spec for a moving component mesh.
+struct RotationSpec {
+  bool rotating = false;
+  Vec3 center{};
+  Vec3 axis{1, 0, 0};
+  Real omega = 0.0;  ///< rad/s
+};
+
+/// A complete overset system: mesh 0 is the background; meshes 1..N are
+/// body-fitted rotor meshes.
+struct OversetSystem {
+  std::vector<MeshDB> meshes;
+  std::vector<RotationSpec> motion;        ///< parallel to meshes
+  std::vector<OversetConstraint> constraints;
+  std::string name;
+
+  GlobalIndex total_nodes() const;
+  GlobalIndex total_hexes() const;
+
+  /// Recompute donor cells/weights for all fringe nodes (called after
+  /// every mesh-motion update). Roles are geometric invariants of the
+  /// rotating system and are not changed here.
+  void update_connectivity();
+};
+
+/// Uniform-bin spatial hash over hex cells of one mesh, used for donor
+/// search. Query returns candidate cell ids whose bounding box contains
+/// the point.
+class CellLocator {
+ public:
+  explicit CellLocator(const MeshDB& db, GlobalIndex target_bins = 64);
+
+  /// Find the best donor hex for point `p`: the candidate whose centroid
+  /// is nearest among cells whose bbox contains p; if none contains p,
+  /// widens the search ring by ring. Returns kInvalidGlobal only for an
+  /// empty mesh.
+  GlobalIndex find_cell(const Vec3& p) const;
+
+ private:
+  struct Bin {
+    std::vector<GlobalIndex> cells;
+  };
+
+  std::size_t bin_index(GlobalIndex bx, GlobalIndex by, GlobalIndex bz) const {
+    return static_cast<std::size_t>((bz * ny_ + by) * nx_ + bx);
+  }
+  void bin_coords(const Vec3& p, GlobalIndex& bx, GlobalIndex& by,
+                  GlobalIndex& bz) const;
+
+  const MeshDB& db_;
+  Vec3 lo_{}, hi_{};
+  GlobalIndex nx_ = 1, ny_ = 1, nz_ = 1;
+  std::vector<Bin> bins_;
+  std::vector<Vec3> centroids_;
+};
+
+/// Inverse-distance donor weights for point `p` over hex `cell` of `db`.
+void donor_weights(const MeshDB& db, GlobalIndex cell, const Vec3& p,
+                   std::array<GlobalIndex, 8>& donors,
+                   std::array<Real, 8>& weights);
+
+/// Geometric hole cutting for a rotor embedded in a background mesh:
+/// background nodes inside the rotor swept annulus (rotation-invariant)
+/// become kHole; hole-adjacent background nodes within the fringe shell
+/// become kFringe. Returns (n_holes, n_fringe).
+struct HoleCutResult {
+  GlobalIndex holes = 0;
+  GlobalIndex fringe = 0;
+};
+HoleCutResult cut_hole(MeshDB& background, const Vec3& hub, const Vec3& axis,
+                       Real inner_radius, Real outer_radius,
+                       Real half_thickness, Real fringe_shell);
+
+}  // namespace exw::mesh

@@ -1,0 +1,74 @@
+#include "mesh/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exw::mesh {
+
+namespace {
+
+constexpr std::array<std::array<int, 2>, 12> kEdges = {{{0, 1},
+                                                        {1, 2},
+                                                        {2, 3},
+                                                        {3, 0},
+                                                        {4, 5},
+                                                        {5, 6},
+                                                        {6, 7},
+                                                        {7, 4},
+                                                        {0, 4},
+                                                        {1, 5},
+                                                        {2, 6},
+                                                        {3, 7}}};
+
+}  // namespace
+
+QualityReport measure_quality(const MeshDB& db) {
+  QualityReport rep;
+  rep.min_volume = 1e300;
+  double aspect_sum = 0;
+  for (const auto& h : db.hexes) {
+    std::array<Vec3, 8> x;
+    for (int c = 0; c < 8; ++c) {
+      x[static_cast<std::size_t>(c)] =
+          db.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(c)])];
+    }
+    Real lmin = 1e300, lmax = 0;
+    for (const auto& e : kEdges) {
+      const Real len = (x[static_cast<std::size_t>(e[1])] -
+                        x[static_cast<std::size_t>(e[0])]).norm();
+      lmin = std::min(lmin, len);
+      lmax = std::max(lmax, len);
+    }
+    const Real aspect = lmin > 0 ? lmax / lmin : 1e300;
+    rep.max_aspect_ratio = std::max(rep.max_aspect_ratio, aspect);
+    aspect_sum += aspect;
+    const Real vol = hex_volume(x);
+    rep.min_volume = std::min(rep.min_volume, vol);
+    rep.max_volume = std::max(rep.max_volume, vol);
+  }
+  if (!db.hexes.empty()) {
+    rep.mean_aspect_ratio = aspect_sum / static_cast<double>(db.hexes.size());
+    rep.volume_ratio = rep.min_volume > 0 ? rep.max_volume / rep.min_volume : 0;
+  }
+  // Per-node incident coupling spread.
+  std::vector<Real> cmin(db.coords.size(), 1e300);
+  std::vector<Real> cmax(db.coords.size(), 0.0);
+  for (const auto& e : db.edges) {
+    if (e.coeff <= 0) continue;
+    for (const GlobalIndex n : {e.a, e.b}) {
+      cmin[static_cast<std::size_t>(n)] =
+          std::min(cmin[static_cast<std::size_t>(n)], e.coeff);
+      cmax[static_cast<std::size_t>(n)] =
+          std::max(cmax[static_cast<std::size_t>(n)], e.coeff);
+    }
+  }
+  for (std::size_t n = 0; n < db.coords.size(); ++n) {
+    if (cmax[n] > 0 && cmin[n] < 1e300) {
+      rep.max_coupling_anisotropy =
+          std::max(rep.max_coupling_anisotropy, cmax[n] / cmin[n]);
+    }
+  }
+  return rep;
+}
+
+}  // namespace exw::mesh

@@ -1,0 +1,27 @@
+#pragma once
+/// \file vtk_writer.hpp
+/// Legacy-VTK (ASCII) output of component meshes with nodal fields —
+/// how a downstream user inspects the flow field (e.g. the Q-criterion
+/// style visualization of the paper's Fig. 2 is produced from exactly
+/// this data: coordinates, hex connectivity, velocity/pressure/scalar).
+
+#include <map>
+#include <string>
+
+#include "mesh/meshdb.hpp"
+
+namespace exw::mesh {
+
+/// Nodal fields to attach: name -> per-node values. Scalar fields have
+/// num_nodes() entries; vector fields 3 * num_nodes() (xyz interleaved).
+struct VtkFields {
+  std::map<std::string, std::vector<Real>> scalars;
+  std::map<std::string, std::vector<Real>> vectors;
+};
+
+/// Write `db` (current coordinates) and fields as an UNSTRUCTURED_GRID
+/// legacy VTK file. Returns false on I/O failure.
+bool write_vtk(const MeshDB& db, const VtkFields& fields,
+               const std::string& path);
+
+}  // namespace exw::mesh

@@ -1,0 +1,43 @@
+#include "par/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exw::par {
+
+RowPartition::RowPartition(std::vector<GlobalIndex> starts)
+    : starts_(std::move(starts)) {
+  EXW_REQUIRE(starts_.size() >= 2, "partition needs at least one rank");
+  EXW_REQUIRE(std::is_sorted(starts_.begin(), starts_.end()),
+              "partition offsets must be monotone");
+}
+
+RowPartition RowPartition::even(GlobalIndex n, int nranks) {
+  EXW_REQUIRE(nranks >= 1, "need at least one rank");
+  std::vector<GlobalIndex> starts(static_cast<std::size_t>(nranks) + 1);
+  const GlobalIndex base = n / nranks;
+  const GlobalIndex rem = n % nranks;
+  starts[0] = 0;
+  for (int r = 0; r < nranks; ++r) {
+    starts[static_cast<std::size_t>(r) + 1] =
+        starts[static_cast<std::size_t>(r)] + base + (r < rem ? 1 : 0);
+  }
+  return RowPartition(std::move(starts));
+}
+
+RowPartition RowPartition::from_counts(const std::vector<GlobalIndex>& counts) {
+  std::vector<GlobalIndex> starts(counts.size() + 1, 0);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    starts[r + 1] = starts[r] + counts[r];
+  }
+  return RowPartition(std::move(starts));
+}
+
+RankId RowPartition::rank_of(GlobalIndex g) const {
+  EXW_ASSERT(g >= 0 && g < global_size());
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), g);
+  return static_cast<RankId>(it - starts_.begin()) - 1;
+}
+
+}  // namespace exw::par

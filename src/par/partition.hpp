@@ -1,0 +1,58 @@
+#pragma once
+/// \file partition.hpp
+/// 1-D block-row ownership map.
+///
+/// hypre distributes matrices and vectors in 1-D block-row fashion among
+/// MPI processes (paper §3.3): rank r owns the contiguous global rows
+/// [starts[r], starts[r+1]). Arbitrary mesh-derived orderings are mapped
+/// into this layout by the partitioner (part/) which renumbers DoFs so
+/// that each rank's subdomain occupies one contiguous global range.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exw::par {
+
+class RowPartition {
+ public:
+  RowPartition() = default;
+
+  /// Build from explicit offsets; `starts` has nranks+1 monotone entries.
+  explicit RowPartition(std::vector<GlobalIndex> starts);
+
+  /// Even block partition of `n` rows over `nranks` ranks.
+  static RowPartition even(GlobalIndex n, int nranks);
+
+  /// Partition from per-rank row counts.
+  static RowPartition from_counts(const std::vector<GlobalIndex>& counts);
+
+  int nranks() const { return static_cast<int>(starts_.size()) - 1; }
+  GlobalIndex global_size() const { return starts_.back(); }
+
+  GlobalIndex first_row(RankId r) const { return starts_[static_cast<std::size_t>(r)]; }
+  GlobalIndex end_row(RankId r) const { return starts_[static_cast<std::size_t>(r) + 1]; }
+  LocalIndex local_size(RankId r) const {
+    return static_cast<LocalIndex>(end_row(r) - first_row(r));
+  }
+
+  /// Owning rank of global row `g` (binary search).
+  RankId rank_of(GlobalIndex g) const;
+
+  /// Owned range check.
+  bool owns(RankId r, GlobalIndex g) const {
+    return g >= first_row(r) && g < end_row(r);
+  }
+
+  /// Local index of `g` on its owner.
+  LocalIndex to_local(RankId r, GlobalIndex g) const {
+    return static_cast<LocalIndex>(g - first_row(r));
+  }
+
+  const std::vector<GlobalIndex>& starts() const { return starts_; }
+
+ private:
+  std::vector<GlobalIndex> starts_{0};
+};
+
+}  // namespace exw::par

@@ -1,0 +1,58 @@
+#include "par/runtime.hpp"
+
+#include <algorithm>
+
+namespace exw::par {
+
+double Runtime::allreduce_sum(const std::vector<double>& per_rank_values) {
+  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+              "allreduce needs one value per rank");
+  tracer_.collective(sizeof(double));
+  double sum = 0;
+  for (double v : per_rank_values) {
+    sum += v;
+  }
+  return sum;
+}
+
+std::vector<double> Runtime::allreduce_sum_vec(
+    const std::vector<std::vector<double>>& per_rank_values) {
+  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+              "allreduce needs one vector per rank");
+  const std::size_t n = per_rank_values.front().size();
+  tracer_.collective(static_cast<double>(n * sizeof(double)));
+  std::vector<double> sum(n, 0.0);
+  for (const auto& v : per_rank_values) {
+    EXW_REQUIRE(v.size() == n, "allreduce vector length mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      sum[i] += v[i];
+    }
+  }
+  return sum;
+}
+
+GlobalIndex Runtime::allreduce_sum(
+    const std::vector<GlobalIndex>& per_rank_values) {
+  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+              "allreduce needs one value per rank");
+  tracer_.collective(sizeof(GlobalIndex));
+  GlobalIndex sum = 0;
+  for (GlobalIndex v : per_rank_values) {
+    sum += v;
+  }
+  return sum;
+}
+
+GlobalIndex Runtime::allreduce_max(
+    const std::vector<GlobalIndex>& per_rank_values) {
+  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+              "allreduce needs one value per rank");
+  tracer_.collective(sizeof(GlobalIndex));
+  GlobalIndex m = 0;
+  for (GlobalIndex v : per_rank_values) {
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+}  // namespace exw::par

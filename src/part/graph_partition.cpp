@@ -1,0 +1,471 @@
+#include "part/graph_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exw::part {
+
+double Graph::total_vweight() const {
+  return std::accumulate(vwgt.begin(), vwgt.end(), 0.0);
+}
+
+bool Graph::valid() const {
+  if (static_cast<LocalIndex>(xadj.size()) != nv + 1) return false;
+  if (adj.size() != ewgt.size()) return false;
+  if (static_cast<LocalIndex>(vwgt.size()) != nv) return false;
+  for (LocalIndex v = 0; v < nv; ++v) {
+    for (LocalIndex k = xadj[static_cast<std::size_t>(v)];
+         k < xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const LocalIndex u = adj[static_cast<std::size_t>(k)];
+      if (u < 0 || u >= nv || u == v) return false;
+    }
+  }
+  return true;
+}
+
+Graph graph_from_edges(LocalIndex nv, const std::vector<LocalIndex>& ei,
+                       const std::vector<LocalIndex>& ej,
+                       std::vector<double> vwgt) {
+  EXW_REQUIRE(ei.size() == ej.size(), "edge arrays mismatch");
+  Graph g;
+  g.nv = nv;
+  g.vwgt = vwgt.empty() ? std::vector<double>(static_cast<std::size_t>(nv), 1.0)
+                        : std::move(vwgt);
+  // Count both directions, skip self loops, merge duplicates per vertex.
+  std::vector<std::vector<std::pair<LocalIndex, double>>> nbrs(
+      static_cast<std::size_t>(nv));
+  for (std::size_t k = 0; k < ei.size(); ++k) {
+    const LocalIndex a = ei[k], b = ej[k];
+    if (a == b) continue;
+    nbrs[static_cast<std::size_t>(a)].emplace_back(b, 1.0);
+    nbrs[static_cast<std::size_t>(b)].emplace_back(a, 1.0);
+  }
+  g.xadj.assign(static_cast<std::size_t>(nv) + 1, 0);
+  for (LocalIndex v = 0; v < nv; ++v) {
+    auto& list = nbrs[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size();) {
+      double w = 0;
+      std::size_t j = i;
+      while (j < list.size() && list[j].first == list[i].first) {
+        w += list[j].second;
+        ++j;
+      }
+      list[out++] = {list[i].first, w};
+      i = j;
+    }
+    list.resize(out);
+    g.xadj[static_cast<std::size_t>(v) + 1] =
+        g.xadj[static_cast<std::size_t>(v)] + static_cast<LocalIndex>(out);
+  }
+  g.adj.reserve(static_cast<std::size_t>(g.xadj.back()));
+  g.ewgt.reserve(static_cast<std::size_t>(g.xadj.back()));
+  for (LocalIndex v = 0; v < nv; ++v) {
+    for (const auto& [u, w] : nbrs[static_cast<std::size_t>(v)]) {
+      g.adj.push_back(u);
+      g.ewgt.push_back(w);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// One multilevel coarsening level: fine -> coarse maps.
+struct CoarseLevel {
+  Graph graph;
+  std::vector<LocalIndex> fine_to_coarse;
+};
+
+/// Heavy-edge matching: each vertex pairs with its heaviest unmatched
+/// neighbor; unmatched vertices map to singleton coarse vertices.
+CoarseLevel coarsen(const Graph& g, std::uint64_t seed) {
+  const auto nv = static_cast<std::size_t>(g.nv);
+  std::vector<LocalIndex> match(nv, kInvalidLocal);
+  std::vector<LocalIndex> order(nv);
+  std::iota(order.begin(), order.end(), LocalIndex{0});
+  // Randomized visit order avoids pathological matchings on regular grids.
+  std::sort(order.begin(), order.end(), [&](LocalIndex a, LocalIndex b) {
+    return hash64(seed ^ static_cast<std::uint64_t>(a)) <
+           hash64(seed ^ static_cast<std::uint64_t>(b));
+  });
+  for (LocalIndex v : order) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidLocal) continue;
+    LocalIndex best = kInvalidLocal;
+    double best_w = -1;
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const LocalIndex u = g.adj[static_cast<std::size_t>(k)];
+      if (match[static_cast<std::size_t>(u)] == kInvalidLocal &&
+          g.ewgt[static_cast<std::size_t>(k)] > best_w) {
+        best_w = g.ewgt[static_cast<std::size_t>(k)];
+        best = u;
+      }
+    }
+    if (best != kInvalidLocal) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+
+  CoarseLevel lvl;
+  lvl.fine_to_coarse.assign(nv, kInvalidLocal);
+  LocalIndex nc = 0;
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    if (lvl.fine_to_coarse[static_cast<std::size_t>(v)] != kInvalidLocal)
+      continue;
+    const LocalIndex m = match[static_cast<std::size_t>(v)];
+    lvl.fine_to_coarse[static_cast<std::size_t>(v)] = nc;
+    lvl.fine_to_coarse[static_cast<std::size_t>(m)] = nc;
+    ++nc;
+  }
+
+  Graph& cg = lvl.graph;
+  cg.nv = nc;
+  cg.vwgt.assign(static_cast<std::size_t>(nc), 0.0);
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    cg.vwgt[static_cast<std::size_t>(lvl.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        g.vwgt[static_cast<std::size_t>(v)];
+  }
+  // Aggregate edges between coarse vertices.
+  std::vector<std::vector<std::pair<LocalIndex, double>>> nbrs(
+      static_cast<std::size_t>(nc));
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    const LocalIndex cv = lvl.fine_to_coarse[static_cast<std::size_t>(v)];
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const LocalIndex cu =
+          lvl.fine_to_coarse[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(k)])];
+      if (cu != cv) {
+        nbrs[static_cast<std::size_t>(cv)].emplace_back(
+            cu, g.ewgt[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  cg.xadj.assign(static_cast<std::size_t>(nc) + 1, 0);
+  for (LocalIndex v = 0; v < nc; ++v) {
+    auto& list = nbrs[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size();) {
+      double w = 0;
+      std::size_t j = i;
+      while (j < list.size() && list[j].first == list[i].first) {
+        w += list[j].second;
+        ++j;
+      }
+      list[out++] = {list[i].first, w};
+      i = j;
+    }
+    list.resize(out);
+    cg.xadj[static_cast<std::size_t>(v) + 1] =
+        cg.xadj[static_cast<std::size_t>(v)] + static_cast<LocalIndex>(out);
+  }
+  for (LocalIndex v = 0; v < nc; ++v) {
+    for (const auto& [u, w] : nbrs[static_cast<std::size_t>(v)]) {
+      cg.adj.push_back(u);
+      cg.ewgt.push_back(w);
+    }
+  }
+  return lvl;
+}
+
+/// Greedy graph growing: BFS from a hashed start until side 0 holds the
+/// target weight fraction.
+std::vector<std::uint8_t> grow_bisection(const Graph& g, double target_frac,
+                                         std::uint64_t seed) {
+  const auto nv = static_cast<std::size_t>(g.nv);
+  std::vector<std::uint8_t> side(nv, 1);
+  const double target = g.total_vweight() * target_frac;
+  double grown = 0;
+  std::vector<std::uint8_t> seen(nv, 0);
+  std::queue<LocalIndex> queue;
+  const auto start = static_cast<LocalIndex>(hash64(seed) % nv);
+  queue.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  while (grown < target) {
+    if (queue.empty()) {
+      // Disconnected graph: seed a new component.
+      LocalIndex next = kInvalidLocal;
+      for (LocalIndex v = 0; v < g.nv; ++v) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          next = v;
+          break;
+        }
+      }
+      if (next == kInvalidLocal) break;
+      seen[static_cast<std::size_t>(next)] = 1;
+      queue.push(next);
+    }
+    const LocalIndex v = queue.front();
+    queue.pop();
+    if (grown + g.vwgt[static_cast<std::size_t>(v)] > target && grown > 0) {
+      continue;  // skip overweight vertex, keep draining the frontier
+    }
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += g.vwgt[static_cast<std::size_t>(v)];
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const LocalIndex u = g.adj[static_cast<std::size_t>(k)];
+      if (!seen[static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        queue.push(u);
+      }
+    }
+  }
+  return side;
+}
+
+/// Fiduccia–Mattheyses boundary refinement of a bisection. Gains are kept
+/// in a max-heap with lazy invalidation; moves respect the balance window.
+void fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
+               double target_frac, double tol, int passes) {
+  const auto nv = static_cast<std::size_t>(g.nv);
+  const double total = g.total_vweight();
+  const double lo = total * target_frac / tol;
+  const double hi = total * target_frac * tol;
+
+  auto side_weight0 = [&] {
+    double w = 0;
+    for (LocalIndex v = 0; v < g.nv; ++v) {
+      if (side[static_cast<std::size_t>(v)] == 0) {
+        w += g.vwgt[static_cast<std::size_t>(v)];
+      }
+    }
+    return w;
+  };
+
+  std::vector<double> gain(nv, 0.0);
+  auto compute_gain = [&](LocalIndex v) {
+    double internal = 0, external = 0;
+    const auto sv = side[static_cast<std::size_t>(v)];
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const double w = g.ewgt[static_cast<std::size_t>(k)];
+      if (side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(k)])] == sv) {
+        internal += w;
+      } else {
+        external += w;
+      }
+    }
+    return external - internal;
+  };
+
+  double w0 = side_weight0();
+  // Rebalance first: if the bisection is outside the balance window,
+  // move the least-damaging boundary vertices from the heavy side.
+  {
+    const double target_w = total * target_frac;
+    int guard = 0;
+    while ((w0 < lo || w0 > hi) && guard++ < g.nv) {
+      const bool heavy0 = w0 > target_w;
+      LocalIndex best = kInvalidLocal;
+      double best_gain = -1e300;
+      for (LocalIndex v = 0; v < g.nv; ++v) {
+        if ((side[static_cast<std::size_t>(v)] == 0) != heavy0) continue;
+        const double gn = compute_gain(v);
+        if (gn > best_gain) {
+          best_gain = gn;
+          best = v;
+        }
+      }
+      if (best == kInvalidLocal) break;
+      side[static_cast<std::size_t>(best)] ^= 1;
+      w0 += heavy0 ? -g.vwgt[static_cast<std::size_t>(best)]
+                   : g.vwgt[static_cast<std::size_t>(best)];
+    }
+  }
+  for (int pass = 0; pass < passes; ++pass) {
+    // Max-heap of (gain, vertex) with lazy invalidation.
+    using Entry = std::pair<double, LocalIndex>;
+    std::priority_queue<Entry> heap;
+    for (LocalIndex v = 0; v < g.nv; ++v) {
+      gain[static_cast<std::size_t>(v)] = compute_gain(v);
+      heap.emplace(gain[static_cast<std::size_t>(v)], v);
+    }
+    std::vector<std::uint8_t> moved(nv, 0);
+    bool any_positive = false;
+    while (!heap.empty()) {
+      const auto [gval, v] = heap.top();
+      heap.pop();
+      if (moved[static_cast<std::size_t>(v)] ||
+          gval != gain[static_cast<std::size_t>(v)]) {
+        continue;  // stale entry
+      }
+      if (gval <= 0) break;  // only strictly improving moves
+      const double vw = g.vwgt[static_cast<std::size_t>(v)];
+      const bool from0 = side[static_cast<std::size_t>(v)] == 0;
+      const double new_w0 = from0 ? w0 - vw : w0 + vw;
+      if (new_w0 < lo || new_w0 > hi) continue;  // would break balance
+      // Commit the move and update neighbor gains.
+      side[static_cast<std::size_t>(v)] ^= 1;
+      moved[static_cast<std::size_t>(v)] = 1;
+      w0 = new_w0;
+      any_positive = true;
+      for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+           k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+        const LocalIndex u = g.adj[static_cast<std::size_t>(k)];
+        if (!moved[static_cast<std::size_t>(u)]) {
+          gain[static_cast<std::size_t>(u)] = compute_gain(u);
+          heap.emplace(gain[static_cast<std::size_t>(u)], u);
+        }
+      }
+    }
+    if (!any_positive) break;
+  }
+}
+
+/// Multilevel bisection with side-0 weight fraction `target_frac`.
+std::vector<std::uint8_t> multilevel_bisect(const Graph& g, double target_frac,
+                                            const GraphPartOptions& opts,
+                                            std::uint64_t seed) {
+  if (g.nv <= opts.coarsen_to) {
+    auto side = grow_bisection(g, target_frac, seed);
+    fm_refine(g, side, target_frac, opts.balance_tol, opts.fm_passes);
+    return side;
+  }
+  CoarseLevel lvl = coarsen(g, seed);
+  if (lvl.graph.nv >= g.nv * 95 / 100) {
+    // Matching stalled (e.g. star graphs): fall back to direct bisection.
+    auto side = grow_bisection(g, target_frac, seed);
+    fm_refine(g, side, target_frac, opts.balance_tol, opts.fm_passes);
+    return side;
+  }
+  const auto coarse_side =
+      multilevel_bisect(lvl.graph, target_frac, opts, hash64(seed));
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(g.nv));
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    side[static_cast<std::size_t>(v)] =
+        coarse_side[static_cast<std::size_t>(
+            lvl.fine_to_coarse[static_cast<std::size_t>(v)])];
+  }
+  fm_refine(g, side, target_frac, opts.balance_tol, opts.fm_passes);
+  return side;
+}
+
+/// Extract the subgraph induced by the vertices with keep[v] != 0.
+Graph induced_subgraph(const Graph& g, const std::vector<std::uint8_t>& keep,
+                       std::vector<LocalIndex>& to_sub) {
+  to_sub.assign(static_cast<std::size_t>(g.nv), kInvalidLocal);
+  std::vector<LocalIndex> verts;
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    if (keep[static_cast<std::size_t>(v)]) {
+      to_sub[static_cast<std::size_t>(v)] = static_cast<LocalIndex>(verts.size());
+      verts.push_back(v);
+    }
+  }
+  Graph s;
+  s.nv = static_cast<LocalIndex>(verts.size());
+  s.xadj.assign(static_cast<std::size_t>(s.nv) + 1, 0);
+  s.vwgt.resize(static_cast<std::size_t>(s.nv));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    s.vwgt[i] = g.vwgt[static_cast<std::size_t>(verts[i])];
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(verts[i])];
+         k < g.xadj[static_cast<std::size_t>(verts[i]) + 1]; ++k) {
+      const LocalIndex u = g.adj[static_cast<std::size_t>(k)];
+      if (to_sub[static_cast<std::size_t>(u)] != kInvalidLocal) {
+        s.adj.push_back(to_sub[static_cast<std::size_t>(u)]);
+        s.ewgt.push_back(g.ewgt[static_cast<std::size_t>(k)]);
+      }
+    }
+    s.xadj[i + 1] = static_cast<LocalIndex>(s.adj.size());
+  }
+  return s;
+}
+
+void kway_recurse(const Graph& g, const std::vector<GlobalIndex>& to_parent,
+                  std::vector<RankId>& parts, int first_part, int nparts,
+                  const GraphPartOptions& opts, std::uint64_t seed) {
+  if (nparts == 1) {
+    for (LocalIndex v = 0; v < g.nv; ++v) {
+      parts[static_cast<std::size_t>(to_parent[static_cast<std::size_t>(v)])] =
+          first_part;
+    }
+    return;
+  }
+  const int left = nparts / 2;
+  const double frac = static_cast<double>(left) / nparts;
+  const auto side = multilevel_bisect(g, frac, opts, seed);
+
+  std::vector<std::uint8_t> keep0(side.size()), keep1(side.size());
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    keep0[i] = side[i] == 0;
+    keep1[i] = side[i] == 1;
+  }
+  std::vector<LocalIndex> map0, map1;
+  const Graph g0 = induced_subgraph(g, keep0, map0);
+  const Graph g1 = induced_subgraph(g, keep1, map1);
+  std::vector<GlobalIndex> parent0, parent1;
+  parent0.reserve(static_cast<std::size_t>(g0.nv));
+  parent1.reserve(static_cast<std::size_t>(g1.nv));
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0) {
+      parent0.push_back(to_parent[static_cast<std::size_t>(v)]);
+    } else {
+      parent1.push_back(to_parent[static_cast<std::size_t>(v)]);
+    }
+  }
+  kway_recurse(g0, parent0, parts, first_part, left, opts, hash64(seed ^ 1));
+  kway_recurse(g1, parent1, parts, first_part + left, nparts - left, opts,
+               hash64(seed ^ 2));
+}
+
+}  // namespace
+
+std::vector<RankId> graph_partition(const Graph& g, int nparts,
+                                    const GraphPartOptions& opts) {
+  EXW_REQUIRE(nparts >= 1, "need at least one part");
+  EXW_REQUIRE(g.nv >= nparts, "fewer vertices than parts");
+  std::vector<RankId> parts(static_cast<std::size_t>(g.nv), 0);
+  std::vector<GlobalIndex> ids(static_cast<std::size_t>(g.nv));
+  std::iota(ids.begin(), ids.end(), GlobalIndex{0});
+  kway_recurse(g, ids, parts, 0, nparts, opts, opts.seed);
+  return parts;
+}
+
+double edge_cut(const Graph& g, const std::vector<RankId>& parts) {
+  double cut = 0;
+  for (LocalIndex v = 0; v < g.nv; ++v) {
+    for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+      const LocalIndex u = g.adj[static_cast<std::size_t>(k)];
+      if (u > v && parts[static_cast<std::size_t>(v)] !=
+                       parts[static_cast<std::size_t>(u)]) {
+        cut += g.ewgt[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return cut;
+}
+
+BalanceStats balance_stats(const std::vector<double>& vwgt,
+                           const std::vector<RankId>& parts, int nparts) {
+  std::vector<double> load(static_cast<std::size_t>(nparts), 0.0);
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    load[static_cast<std::size_t>(parts[v])] +=
+        vwgt.empty() ? 1.0 : vwgt[v];
+  }
+  std::vector<double> sorted = load;
+  std::sort(sorted.begin(), sorted.end());
+  BalanceStats s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = sorted[sorted.size() / 2];
+  double sum = 0;
+  for (double l : load) sum += l;
+  s.mean = sum / static_cast<double>(nparts);
+  double var = 0;
+  for (double l : load) var += (l - s.mean) * (l - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(nparts));
+  return s;
+}
+
+}  // namespace exw::part

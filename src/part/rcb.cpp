@@ -1,0 +1,96 @@
+#include "part/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace exw::part {
+
+namespace {
+
+Real coord_axis(const Vec3& v, int axis) {
+  switch (axis) {
+    case 0: return v.x;
+    case 1: return v.y;
+    default: return v.z;
+  }
+}
+
+struct RcbWorker {
+  const std::vector<Vec3>& coords;
+  const std::vector<double>& weights;
+  std::vector<RankId>& parts;
+
+  double weight_of(GlobalIndex v) const {
+    return weights.empty() ? 1.0 : weights[static_cast<std::size_t>(v)];
+  }
+
+  /// Assign part ids [first_part, first_part + nparts) to `ids`.
+  void split(std::vector<GlobalIndex>& ids, int first_part, int nparts) {
+    if (nparts == 1) {
+      for (GlobalIndex v : ids) {
+        parts[static_cast<std::size_t>(v)] = first_part;
+      }
+      return;
+    }
+    // Widest axis of the bounding box.
+    Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+    for (GlobalIndex v : ids) {
+      const Vec3& c = coords[static_cast<std::size_t>(v)];
+      lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+      hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+    }
+    const Vec3 ext = hi - lo;
+    int axis = 0;
+    if (ext.y > ext.x) axis = 1;
+    if (ext.z > coord_axis(ext, axis)) axis = 2;
+
+    // Left side receives floor(nparts/2) parts and a proportional share of
+    // the weight; split at the weighted "median" under that target.
+    const int left_parts = nparts / 2;
+    std::sort(ids.begin(), ids.end(), [&](GlobalIndex a, GlobalIndex b) {
+      const Real ca = coord_axis(coords[static_cast<std::size_t>(a)], axis);
+      const Real cb = coord_axis(coords[static_cast<std::size_t>(b)], axis);
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+    double total = 0;
+    for (GlobalIndex v : ids) total += weight_of(v);
+    const double target = total * left_parts / nparts;
+
+    double acc = 0;
+    std::size_t cut = 0;
+    while (cut < ids.size() && acc + weight_of(ids[cut]) <= target) {
+      acc += weight_of(ids[cut]);
+      ++cut;
+    }
+    // Never create an empty side.
+    cut = std::clamp<std::size_t>(cut, 1, ids.size() - 1);
+
+    std::vector<GlobalIndex> left(ids.begin(), ids.begin() + cut);
+    std::vector<GlobalIndex> right(ids.begin() + cut, ids.end());
+    split(left, first_part, left_parts);
+    split(right, first_part + left_parts, nparts - left_parts);
+  }
+};
+
+}  // namespace
+
+std::vector<RankId> rcb_partition(const std::vector<Vec3>& coords,
+                                  const std::vector<double>& weights,
+                                  int nparts) {
+  EXW_REQUIRE(nparts >= 1, "need at least one part");
+  EXW_REQUIRE(weights.empty() || weights.size() == coords.size(),
+              "weights/coords size mismatch");
+  EXW_REQUIRE(coords.size() >= static_cast<std::size_t>(nparts),
+              "fewer vertices than parts");
+  std::vector<RankId> parts(coords.size(), 0);
+  std::vector<GlobalIndex> ids(coords.size());
+  std::iota(ids.begin(), ids.end(), GlobalIndex{0});
+  RcbWorker worker{coords, weights, parts};
+  worker.split(ids, 0, nparts);
+  return parts;
+}
+
+}  // namespace exw::part

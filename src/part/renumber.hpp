@@ -1,0 +1,29 @@
+#pragma once
+/// \file renumber.hpp
+/// DoF renumbering that turns a partition into hypre's block-row layout.
+///
+/// hypre requires each rank's rows to be a contiguous global range
+/// (paper §3.3). Mesh DoFs are therefore renumbered so that all DoFs of
+/// part 0 come first, then part 1, etc.; within a part the original
+/// relative order is preserved (stable), which keeps mesh locality.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "par/partition.hpp"
+
+namespace exw::part {
+
+struct Numbering {
+  /// old global id -> new global id
+  std::vector<GlobalIndex> old_to_new;
+  /// new global id -> old global id
+  std::vector<GlobalIndex> new_to_old;
+  /// block-row ownership of the new ids
+  par::RowPartition rows;
+};
+
+/// Build the renumbering for `parts` (per-old-id part assignment).
+Numbering make_numbering(const std::vector<RankId>& parts, int nparts);
+
+}  // namespace exw::part

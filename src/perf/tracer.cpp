@@ -1,0 +1,161 @@
+#include "perf/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exw::perf {
+
+double PhaseStats::modeled_time(const MachineModel& m) const {
+  double worst = 0.0;
+  const double f = m.flops_per_s * m.efficiency;
+  const double b = m.bytes_per_s * m.efficiency;
+  for (const RankWork& w : rank) {
+    const double compute = std::max(w.flops / f, w.bytes / b) +
+                           static_cast<double>(w.kernels) * m.kernel_launch_s;
+    const double comm = static_cast<double>(w.msgs) * m.msg_latency_s +
+                        w.msg_bytes / m.msg_bytes_per_s;
+    worst = std::max(worst, compute + comm);
+  }
+  const int nranks = static_cast<int>(rank.size());
+  const double avg_coll_bytes =
+      collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
+  return worst + static_cast<double>(collectives) *
+                     m.allreduce_time(avg_coll_bytes, nranks);
+}
+
+double PhaseStats::compute_time(const MachineModel& m) const {
+  double worst = 0.0;
+  const double f = m.flops_per_s * m.efficiency;
+  const double b = m.bytes_per_s * m.efficiency;
+  for (const RankWork& w : rank) {
+    worst = std::max(worst, std::max(w.flops / f, w.bytes / b) +
+                                static_cast<double>(w.kernels) * m.kernel_launch_s);
+  }
+  return worst;
+}
+
+double PhaseStats::comm_time(const MachineModel& m) const {
+  double worst = 0.0;
+  for (const RankWork& w : rank) {
+    worst = std::max(worst, static_cast<double>(w.msgs) * m.msg_latency_s +
+                                w.msg_bytes / m.msg_bytes_per_s);
+  }
+  const int nranks = static_cast<int>(rank.size());
+  const double avg_coll_bytes =
+      collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
+  return worst + static_cast<double>(collectives) *
+                     m.allreduce_time(avg_coll_bytes, nranks);
+}
+
+long PhaseStats::total_kernels() const {
+  long n = 0;
+  for (const auto& w : rank) n += w.kernels;
+  return n;
+}
+
+long PhaseStats::total_messages() const {
+  long n = 0;
+  for (const auto& w : rank) n += w.msgs;
+  return n / 2;  // each message was charged to both endpoints
+}
+
+double PhaseStats::total_flops() const {
+  double n = 0;
+  for (const auto& w : rank) n += w.flops;
+  return n;
+}
+
+double PhaseStats::total_bytes() const {
+  double n = 0;
+  for (const auto& w : rank) n += w.bytes;
+  return n;
+}
+
+Tracer::Tracer(int nranks) : nranks_(nranks) {
+  EXW_REQUIRE(nranks >= 1, "tracer needs at least one rank");
+  stats_for("");  // root phase: untagged work is never lost
+  stack_.push_back("");
+}
+
+PhaseStats& Tracer::stats_for(const std::string& name) {
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(name, PhaseStats{}).first;
+    it->second.rank.assign(static_cast<std::size_t>(nranks_), RankWork{});
+    order_.push_back(name);
+  }
+  return it->second;
+}
+
+void Tracer::push_phase(const std::string& name) {
+  const std::string full =
+      stack_.back().empty() ? name : stack_.back() + "/" + name;
+  stats_for(full);
+  stack_.push_back(full);
+}
+
+void Tracer::pop_phase() {
+  EXW_REQUIRE(stack_.size() > 1, "pop_phase with no open phase");
+  stack_.pop_back();
+}
+
+void Tracer::kernel(RankId r, double flops, double bytes) {
+  EXW_ASSERT(r >= 0 && r < nranks_);
+  for (const auto& name : stack_) {
+    auto& w = stats_for(name).rank[static_cast<std::size_t>(r)];
+    w.flops += flops;
+    w.bytes += bytes;
+    w.kernels += 1;
+  }
+}
+
+void Tracer::message(RankId src, RankId dst, double bytes) {
+  EXW_ASSERT(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+  for (const auto& name : stack_) {
+    auto& s = stats_for(name);
+    auto& ws = s.rank[static_cast<std::size_t>(src)];
+    ws.msgs += 1;
+    ws.msg_bytes += bytes;
+    if (dst != src) {
+      auto& wd = s.rank[static_cast<std::size_t>(dst)];
+      wd.msgs += 1;
+      wd.msg_bytes += bytes;
+    }
+  }
+}
+
+void Tracer::collective(double bytes) {
+  for (const auto& name : stack_) {
+    auto& s = stats_for(name);
+    s.collectives += 1;
+    s.coll_bytes += bytes;
+  }
+}
+
+double Tracer::phase_time(const std::string& name,
+                          const MachineModel& m) const {
+  return phase(name).modeled_time(m);
+}
+
+const PhaseStats& Tracer::phase(const std::string& name) const {
+  auto it = phases_.find(name);
+  EXW_REQUIRE(it != phases_.end(), "unknown phase: " + name);
+  return it->second;
+}
+
+bool Tracer::has_phase(const std::string& name) const {
+  return phases_.contains(name);
+}
+
+std::vector<std::string> Tracer::phase_names() const { return order_; }
+
+void Tracer::reset() {
+  for (auto& [name, s] : phases_) {
+    std::fill(s.rank.begin(), s.rank.end(), RankWork{});
+    s.collectives = 0;
+    s.coll_bytes = 0;
+  }
+}
+
+}  // namespace exw::perf

@@ -1,0 +1,119 @@
+#pragma once
+/// \file tracer.hpp
+/// Machine-independent work accounting for the simulated runtime.
+///
+/// Distributed primitives (linalg, assembly, amg, solver) report the work
+/// each simulated rank performs:
+///   * kernel(rank, flops, bytes)  — one device kernel / CPU loop nest
+///   * message(src, dst, bytes)    — one point-to-point message
+///   * collective(bytes)           — one allreduce-style collective
+///
+/// Work is accumulated per rank inside the currently open *phase* (a
+/// hierarchical name such as "continuity/precond_setup"); phase nesting
+/// charges work to every open phase. Recorded quantities are machine-
+/// independent aggregates (flops, bytes, kernel/message/collective
+/// counts), so a single simulation run can be priced under any
+/// MachineModel afterwards:
+///
+///   time(m) = max_r [ max(flops_r/F, bytes_r/B) + kernels_r * t_launch
+///                     + msgs_r * alpha + msg_bytes_r / beta ]
+///             + collectives * ceil(log2 R) * alpha_coll + coll traffic
+///
+/// — the bulk-synchronous critical path under a persistent load
+/// imbalance, which is the regime of this application (fixed partition,
+/// barrier-like collectives every few kernels).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "perf/machine_model.hpp"
+
+namespace exw::perf {
+
+/// One rank's accumulated work within a phase.
+struct RankWork {
+  double flops = 0;
+  double bytes = 0;
+  long kernels = 0;
+  double msg_bytes = 0;
+  long msgs = 0;
+};
+
+/// Per-phase accumulated work over all ranks.
+struct PhaseStats {
+  std::vector<RankWork> rank;
+  long collectives = 0;
+  double coll_bytes = 0;
+
+  /// Modeled wall time of this phase on machine `m`.
+  double modeled_time(const MachineModel& m) const;
+  /// Compute-only component (max over ranks, no messages/collectives).
+  double compute_time(const MachineModel& m) const;
+  /// Communication component.
+  double comm_time(const MachineModel& m) const;
+
+  long total_kernels() const;
+  long total_messages() const;
+  double total_flops() const;
+  double total_bytes() const;
+};
+
+/// Accumulates work by phase.
+class Tracer {
+ public:
+  explicit Tracer(int nranks);
+
+  int nranks() const { return nranks_; }
+
+  /// Open a nested phase. Pair with pop_phase(); prefer PhaseScope.
+  void push_phase(const std::string& name);
+  void pop_phase();
+  /// Fully-qualified name of the innermost open phase.
+  const std::string& current_phase() const { return stack_.back(); }
+
+  /// One kernel on rank `r` doing `flops` work over `bytes` traffic.
+  void kernel(RankId r, double flops, double bytes);
+
+  /// One message of `bytes` from src to dst; charged to both endpoints.
+  void message(RankId src, RankId dst, double bytes);
+
+  /// One allreduce-style collective with `bytes` payload per rank.
+  void collective(double bytes);
+
+  /// Modeled seconds of a phase ("" = whole program) on machine `m`.
+  double phase_time(const std::string& name, const MachineModel& m) const;
+  const PhaseStats& phase(const std::string& name) const;
+  bool has_phase(const std::string& name) const;
+
+  /// All phase names in first-seen order.
+  std::vector<std::string> phase_names() const;
+
+  /// Reset all accumulated stats (phase registry is kept).
+  void reset();
+
+ private:
+  PhaseStats& stats_for(const std::string& name);
+
+  int nranks_;
+  std::map<std::string, PhaseStats> phases_;
+  std::vector<std::string> order_;
+  std::vector<std::string> stack_;  ///< open fully-qualified names
+};
+
+/// RAII phase guard.
+class PhaseScope {
+ public:
+  PhaseScope(Tracer& tracer, const std::string& name) : tracer_(tracer) {
+    tracer_.push_phase(name);
+  }
+  ~PhaseScope() { tracer_.pop_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Tracer& tracer_;
+};
+
+}  // namespace exw::perf

@@ -1,0 +1,126 @@
+#include "solver/krylov.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exw::solver {
+
+SolveStats cg_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+                    linalg::ParVector& x, Preconditioner& m,
+                    const KrylovOptions& opts) {
+  par::Runtime& rt = a.runtime();
+  SolveStats stats;
+  linalg::ParVector r(rt, a.rows()), z(rt, a.rows()), p(rt, a.rows()),
+      ap(rt, a.rows());
+
+  const Real bnorm = b.norm2();
+  a.residual(b, x, r);
+  stats.initial_residual = r.norm2();
+  stats.final_residual = stats.initial_residual;
+  const Real target = std::max(opts.rel_tol * (bnorm > 0 ? bnorm : stats.initial_residual),
+                               opts.abs_tol);
+  if (stats.initial_residual <= target) {
+    stats.converged = true;
+    return stats;
+  }
+
+  m.apply(r, z);
+  p.copy_from(z);
+  Real rz = r.dot(z);
+  while (stats.iterations < opts.max_iters) {
+    stats.iterations += 1;
+    a.matvec(p, ap);
+    const Real pap = p.dot(ap);
+    if (pap <= 0.0) {
+      break;  // loss of positive definiteness (e.g. indefinite precond)
+    }
+    const Real alpha = rz / pap;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    stats.final_residual = r.norm2();
+    if (stats.final_residual <= target) {
+      stats.converged = true;
+      return stats;
+    }
+    m.apply(r, z);
+    const Real rz_next = r.dot(z);
+    const Real beta = rz_next / rz;
+    rz = rz_next;
+    // p = z + beta p.
+    p.aypx(beta, z);
+  }
+  return stats;
+}
+
+SolveStats bicgstab_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+                          linalg::ParVector& x, Preconditioner& m,
+                          const KrylovOptions& opts) {
+  par::Runtime& rt = a.runtime();
+  SolveStats stats;
+  linalg::ParVector r(rt, a.rows()), r0(rt, a.rows()), p(rt, a.rows()),
+      v(rt, a.rows()), s(rt, a.rows()), t(rt, a.rows()), phat(rt, a.rows()),
+      shat(rt, a.rows());
+
+  const Real bnorm = b.norm2();
+  a.residual(b, x, r);
+  stats.initial_residual = r.norm2();
+  stats.final_residual = stats.initial_residual;
+  const Real target = std::max(opts.rel_tol * (bnorm > 0 ? bnorm : stats.initial_residual),
+                               opts.abs_tol);
+  if (stats.initial_residual <= target) {
+    stats.converged = true;
+    return stats;
+  }
+  r0.copy_from(r);
+  Real rho_prev = 1, alpha = 1, omega = 1;
+  v.fill(0.0);
+  p.fill(0.0);
+
+  while (stats.iterations < opts.max_iters) {
+    stats.iterations += 1;
+    const Real rho = r0.dot(r);
+    if (rho == 0.0) break;  // breakdown
+    if (stats.iterations == 1) {
+      p.copy_from(r);
+    } else {
+      const Real beta = (rho / rho_prev) * (alpha / omega);
+      // p = r + beta (p - omega v).
+      p.axpy(-omega, v);
+      p.aypx(beta, r);
+    }
+    m.apply(p, phat);
+    a.matvec(phat, v);
+    const Real r0v = r0.dot(v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    s.copy_from(r);
+    s.axpy(-alpha, v);
+    const Real snorm = s.norm2();
+    if (snorm <= target) {
+      x.axpy(alpha, phat);
+      stats.final_residual = snorm;
+      stats.converged = true;
+      return stats;
+    }
+    m.apply(s, shat);
+    a.matvec(shat, t);
+    const Real tt = t.dot(t);
+    if (tt == 0.0) break;
+    omega = t.dot(s) / tt;
+    x.axpy(alpha, phat);
+    x.axpy(omega, shat);
+    r.copy_from(s);
+    r.axpy(-omega, t);
+    stats.final_residual = r.norm2();
+    if (stats.final_residual <= target) {
+      stats.converged = true;
+      return stats;
+    }
+    if (omega == 0.0) break;
+    rho_prev = rho;
+  }
+  return stats;
+}
+
+}  // namespace exw::solver

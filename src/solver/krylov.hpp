@@ -1,0 +1,32 @@
+#pragma once
+/// \file krylov.hpp
+/// Additional Krylov solvers from the hypre family: preconditioned
+/// conjugate gradients (for the SPD pressure-Poisson system) and
+/// BiCGStab (a short-recurrence alternative to GMRES for the
+/// nonsymmetric momentum/scalar systems). The paper's production
+/// configuration uses one-reduce GMRES everywhere (§4.2); these are the
+/// comparison points a solver library is expected to provide, with the
+/// same collective accounting so their synchronization cost can be
+/// contrasted with GMRES (CG: 2 reductions/iter; BiCGStab: 4).
+
+#include "solver/gmres.hpp"
+
+namespace exw::solver {
+
+struct KrylovOptions {
+  int max_iters = 200;
+  Real rel_tol = 1e-6;
+  Real abs_tol = 0.0;
+};
+
+/// Preconditioned conjugate gradients (requires SPD A and SPD M).
+SolveStats cg_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+                    linalg::ParVector& x, Preconditioner& m,
+                    const KrylovOptions& opts);
+
+/// Preconditioned BiCGStab (right preconditioning).
+SolveStats bicgstab_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+                          linalg::ParVector& x, Preconditioner& m,
+                          const KrylovOptions& opts);
+
+}  // namespace exw::solver

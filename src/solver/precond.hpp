@@ -1,0 +1,68 @@
+#pragma once
+/// \file precond.hpp
+/// Preconditioner interface and the two preconditioners of the paper:
+/// one AMG V-cycle for the pressure-Poisson system, and the compact
+/// two-stage symmetric Gauss-Seidel (SGS2) for momentum and scalar
+/// transport ("two outer and two inner iterations often leads to rapid
+/// convergence in less than five preconditioned GMRES iterations", §4.2).
+
+#include <memory>
+
+#include "amg/hierarchy.hpp"
+#include "amg/smoothers.hpp"
+#include "linalg/parcsr.hpp"
+#include "linalg/parvector.hpp"
+
+namespace exw::solver {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// z = M^-1 r.
+  virtual void apply(const linalg::ParVector& r, linalg::ParVector& z) = 0;
+};
+
+/// No preconditioning (z = r).
+class IdentityPrecond final : public Preconditioner {
+ public:
+  void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
+    z.copy_from(r);
+  }
+};
+
+/// One AMG V-cycle from a zero initial guess.
+class AmgPrecond final : public Preconditioner {
+ public:
+  AmgPrecond(const linalg::ParCsr& a, const amg::AmgConfig& cfg)
+      : hierarchy_(a, cfg) {}
+
+  void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
+    z.fill(0.0);
+    hierarchy_.vcycle(r, z);
+  }
+
+  const amg::AmgHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  amg::AmgHierarchy hierarchy_;
+};
+
+/// `outer` sweeps of a relaxation scheme from a zero initial guess
+/// (SGS2 with outer=2 is the paper's momentum preconditioner).
+class SmootherPrecond final : public Preconditioner {
+ public:
+  SmootherPrecond(const linalg::ParCsr& a, amg::SmootherType type,
+                  int outer_sweeps, int inner_sweeps)
+      : smoother_(a, type, inner_sweeps, /*jacobi_weight=*/1.0),
+        outer_(outer_sweeps) {}
+
+  void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
+    smoother_.apply_zero(r, z, outer_);
+  }
+
+ private:
+  amg::Smoother smoother_;
+  int outer_;
+};
+
+}  // namespace exw::solver

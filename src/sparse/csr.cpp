@@ -1,0 +1,234 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/prim.hpp"
+
+namespace exw::sparse {
+
+Csr Csr::from_triples(LocalIndex nrows, LocalIndex ncols,
+                      std::vector<LocalIndex> rows,
+                      std::vector<LocalIndex> cols,
+                      std::vector<Real> vals) {
+  EXW_REQUIRE(rows.size() == cols.size() && rows.size() == vals.size(),
+              "triple array length mismatch");
+  prim::stable_sort_by_key(rows, cols, vals);
+  prim::reduce_by_key(rows, cols, vals);
+
+  Csr out(nrows, ncols);
+  out.cols_ = std::move(cols);
+  out.vals_ = std::move(vals);
+  for (LocalIndex r : rows) {
+    EXW_ASSERT(r >= 0 && r < nrows);
+    out.row_ptr_[static_cast<std::size_t>(r) + 1] += 1;
+  }
+  for (std::size_t i = 1; i < out.row_ptr_.size(); ++i) {
+    out.row_ptr_[i] += out.row_ptr_[i - 1];
+  }
+  return out;
+}
+
+Csr Csr::identity(LocalIndex n) {
+  Csr out(n, n);
+  out.cols_.resize(static_cast<std::size_t>(n));
+  out.vals_.assign(static_cast<std::size_t>(n), 1.0);
+  for (LocalIndex i = 0; i < n; ++i) {
+    out.cols_[static_cast<std::size_t>(i)] = i;
+    out.row_ptr_[static_cast<std::size_t>(i) + 1] = i + 1;
+  }
+  return out;
+}
+
+void Csr::spmv(std::span<const Real> x, std::span<Real> y, Real alpha,
+               Real beta) const {
+  EXW_ASSERT(static_cast<LocalIndex>(x.size()) >= ncols_);
+  EXW_ASSERT(static_cast<LocalIndex>(y.size()) >= nrows_);
+#ifdef EXW_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (LocalIndex i = 0; i < nrows_; ++i) {
+    Real acc = 0.0;
+    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+      acc += vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+    }
+    auto& yi = y[static_cast<std::size_t>(i)];
+    yi = beta == 0.0 ? alpha * acc : beta * yi + alpha * acc;
+  }
+}
+
+void Csr::spmv_transpose(std::span<const Real> x, std::span<Real> y,
+                         Real alpha, Real beta) const {
+  EXW_ASSERT(static_cast<LocalIndex>(x.size()) >= nrows_);
+  EXW_ASSERT(static_cast<LocalIndex>(y.size()) >= ncols_);
+  if (beta == 0.0) {
+    std::fill(y.begin(), y.begin() + ncols_, 0.0);
+  } else if (beta != 1.0) {
+    for (LocalIndex j = 0; j < ncols_; ++j) {
+      y[static_cast<std::size_t>(j)] *= beta;
+    }
+  }
+  for (LocalIndex i = 0; i < nrows_; ++i) {
+    const Real xi = alpha * x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+      y[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])] +=
+          vals_[static_cast<std::size_t>(k)] * xi;
+    }
+  }
+}
+
+std::vector<Real> Csr::diagonal() const {
+  std::vector<Real> d(static_cast<std::size_t>(nrows_), 0.0);
+  for (LocalIndex i = 0; i < nrows_ && i < ncols_; ++i) {
+    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+      if (cols_[static_cast<std::size_t>(k)] == i) {
+        d[static_cast<std::size_t>(i)] = vals_[static_cast<std::size_t>(k)];
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+Csr Csr::transpose() const {
+  Csr out(ncols_, nrows_);
+  out.cols_.resize(nnz());
+  out.vals_.resize(nnz());
+  // Counting sort by column.
+  std::vector<LocalIndex> count(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (LocalIndex c : cols_) {
+    count[static_cast<std::size_t>(c) + 1] += 1;
+  }
+  for (std::size_t i = 1; i < count.size(); ++i) {
+    count[i] += count[i - 1];
+  }
+  out.row_ptr_ = count;
+  std::vector<LocalIndex> cursor(count.begin(), count.end() - 1);
+  for (LocalIndex i = 0; i < nrows_; ++i) {
+    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+      const LocalIndex c = cols_[static_cast<std::size_t>(k)];
+      const LocalIndex slot = cursor[static_cast<std::size_t>(c)]++;
+      out.cols_[static_cast<std::size_t>(slot)] = i;
+      out.vals_[static_cast<std::size_t>(slot)] = vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+void Csr::sort_rows() {
+  std::vector<std::pair<LocalIndex, Real>> tmp;
+  for (LocalIndex i = 0; i < nrows_; ++i) {
+    const auto b = static_cast<std::size_t>(row_begin(i));
+    const auto e = static_cast<std::size_t>(row_end(i));
+    tmp.clear();
+    for (std::size_t k = b; k < e; ++k) {
+      tmp.emplace_back(cols_[k], vals_[k]);
+    }
+    std::sort(tmp.begin(), tmp.end(),
+              [](const auto& a, const auto& c) { return a.first < c.first; });
+    for (std::size_t k = b; k < e; ++k) {
+      cols_[k] = tmp[k - b].first;
+      vals_[k] = tmp[k - b].second;
+    }
+  }
+}
+
+void Csr::scale_rows(std::span<const Real> s) {
+  EXW_ASSERT(static_cast<LocalIndex>(s.size()) >= nrows_);
+  for (LocalIndex i = 0; i < nrows_; ++i) {
+    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+      vals_[static_cast<std::size_t>(k)] *= s[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+Real Csr::at(LocalIndex i, LocalIndex j) const {
+  for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+    if (cols_[static_cast<std::size_t>(k)] == j) {
+      return vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return 0.0;
+}
+
+Real Csr::max_abs() const {
+  Real m = 0.0;
+  for (Real v : vals_) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+Csr add(const Csr& a, const Csr& b) {
+  EXW_REQUIRE(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+              "matrix add shape mismatch");
+  Csr out(a.nrows(), a.ncols());
+  auto& rp = out.row_ptr_mut();
+  auto& cols = out.cols_vec();
+  auto& vals = out.vals_vec();
+  std::vector<Real> accum(static_cast<std::size_t>(a.ncols()), 0.0);
+  std::vector<LocalIndex> marker(static_cast<std::size_t>(a.ncols()),
+                                 kInvalidLocal);
+  std::vector<LocalIndex> live;
+  for (LocalIndex i = 0; i < a.nrows(); ++i) {
+    live.clear();
+    auto absorb = [&](const Csr& m) {
+      for (LocalIndex k = m.row_begin(i); k < m.row_end(i); ++k) {
+        const LocalIndex c = m.cols()[static_cast<std::size_t>(k)];
+        if (marker[static_cast<std::size_t>(c)] != i) {
+          marker[static_cast<std::size_t>(c)] = i;
+          accum[static_cast<std::size_t>(c)] = 0.0;
+          live.push_back(c);
+        }
+        accum[static_cast<std::size_t>(c)] +=
+            m.vals()[static_cast<std::size_t>(k)];
+      }
+    };
+    absorb(a);
+    absorb(b);
+    std::sort(live.begin(), live.end());
+    for (LocalIndex c : live) {
+      cols.push_back(c);
+      vals.push_back(accum[static_cast<std::size_t>(c)]);
+    }
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<LocalIndex>(cols.size());
+  }
+  return out;
+}
+
+Csr extract(const Csr& a, std::span<const LocalIndex> rows,
+            std::span<const LocalIndex> col_map, LocalIndex ncols_out) {
+  Csr out(static_cast<LocalIndex>(rows.size()), ncols_out);
+  auto& rp = out.row_ptr_mut();
+  auto& cols = out.cols_vec();
+  auto& vals = out.vals_vec();
+  for (std::size_t oi = 0; oi < rows.size(); ++oi) {
+    const LocalIndex i = rows[oi];
+    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const LocalIndex c = a.cols()[static_cast<std::size_t>(k)];
+      const LocalIndex nc = col_map[static_cast<std::size_t>(c)];
+      if (nc != kInvalidLocal) {
+        cols.push_back(nc);
+        vals.push_back(a.vals()[static_cast<std::size_t>(k)]);
+      }
+    }
+    rp[oi + 1] = static_cast<LocalIndex>(cols.size());
+  }
+  return out;
+}
+
+Real residual_inf_norm(const Csr& a, std::span<const Real> x,
+                       std::span<const Real> b) {
+  std::vector<Real> y(static_cast<std::size_t>(a.nrows()), 0.0);
+  a.spmv(x, y);
+  Real m = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    m = std::max(m, std::abs(y[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace exw::sparse

@@ -1,0 +1,104 @@
+#pragma once
+/// \file csr.hpp
+/// Compressed-sparse-row matrix and the core kernels built on it.
+///
+/// CSR is the solver-side format: SpMV ("the primary workhorse of Krylov
+/// and AMG algorithms", paper §3.3), transposition, matrix addition, and
+/// submatrix extraction (for the FF/FC blocks of the MM-ext interpolation
+/// operators, §4.1). Indices here are rank-local; the distributed layer
+/// (linalg/ParCsr) pairs a local CSR "diag" block with an "offd" block.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace exw::sparse {
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(LocalIndex nrows, LocalIndex ncols)
+      : nrows_(nrows), ncols_(ncols),
+        row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {}
+
+  /// Build from local-index triples (need not be sorted; duplicates summed).
+  static Csr from_triples(LocalIndex nrows, LocalIndex ncols,
+                          std::vector<LocalIndex> rows,
+                          std::vector<LocalIndex> cols,
+                          std::vector<Real> vals);
+
+  /// Identity matrix.
+  static Csr identity(LocalIndex n);
+
+  LocalIndex nrows() const { return nrows_; }
+  LocalIndex ncols() const { return ncols_; }
+  std::size_t nnz() const { return cols_.size(); }
+
+  std::span<const LocalIndex> row_ptr() const { return row_ptr_; }
+  std::span<const LocalIndex> cols() const { return cols_; }
+  std::span<const Real> vals() const { return vals_; }
+  std::span<LocalIndex> cols_mut() { return cols_; }
+  std::span<Real> vals_mut() { return vals_; }
+
+  LocalIndex row_begin(LocalIndex i) const {
+    return row_ptr_[static_cast<std::size_t>(i)];
+  }
+  LocalIndex row_end(LocalIndex i) const {
+    return row_ptr_[static_cast<std::size_t>(i) + 1];
+  }
+  LocalIndex row_nnz(LocalIndex i) const { return row_end(i) - row_begin(i); }
+
+  /// Direct access used by builders; row_ptr invariants are the caller's.
+  std::vector<LocalIndex>& row_ptr_mut() { return row_ptr_; }
+  std::vector<LocalIndex>& cols_vec() { return cols_; }
+  std::vector<Real>& vals_vec() { return vals_; }
+
+  /// y = alpha*A*x + beta*y.
+  void spmv(std::span<const Real> x, std::span<Real> y, Real alpha = 1.0,
+            Real beta = 0.0) const;
+
+  /// y += A^T * x (used for restriction when R = P^T).
+  void spmv_transpose(std::span<const Real> x, std::span<Real> y,
+                      Real alpha = 1.0, Real beta = 0.0) const;
+
+  /// Main diagonal (0 where absent).
+  std::vector<Real> diagonal() const;
+
+  /// A^T as a new CSR (counting-sort by column; O(nnz)).
+  Csr transpose() const;
+
+  /// Sort column indices (and values) ascending within each row.
+  void sort_rows();
+
+  /// Scale row i by s[i].
+  void scale_rows(std::span<const Real> s);
+
+  /// Value at (i, j) or 0; linear scan of row i.
+  Real at(LocalIndex i, LocalIndex j) const;
+
+  /// Frobenius-ish sanity: largest |a_ij|.
+  Real max_abs() const;
+
+ private:
+  LocalIndex nrows_ = 0;
+  LocalIndex ncols_ = 0;
+  std::vector<LocalIndex> row_ptr_{0};
+  std::vector<LocalIndex> cols_;
+  std::vector<Real> vals_;
+};
+
+/// C = A + B (same shape).
+Csr add(const Csr& a, const Csr& b);
+
+/// Extract A(rows, cols): `rows` lists kept rows in output order;
+/// `col_map[j]` is the new index of column j or kInvalidLocal to drop;
+/// `ncols_out` is the output column count.
+Csr extract(const Csr& a, std::span<const LocalIndex> rows,
+            std::span<const LocalIndex> col_map, LocalIndex ncols_out);
+
+/// Dense |residual| check helper: y = A*x - b, returns max |y_i|.
+Real residual_inf_norm(const Csr& a, std::span<const Real> x,
+                       std::span<const Real> b);
+
+}  // namespace exw::sparse

@@ -1,0 +1,42 @@
+#pragma once
+/// \file dense.hpp
+/// Small dense linear algebra: LU with partial pivoting.
+///
+/// AMG hierarchies bottom out on a coarsest grid of a few dozen rows;
+/// BoomerAMG solves that system directly (Gaussian elimination). This is
+/// that solver, also used as an exact reference in tests.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace exw::sparse {
+
+/// Row-major dense matrix with an in-place LU factorization.
+class DenseLu {
+ public:
+  DenseLu() = default;
+
+  /// Factor a dense copy of `a` (must be square and nonsingular).
+  explicit DenseLu(const Csr& a);
+
+  /// Factor an explicit row-major dense matrix.
+  DenseLu(LocalIndex n, std::vector<Real> a);
+
+  LocalIndex size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Solve A x = b.
+  std::vector<Real> solve(std::span<const Real> b) const;
+  void solve_in_place(std::span<Real> x) const;
+
+ private:
+  void factor();
+
+  LocalIndex n_ = 0;
+  std::vector<Real> lu_;        ///< packed LU factors
+  std::vector<LocalIndex> piv_; ///< row pivots
+};
+
+}  // namespace exw::sparse

@@ -1,0 +1,87 @@
+// Unit tests: common types, counter RNG, error handling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace exw {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5);
+  EXPECT_DOUBLE_EQ(s.y, 7);
+  EXPECT_DOUBLE_EQ(s.z, 9);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3);
+  EXPECT_DOUBLE_EQ(c.y, 6);
+  EXPECT_DOUBLE_EQ(c.z, -3);
+  EXPECT_NEAR((Vec3{3, 4, 0}.norm()), 5.0, 1e-15);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1.3, -0.2, 2.1}, b{0.4, 1.9, -0.7};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = uniform01(42, i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01ApproximatelyUniform) {
+  // Mean of U(0,1) is 0.5; with 1e5 samples the error is ~1e-3.
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += uniform01(9, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+}
+
+TEST(Rng, CounterValuesDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(hash64(i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, SeedChangesSequence) {
+  EXPECT_NE(uniform01(1, 0), uniform01(2, 0));
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    EXW_REQUIRE(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(EXW_REQUIRE(2 + 2 == 4, "sanity"));
+}
+
+}  // namespace
+}  // namespace exw

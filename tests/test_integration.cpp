@@ -1,0 +1,141 @@
+// Cross-module integration: end-to-end invariants that tie mesh,
+// partitioning, assembly, AMG, GMRES, and the CFD driver together.
+#include <gtest/gtest.h>
+
+#include "cfd/simulation.hpp"
+#include "part/graph_partition.hpp"
+#include "solver/gmres.hpp"
+#include "test_util.hpp"
+
+namespace exw {
+namespace {
+
+/// The headline distributed-correctness property: the full CFD step must
+/// produce (to solver tolerance) the same physics regardless of how many
+/// simulated ranks the problem is decomposed onto.
+TEST(Integration, StepIsRankCountInvariant) {
+  auto run = [&](int nranks) {
+    auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, 0.3);
+    par::Runtime rt(nranks);
+    cfd::SimConfig cfg;
+    cfg.picard_iters = 2;
+    // Tighten solves so decomposition-dependent AMG hierarchies cannot
+    // leave different leftover errors.
+    cfg.pressure_gmres.rel_tol = 1e-9;
+    cfg.momentum_gmres.rel_tol = 1e-9;
+    cfd::Simulation sim(sys, cfg, rt);
+    sim.step();
+    return std::tuple{sim.velocity_rms(), sim.divergence_rms(),
+                      sim.scalar_mean()};
+  };
+  const auto [v1, d1, s1] = run(1);
+  const auto [v6, d6, s6] = run(6);
+  EXPECT_NEAR(v1, v6, 1e-4 * v1);
+  EXPECT_NEAR(s1, s6, 1e-6);
+  EXPECT_NEAR(d1, d6, 1e-2 * std::max(d1, 1e-8));
+}
+
+/// Fig. 5 property: the graph partitioner's nonzero spread is far tighter
+/// than RCB's on the rotor mesh (the paper reports ~10x).
+TEST(Integration, GraphPartitionTightensNnzSpreadVsRcb) {
+  auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, 0.5);
+  const int nranks = 24;
+  auto spread = [&](assembly::PartitionMethod method) {
+    par::Runtime rt(nranks);
+    cfd::SimConfig cfg;
+    cfg.partition = method;
+    cfd::Simulation sim(sys, cfg, rt);
+    // Pressure-system nnz per rank over both meshes combined.
+    auto nnz = sim.pressure_nnz_per_rank(0);
+    const auto rotor = sim.pressure_nnz_per_rank(1);
+    for (std::size_t r = 0; r < nnz.size(); ++r) nnz[r] += rotor[r];
+    const auto stats = part::balance_stats(nnz, [&] {
+      std::vector<RankId> ids(nnz.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<RankId>(i);
+      return ids;
+    }(), nranks);
+    return (stats.max - stats.min) / stats.median;
+  };
+  const double rcb = spread(assembly::PartitionMethod::kRcb);
+  const double graph = spread(assembly::PartitionMethod::kGraph);
+  // Directional claim of Fig. 5: the nnz-weighted multilevel partitioner
+  // beats weight-blind RCB. (The paper's ~10x spread reduction needs its
+  // multi-block production meshes; our generator's row-size variance is
+  // milder — EXPERIMENTS.md records the measured ratio.)
+  EXPECT_LT(graph, rcb);
+}
+
+/// The modeled-time machinery end-to-end: the same recorded step must be
+/// priced differently (and sanely) under the three machine models.
+TEST(Integration, ModeledTimesReflectMachineModels) {
+  auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, 0.3);
+  par::Runtime rt(12);
+  cfd::SimConfig cfg;
+  cfg.picard_iters = 1;
+  cfd::Simulation sim(sys, cfg, rt);
+  rt.tracer().reset();
+  sim.step();
+  const auto& nli = rt.tracer().phase("nli");
+  const double gpu = nli.modeled_time(perf::MachineModel::summit_gpu());
+  const double eagle = nli.modeled_time(perf::MachineModel::eagle_gpu());
+  const double cpu = nli.modeled_time(perf::MachineModel::summit_cpu());
+  EXPECT_GT(gpu, 0.0);
+  // This tiny case sits far below the paper's ~2e5 DoFs/GPU crossover:
+  // per-kernel launch and message overheads dominate the GPU model, so
+  // the CPU model must win here. (The reverse regime is covered below.)
+  EXPECT_LT(cpu, gpu);
+  // Eagle's cheaper MPI path cannot be slower than Summit's for the same
+  // recorded work at (nearly) equal compute throughput.
+  EXPECT_LT(eagle, 1.15 * gpu);
+
+  // Above the crossover: one huge streaming kernel per rank — the GPU's
+  // bandwidth advantage (~70x per rank) must dominate all overheads.
+  perf::Tracer big(2);
+  big.kernel(0, 1e12, 5e11);
+  big.kernel(1, 1e12, 5e11);
+  EXPECT_LT(big.phase("").modeled_time(perf::MachineModel::summit_gpu()),
+            big.phase("").modeled_time(perf::MachineModel::summit_cpu()));
+}
+
+/// Strong-scaling mechanics of the cost model: the same global problem
+/// partitioned over more ranks must show (a) less modeled compute per
+/// rank but (b) growing communication share — the mechanism behind the
+/// paper's flattening GPU curves.
+TEST(Integration, CommunicationShareGrowsUnderStrongScaling) {
+  const auto mat = testutil::laplace3d(16, 0.01);
+  auto comm_share = [&](int nranks) {
+    par::Runtime rt(nranks);
+    const auto rows = par::RowPartition::even(mat.nrows(), nranks);
+    const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
+    linalg::ParVector x(rt, rows), y(rt, rows);
+    x.fill(1.0);
+    rt.tracer().reset();
+    for (int i = 0; i < 10; ++i) {
+      a.matvec(x, y);
+    }
+    const auto& s = rt.tracer().phase("");
+    const auto m = perf::MachineModel::summit_gpu();
+    return s.comm_time(m) / (s.comm_time(m) + s.compute_time(m));
+  };
+  const double share2 = comm_share(2);
+  const double share32 = comm_share(32);
+  EXPECT_GT(share32, share2);
+}
+
+/// AMG-preconditioned GMRES on the actual turbine pressure system: the
+/// solver configuration of §4.2 converges in a moderate iteration count
+/// even on the ill-conditioned boundary-layer mesh.
+TEST(Integration, PressureSystemSolvesWithPaperConfiguration) {
+  auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, 0.4);
+  par::Runtime rt(6);
+  cfd::SimConfig cfg;
+  cfg.picard_iters = 1;
+  cfd::Simulation sim(sys, cfg, rt);
+  sim.step();
+  EXPECT_LE(sim.continuity_stats().gmres_iterations, 60);
+  EXPECT_GT(sim.continuity_stats().amg_levels, 2);
+  EXPECT_LT(sim.continuity_stats().amg_operator_complexity, 3.0);
+}
+
+}  // namespace
+}  // namespace exw

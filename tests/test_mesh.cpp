@@ -1,0 +1,227 @@
+// Unit tests: mesh database, turbine generators, overset assembly, motion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "mesh/motion.hpp"
+
+namespace exw::mesh {
+namespace {
+
+constexpr Real kPi = std::numbers::pi_v<Real>;
+
+MeshDB unit_box(GlobalIndex n) {
+  MeshDB db;
+  StructuredBlockBuilder block(n, n, n);
+  block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
+    const Real h = 1.0 / static_cast<Real>(n);
+    return Vec3{static_cast<Real>(i) * h, static_cast<Real>(j) * h,
+                static_cast<Real>(k) * h};
+  });
+  db.coords = db.ref_coords;
+  db.compute_dual_quantities();
+  return db;
+}
+
+TEST(HexVolume, UnitCube) {
+  const std::array<Vec3, 8> x{Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{1, 1, 0},
+                              Vec3{0, 1, 0}, Vec3{0, 0, 1}, Vec3{1, 0, 1},
+                              Vec3{1, 1, 1}, Vec3{0, 1, 1}};
+  EXPECT_NEAR(hex_volume(x), 1.0, 1e-14);
+}
+
+TEST(HexVolume, StretchedHex) {
+  std::array<Vec3, 8> x{Vec3{0, 0, 0}, Vec3{2, 0, 0}, Vec3{2, 3, 0},
+                        Vec3{0, 3, 0}, Vec3{0, 0, 0.5}, Vec3{2, 0, 0.5},
+                        Vec3{2, 3, 0.5}, Vec3{0, 3, 0.5}};
+  EXPECT_NEAR(hex_volume(x), 3.0, 1e-13);
+}
+
+TEST(MeshDB, BoxDualQuantities) {
+  const MeshDB db = unit_box(4);
+  EXPECT_EQ(db.num_nodes(), 125);
+  EXPECT_EQ(db.num_hexes(), 64);
+  EXPECT_TRUE(db.edges_valid());
+  EXPECT_NEAR(db.total_volume(), 1.0, 1e-12);
+  // Node volumes sum to the total volume.
+  Real nodal = 0;
+  for (Real v : db.node_volume) nodal += v;
+  EXPECT_NEAR(nodal, 1.0, 1e-12);
+  // Structured box: 3 * n * (n+1)^2 unique axis-aligned grid edges.
+  EXPECT_EQ(db.num_edges(), 3 * 4 * 5 * 5);
+}
+
+TEST(MeshDB, EdgeCoefficientsReflectAnisotropy) {
+  // Flatten the box in z: z-edges get shorter -> much larger coefficients.
+  MeshDB db;
+  StructuredBlockBuilder block(4, 4, 4);
+  block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
+    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
+                static_cast<Real>(k) * 0.01};
+  });
+  db.coords = db.ref_coords;
+  db.compute_dual_quantities();
+  Real max_ratio = 0;
+  Real min_c = 1e300, max_c = 0;
+  for (const auto& e : db.edges) {
+    min_c = std::min(min_c, e.coeff);
+    max_c = std::max(max_c, e.coeff);
+  }
+  max_ratio = max_c / min_c;
+  EXPECT_GT(max_ratio, 1e3);  // boundary-layer-like conditioning pathology
+}
+
+TEST(Generators, RotorMeshShape) {
+  TurbineParams tp;
+  tp.blade.n_wrap = 16;
+  tp.blade.n_span = 10;
+  tp.blade.n_layers = 8;
+  const MeshDB rotor = make_rotor_mesh(tp, "rotor");
+  EXPECT_GT(rotor.num_nodes(), 0);
+  EXPECT_TRUE(rotor.edges_valid());
+  // Annular disc: has fringe boundary, wall footprint, interior.
+  GlobalIndex walls = 0, fringe = 0, interior = 0;
+  for (auto r : rotor.roles) {
+    if (r == NodeRole::kWall) ++walls;
+    if (r == NodeRole::kFringe) ++fringe;
+    if (r == NodeRole::kInterior) ++interior;
+  }
+  EXPECT_GT(walls, 0);
+  EXPECT_GT(fringe, 0);
+  EXPECT_GT(interior, walls);
+  // All nodes inside the annulus bounding box.
+  Vec3 lo, hi;
+  rotor.bounding_box(lo, hi);
+  EXPECT_NEAR(hi.y, tp.blade.tip_radius, 1e-6);
+  EXPECT_NEAR(lo.y, -tp.blade.tip_radius, 1e-6);
+}
+
+TEST(Generators, BackgroundRolesOnFaces) {
+  BackgroundParams bg;
+  bg.nx = 8;
+  bg.ny = 8;
+  bg.nz = 8;
+  const MeshDB db = make_background_mesh(bg, "bg");
+  GlobalIndex inflow = 0, outflow = 0, symm = 0;
+  for (auto r : db.roles) {
+    if (r == NodeRole::kInflow) ++inflow;
+    if (r == NodeRole::kOutflow) ++outflow;
+    if (r == NodeRole::kSymmetry) ++symm;
+  }
+  EXPECT_EQ(inflow, 9 * 9);
+  EXPECT_EQ(outflow, 9 * 9);
+  EXPECT_GT(symm, 0);
+}
+
+TEST(Generators, TurbineCaseSizesMatchTable1Ordering) {
+  // Table 1 ordering: single < dual < refined.
+  const auto single = make_turbine_case(TurbineCase::kSingle, 0.35);
+  const auto dual = make_turbine_case(TurbineCase::kDual, 0.35);
+  const auto refined = make_turbine_case(TurbineCase::kSingleRefined, 0.35);
+  EXPECT_LT(single.total_nodes(), dual.total_nodes());
+  EXPECT_LT(dual.total_nodes(), refined.total_nodes());
+  EXPECT_EQ(single.meshes.size(), 2u);
+  EXPECT_EQ(dual.meshes.size(), 3u);
+}
+
+TEST(Overset, EveryFringeHasNormalizedDonorWeights) {
+  const auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
+  EXPECT_FALSE(sys.constraints.empty());
+  for (const auto& c : sys.constraints) {
+    Real sum = 0;
+    for (int k = 0; k < 8; ++k) {
+      EXPECT_GE(c.weights[static_cast<std::size_t>(k)], 0.0);
+      sum += c.weights[static_cast<std::size_t>(k)];
+      const auto& donor_mesh = sys.meshes[static_cast<std::size_t>(c.donor_mesh)];
+      EXPECT_LT(c.donors[static_cast<std::size_t>(k)], donor_mesh.num_nodes());
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+    EXPECT_NE(c.mesh, c.donor_mesh);
+  }
+}
+
+TEST(Overset, EveryFringeNodeHasConstraint) {
+  const auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
+  GlobalIndex fringe = 0;
+  for (const auto& m : sys.meshes) {
+    for (auto r : m.roles) {
+      if (r == NodeRole::kFringe) ++fringe;
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(fringe), sys.constraints.size());
+}
+
+TEST(Overset, HoleCutProducesHolesAndFringe) {
+  BackgroundParams bg;
+  bg.nx = 24;
+  bg.ny = 24;
+  bg.nz = 24;
+  MeshDB db = make_background_mesh(bg, "bg");
+  const auto res = cut_hole(db, Vec3{0, 0, 0}, Vec3{1, 0, 0}, 10.0, 52.0, 6.0, 8.0);
+  EXPECT_GT(res.holes, 0);
+  EXPECT_GT(res.fringe, 0);
+}
+
+TEST(Motion, RotationPreservesGeometry) {
+  auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
+  MeshDB& rotor = sys.meshes[1];
+  const Real vol_before = rotor.total_volume();
+  const auto edges_before = rotor.edges;
+  rotate_mesh(rotor, sys.motion[1], 0.4);
+  EXPECT_NEAR(rotor.total_volume(), vol_before, vol_before * 1e-10);
+  // Rigid rotation: edge coefficients invariant (we keep cached values).
+  ASSERT_EQ(rotor.edges.size(), edges_before.size());
+  // Node distances from the axis are preserved.
+  for (std::size_t i = 0; i < rotor.coords.size(); i += 997) {
+    const Real r_ref = std::hypot(rotor.ref_coords[i].y, rotor.ref_coords[i].z);
+    const Real r_now = std::hypot(rotor.coords[i].y, rotor.coords[i].z);
+    EXPECT_NEAR(r_now, r_ref, 1e-9);
+  }
+}
+
+TEST(Motion, FullTurnReturnsToReference) {
+  auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
+  MeshDB& rotor = sys.meshes[1];
+  rotate_mesh(rotor, sys.motion[1], 2.0 * kPi);
+  Real diff = 0;
+  for (std::size_t i = 0; i < rotor.coords.size(); ++i) {
+    diff = std::max(diff, (rotor.coords[i] - rotor.ref_coords[i]).norm());
+  }
+  EXPECT_LT(diff, 1e-8);
+}
+
+TEST(Motion, AdvanceRebuildsConnectivity) {
+  auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
+  const auto n_before = sys.constraints.size();
+  advance_motion(sys, 0.1);
+  EXPECT_EQ(sys.constraints.size(), n_before);  // roles are invariant
+  for (const auto& c : sys.constraints) {
+    Real sum = 0;
+    for (Real w : c.weights) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+  }
+}
+
+TEST(CellLocator, FindsContainingCellInBox) {
+  const MeshDB db = unit_box(5);
+  const CellLocator locator(db);
+  const GlobalIndex c = locator.find_cell(Vec3{0.5, 0.5, 0.5});
+  ASSERT_NE(c, kInvalidGlobal);
+  // The centroid of the found cell should be near the query point.
+  Vec3 centroid{};
+  for (GlobalIndex n : db.hexes[static_cast<std::size_t>(c)]) {
+    centroid += db.coords[static_cast<std::size_t>(n)] * 0.125;
+  }
+  EXPECT_LT((centroid - Vec3{0.5, 0.5, 0.5}).norm(), 0.2);
+}
+
+TEST(CellLocator, FallsBackForExteriorPoint) {
+  const MeshDB db = unit_box(4);
+  const CellLocator locator(db);
+  EXPECT_NE(locator.find_cell(Vec3{5, 5, 5}), kInvalidGlobal);
+}
+
+}  // namespace
+}  // namespace exw::mesh

@@ -1,0 +1,194 @@
+// Unit + property tests: RowPartition, RCB, multilevel graph partitioner,
+// renumbering — the Fig. 4/5 machinery.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "common/rng.hpp"
+#include "par/partition.hpp"
+#include "part/graph_partition.hpp"
+#include "part/rcb.hpp"
+#include "part/renumber.hpp"
+
+namespace exw::part {
+namespace {
+
+TEST(RowPartition, EvenSplit) {
+  const auto p = par::RowPartition::even(10, 3);
+  EXPECT_EQ(p.nranks(), 3);
+  EXPECT_EQ(p.global_size(), 10);
+  EXPECT_EQ(p.local_size(0), 4);
+  EXPECT_EQ(p.local_size(1), 3);
+  EXPECT_EQ(p.local_size(2), 3);
+  EXPECT_EQ(p.rank_of(0), 0);
+  EXPECT_EQ(p.rank_of(3), 0);
+  EXPECT_EQ(p.rank_of(4), 1);
+  EXPECT_EQ(p.rank_of(9), 2);
+  EXPECT_TRUE(p.owns(1, 5));
+  EXPECT_FALSE(p.owns(1, 7));
+  EXPECT_EQ(p.to_local(2, 8), 1);
+}
+
+TEST(RowPartition, FromCountsAllowsEmptyRanks) {
+  const auto p = par::RowPartition::from_counts({3, 0, 2});
+  EXPECT_EQ(p.local_size(1), 0);
+  EXPECT_EQ(p.rank_of(3), 2);
+}
+
+TEST(Rcb, BalancesUnitWeights) {
+  Rng rng(1);
+  std::vector<Vec3> coords(1000);
+  for (auto& c : coords) {
+    c = {rng.uniform(), rng.uniform(), rng.uniform()};
+  }
+  const auto parts = rcb_partition(coords, {}, 8);
+  std::vector<int> counts(8, 0);
+  for (RankId p : parts) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8);
+    counts[static_cast<std::size_t>(p)] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 125, 5);
+  }
+}
+
+TEST(Rcb, NonPowerOfTwoParts) {
+  Rng rng(2);
+  std::vector<Vec3> coords(700);
+  for (auto& c : coords) {
+    c = {rng.uniform(), rng.uniform(), rng.uniform()};
+  }
+  const auto parts = rcb_partition(coords, {}, 7);
+  std::set<RankId> used(parts.begin(), parts.end());
+  EXPECT_EQ(used.size(), 7u);
+}
+
+TEST(Rcb, RespectsWeights) {
+  // Half the points carry 9x the weight; weighted balance should hold.
+  std::vector<Vec3> coords;
+  std::vector<double> w;
+  for (int i = 0; i < 400; ++i) {
+    coords.push_back({static_cast<Real>(i), 0, 0});
+    w.push_back(i < 200 ? 9.0 : 1.0);
+  }
+  const auto parts = rcb_partition(coords, w, 2);
+  double w0 = 0, w1 = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    (parts[i] == 0 ? w0 : w1) += w[i];
+  }
+  EXPECT_NEAR(w0 / (w0 + w1), 0.5, 0.05);
+}
+
+Graph ring_graph(LocalIndex n) {
+  std::vector<LocalIndex> ei, ej;
+  for (LocalIndex i = 0; i < n; ++i) {
+    ei.push_back(i);
+    ej.push_back((i + 1) % n);
+  }
+  return graph_from_edges(n, ei, ej, {});
+}
+
+Graph grid_graph(int nx, int ny) {
+  std::vector<LocalIndex> ei, ej;
+  auto id = [&](int i, int j) { return static_cast<LocalIndex>(j * nx + i); };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) {
+        ei.push_back(id(i, j));
+        ej.push_back(id(i + 1, j));
+      }
+      if (j + 1 < ny) {
+        ei.push_back(id(i, j));
+        ej.push_back(id(i, j + 1));
+      }
+    }
+  }
+  return graph_from_edges(static_cast<LocalIndex>(nx) * ny, ei, ej, {});
+}
+
+TEST(GraphFromEdges, SymmetricAndDeduplicated) {
+  // Duplicate edge (0,1) twice: weights should merge.
+  const Graph g = graph_from_edges(3, {0, 1, 0}, {1, 0, 2}, {});
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.xadj[1] - g.xadj[0], 2);  // vertex 0: neighbors {1, 2}
+  // Edge (0,1) was given twice (once per direction) -> weight 2.
+  EXPECT_DOUBLE_EQ(g.ewgt[0], 2.0);
+}
+
+TEST(GraphPartition, RingBisectionIsContiguous) {
+  const Graph g = ring_graph(64);
+  const auto parts = graph_partition(g, 2);
+  // A ring's optimal bisection cuts exactly 2 edges.
+  EXPECT_LE(edge_cut(g, parts), 4.0);
+  const auto stats = balance_stats(g.vwgt, parts, 2);
+  EXPECT_LE(stats.max / stats.mean, 1.1);
+}
+
+class GraphPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPartitionProperty, GridKwayBalancedAndBetterThanRandom) {
+  const int nparts = GetParam();
+  const Graph g = grid_graph(32, 32);
+  const auto parts = graph_partition(g, nparts);
+  // All parts used, balance within tolerance.
+  std::set<RankId> used(parts.begin(), parts.end());
+  EXPECT_EQ(static_cast<int>(used.size()), nparts);
+  const auto stats = balance_stats(g.vwgt, parts, nparts);
+  EXPECT_LE(stats.max / stats.mean, 1.25);
+  // The multilevel cut must beat a hashed random assignment by far.
+  std::vector<RankId> random_parts(parts.size());
+  for (std::size_t v = 0; v < parts.size(); ++v) {
+    random_parts[v] = static_cast<RankId>(hash64(v) % static_cast<std::uint64_t>(nparts));
+  }
+  EXPECT_LT(edge_cut(g, parts), 0.5 * edge_cut(g, random_parts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, GraphPartitionProperty,
+                         ::testing::Values(2, 3, 4, 7, 8, 16));
+
+TEST(GraphPartition, Deterministic) {
+  const Graph g = grid_graph(20, 20);
+  const auto a = graph_partition(g, 6);
+  const auto b = graph_partition(g, 6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BalanceStats, ComputesSpread) {
+  const std::vector<double> w{1, 1, 1, 1, 1, 1};
+  const std::vector<RankId> parts{0, 0, 0, 1, 1, 2};
+  const auto s = balance_stats(w, parts, 3);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Renumber, BijectionAndContiguity) {
+  const std::vector<RankId> parts{2, 0, 1, 0, 2, 1, 0};
+  const auto num = make_numbering(parts, 3);
+  // Bijection.
+  std::set<GlobalIndex> seen(num.old_to_new.begin(), num.old_to_new.end());
+  EXPECT_EQ(seen.size(), parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(num.new_to_old[static_cast<std::size_t>(num.old_to_new[i])],
+              static_cast<GlobalIndex>(i));
+    // Each old id maps into its part's contiguous range.
+    EXPECT_TRUE(num.rows.owns(parts[i], num.old_to_new[i]));
+  }
+  EXPECT_EQ(num.rows.local_size(0), 3);
+  EXPECT_EQ(num.rows.local_size(1), 2);
+  EXPECT_EQ(num.rows.local_size(2), 2);
+}
+
+TEST(Renumber, StableWithinPart) {
+  const std::vector<RankId> parts{0, 1, 0, 1, 0};
+  const auto num = make_numbering(parts, 2);
+  // Old ids 0 < 2 < 4 (part 0) keep relative order.
+  EXPECT_LT(num.old_to_new[0], num.old_to_new[2]);
+  EXPECT_LT(num.old_to_new[2], num.old_to_new[4]);
+}
+
+}  // namespace
+}  // namespace exw::part

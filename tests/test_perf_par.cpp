@@ -1,0 +1,141 @@
+// Unit tests: machine models, tracer accounting, simulated transport.
+#include <gtest/gtest.h>
+
+#include "par/runtime.hpp"
+#include "perf/machine_model.hpp"
+#include "perf/tracer.hpp"
+
+namespace exw {
+namespace {
+
+TEST(MachineModel, KernelTimeIsRoofline) {
+  perf::MachineModel m;
+  m.flops_per_s = 100;
+  m.bytes_per_s = 10;
+  m.kernel_launch_s = 1.0;
+  // Compute-bound.
+  EXPECT_DOUBLE_EQ(m.kernel_time(1000, 1), 10.0 + 1.0);
+  // Bandwidth-bound.
+  EXPECT_DOUBLE_EQ(m.kernel_time(1, 1000), 100.0 + 1.0);
+}
+
+TEST(MachineModel, MessageAlphaBeta) {
+  perf::MachineModel m;
+  m.msg_latency_s = 2.0;
+  m.msg_bytes_per_s = 4.0;
+  EXPECT_DOUBLE_EQ(m.message_time(8.0), 4.0);
+}
+
+TEST(MachineModel, AllreduceLogScaling) {
+  perf::MachineModel m;
+  m.coll_hop_s = 1.0;
+  m.msg_bytes_per_s = 1e30;
+  EXPECT_DOUBLE_EQ(m.allreduce_time(8, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(8, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(8, 8), 3.0);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(8, 9), 4.0);
+}
+
+TEST(MachineModel, PlatformOrdering) {
+  // Per-rank GPU throughput dwarfs a CPU core; GPU overheads dwarf CPU's.
+  const auto gpu = perf::MachineModel::summit_gpu();
+  const auto cpu = perf::MachineModel::summit_cpu();
+  const auto eagle = perf::MachineModel::eagle_gpu();
+  EXPECT_GT(gpu.bytes_per_s, 50 * cpu.bytes_per_s);
+  EXPECT_GT(gpu.kernel_launch_s, 10 * cpu.kernel_launch_s);
+  EXPECT_GT(gpu.msg_latency_s, cpu.msg_latency_s);
+  // Eagle's MPI path is the cheaper one (paper Fig. 11).
+  EXPECT_LT(eagle.msg_latency_s, gpu.msg_latency_s);
+}
+
+TEST(Tracer, PhaseNestingChargesAllOpenPhases) {
+  perf::Tracer t(2);
+  {
+    perf::PhaseScope outer(t, "eq");
+    t.kernel(0, 100, 10);
+    {
+      perf::PhaseScope inner(t, "solve");
+      t.kernel(1, 200, 20);
+    }
+  }
+  EXPECT_DOUBLE_EQ(t.phase("eq").total_flops(), 300);
+  EXPECT_DOUBLE_EQ(t.phase("eq/solve").total_flops(), 200);
+  EXPECT_DOUBLE_EQ(t.phase("").total_flops(), 300);
+}
+
+TEST(Tracer, ModeledTimeIsMaxOverRanks) {
+  perf::Tracer t(2);
+  perf::MachineModel m;
+  m.flops_per_s = 1.0;
+  m.bytes_per_s = 1e30;
+  m.kernel_launch_s = 0.0;
+  t.kernel(0, 5, 0);
+  t.kernel(1, 9, 0);
+  EXPECT_DOUBLE_EQ(t.phase("").modeled_time(m), 9.0);
+}
+
+TEST(Tracer, MessageChargedToBothEndpoints) {
+  perf::Tracer t(3);
+  t.message(0, 2, 100);
+  const auto& s = t.phase("");
+  EXPECT_EQ(s.rank[0].msgs, 1);
+  EXPECT_EQ(s.rank[2].msgs, 1);
+  EXPECT_EQ(s.rank[1].msgs, 0);
+  EXPECT_EQ(s.total_messages(), 1);
+}
+
+TEST(Tracer, CollectiveScalesWithRanks) {
+  perf::MachineModel m;
+  m.coll_hop_s = 1.0;
+  m.msg_bytes_per_s = 1e30;
+  perf::Tracer t2(2), t16(16);
+  t2.collective(8);
+  t16.collective(8);
+  EXPECT_LT(t2.phase("").modeled_time(m), t16.phase("").modeled_time(m));
+}
+
+TEST(Tracer, ResetClearsWorkKeepsPhases) {
+  perf::Tracer t(1);
+  t.push_phase("a");
+  t.kernel(0, 10, 10);
+  t.pop_phase();
+  t.reset();
+  EXPECT_TRUE(t.has_phase("a"));
+  EXPECT_DOUBLE_EQ(t.phase("a").total_flops(), 0);
+}
+
+TEST(Transport, SendRecvRoundtrip) {
+  par::Runtime rt(3);
+  rt.transport().send<int>(0, 2, 7, {1, 2, 3});
+  EXPECT_TRUE(rt.transport().has_message(2, 0, 7));
+  const auto msg = rt.transport().recv<int>(2, 0, 7);
+  EXPECT_EQ(msg, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(rt.transport().drained());
+}
+
+TEST(Transport, FifoPerChannel) {
+  par::Runtime rt(2);
+  rt.transport().send<int>(0, 1, 1, {1});
+  rt.transport().send<int>(0, 1, 1, {2});
+  EXPECT_EQ(rt.transport().recv<int>(1, 0, 1)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(1, 0, 1)[0], 2);
+}
+
+TEST(Transport, RecvWithoutMessageThrows) {
+  par::Runtime rt(2);
+  EXPECT_THROW(rt.transport().recv<int>(1, 0, 9), Error);
+}
+
+TEST(Runtime, AllreduceSumAndMax) {
+  par::Runtime rt(4);
+  EXPECT_DOUBLE_EQ(rt.allreduce_sum(std::vector<double>{1, 2, 3, 4}), 10.0);
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{5, 9, 2, 7}), 9);
+  const auto v = rt.allreduce_sum_vec({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  EXPECT_DOUBLE_EQ(v[0], 16);
+  EXPECT_DOUBLE_EQ(v[1], 20);
+  // Three collectives were charged.
+  EXPECT_EQ(rt.tracer().phase("").collectives, 3);
+}
+
+}  // namespace
+}  // namespace exw

@@ -1,0 +1,116 @@
+// Unit + property tests: the Thrust-shaped primitive library that the
+// paper's Algorithms 1-2 are built on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sparse/prim.hpp"
+
+namespace exw::sparse::prim {
+namespace {
+
+TEST(Prim, StableSortByKeySingle) {
+  std::vector<int> keys{3, 1, 2, 1};
+  std::vector<double> vals{30, 10, 20, 11};
+  stable_sort_by_key(keys, vals);
+  EXPECT_EQ(keys, (std::vector<int>{1, 1, 2, 3}));
+  // Stability: the two key-1 values keep their order.
+  EXPECT_EQ(vals, (std::vector<double>{10, 11, 20, 30}));
+}
+
+TEST(Prim, StableSortByKeyComposite) {
+  std::vector<long> k1{2, 1, 2, 1};
+  std::vector<long> k2{0, 5, 0, 3};
+  std::vector<double> v{1, 2, 3, 4};
+  stable_sort_by_key(k1, k2, v);
+  EXPECT_EQ(k1, (std::vector<long>{1, 1, 2, 2}));
+  EXPECT_EQ(k2, (std::vector<long>{3, 5, 0, 0}));
+  EXPECT_EQ(v, (std::vector<double>{4, 2, 1, 3}));
+}
+
+TEST(Prim, ReduceByKeySumsRuns) {
+  std::vector<int> keys{1, 1, 2, 3, 3, 3};
+  std::vector<double> vals{1, 2, 3, 4, 5, 6};
+  const auto n = reduce_by_key(keys, vals);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(vals, (std::vector<double>{3, 3, 15}));
+}
+
+TEST(Prim, ReduceByKeyComposite) {
+  std::vector<long> k1{0, 0, 0, 1};
+  std::vector<long> k2{2, 2, 3, 2};
+  std::vector<double> v{1, 10, 100, 1000};
+  reduce_by_key(k1, k2, v);
+  EXPECT_EQ(k1, (std::vector<long>{0, 0, 1}));
+  EXPECT_EQ(k2, (std::vector<long>{2, 3, 2}));
+  EXPECT_EQ(v, (std::vector<double>{11, 100, 1000}));
+}
+
+TEST(Prim, ExclusiveScan) {
+  std::vector<int> v{1, 2, 3, 4};
+  const int total = exclusive_scan(v);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(v, (std::vector<int>{0, 1, 3, 6}));
+}
+
+TEST(Prim, EmptyInputs) {
+  std::vector<int> keys;
+  std::vector<double> vals;
+  EXPECT_NO_THROW(stable_sort_by_key(keys, vals));
+  EXPECT_EQ(reduce_by_key(keys, vals), 0u);
+  std::vector<int> empty;
+  EXPECT_EQ(exclusive_scan(empty), 0);
+}
+
+/// Property sweep: sort+reduce over random composite keys must equal a
+/// std::map-based reference sum.
+class PrimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimProperty, SortReduceMatchesMapReference) {
+  Rng rng(GetParam());
+  const std::size_t n = 200 + rng.index(2000);
+  std::vector<GlobalIndex> k1(n), k2(n);
+  std::vector<Real> v(n);
+  std::map<std::pair<GlobalIndex, GlobalIndex>, Real> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    k1[i] = static_cast<GlobalIndex>(rng.index(50));
+    k2[i] = static_cast<GlobalIndex>(rng.index(50));
+    v[i] = rng.uniform(-1, 1);
+    ref[{k1[i], k2[i]}] += v[i];
+  }
+  stable_sort_by_key(k1, k2, v);
+  reduce_by_key(k1, k2, v);
+  ASSERT_EQ(k1.size(), ref.size());
+  std::size_t i = 0;
+  for (const auto& [key, sum] : ref) {
+    EXPECT_EQ(k1[i], key.first);
+    EXPECT_EQ(k2[i], key.second);
+    EXPECT_NEAR(v[i], sum, 1e-12);
+    ++i;
+  }
+}
+
+TEST_P(PrimProperty, SortIsSorted) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::size_t n = 100 + rng.index(3000);
+  std::vector<GlobalIndex> k1(n), k2(n);
+  std::vector<Real> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    k1[i] = static_cast<GlobalIndex>(rng.index(64));
+    k2[i] = static_cast<GlobalIndex>(rng.index(64));
+  }
+  stable_sort_by_key(k1, k2, v);
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool ordered =
+        k1[i - 1] < k1[i] || (k1[i - 1] == k1[i] && k2[i - 1] <= k2[i]);
+    ASSERT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace exw::sparse::prim

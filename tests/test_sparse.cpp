@@ -1,0 +1,194 @@
+// Unit + property tests: CSR kernels, SpGEMM (hash vs sort), dense LU.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace exw::sparse {
+namespace {
+
+using testutil::laplace3d;
+using testutil::matrix_diff;
+using testutil::max_diff;
+using testutil::random_rect;
+using testutil::random_spd_ish;
+using testutil::random_vector;
+
+TEST(Csr, FromTriplesSumsDuplicates) {
+  const Csr a = Csr::from_triples(2, 2, {0, 0, 1, 0}, {1, 1, 0, 0},
+                                  {1.0, 2.0, 5.0, 4.0});
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(Csr, IdentitySpmv) {
+  const Csr eye = Csr::identity(5);
+  const RealVector x = random_vector(5, 3);
+  RealVector y(5, 0.0);
+  eye.spmv(x, y);
+  EXPECT_NEAR(max_diff(x, y), 0.0, 0.0);
+}
+
+TEST(Csr, SpmvAlphaBeta) {
+  const Csr a = random_spd_ish(40, 5, 11);
+  const RealVector x = random_vector(40, 4);
+  RealVector y = random_vector(40, 5);
+  RealVector y2 = y;
+  a.spmv(x, y, 2.0, 3.0);
+  // Reference.
+  RealVector ax(40, 0.0);
+  a.spmv(x, ax);
+  for (std::size_t i = 0; i < y2.size(); ++i) {
+    y2[i] = 3.0 * y2[i] + 2.0 * ax[i];
+  }
+  EXPECT_LT(max_diff(y, y2), 1e-12);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const Csr a = random_rect(30, 17, 4, 7);
+  const Csr att = a.transpose().transpose();
+  EXPECT_LT(matrix_diff(a, att), 1e-15);
+}
+
+TEST(Csr, TransposeMatchesSpmvTranspose) {
+  const Csr a = random_rect(25, 33, 5, 9);
+  const Csr at = a.transpose();
+  const RealVector x = random_vector(25, 10);
+  RealVector y1(33, 0.0), y2(33, 0.0);
+  a.spmv_transpose(x, y1);
+  at.spmv(x, y2);
+  EXPECT_LT(max_diff(y1, y2), 1e-12);
+}
+
+TEST(Csr, AddMatchesEntrywise) {
+  const Csr a = random_rect(20, 20, 4, 1);
+  const Csr b = random_rect(20, 20, 4, 2);
+  const Csr c = add(a, b);
+  for (LocalIndex i = 0; i < 20; ++i) {
+    for (LocalIndex j = 0; j < 20; ++j) {
+      EXPECT_NEAR(c.at(i, j), a.at(i, j) + b.at(i, j), 1e-14);
+    }
+  }
+}
+
+TEST(Csr, ExtractSubmatrix) {
+  const Csr a = laplace3d(3);
+  // Keep even rows, remap even columns.
+  std::vector<LocalIndex> rows;
+  std::vector<LocalIndex> col_map(static_cast<std::size_t>(a.ncols()),
+                                  kInvalidLocal);
+  LocalIndex nc = 0;
+  for (LocalIndex i = 0; i < a.nrows(); i += 2) {
+    rows.push_back(i);
+    col_map[static_cast<std::size_t>(i)] = nc++;
+  }
+  const Csr sub = extract(a, rows, col_map, nc);
+  EXPECT_EQ(sub.nrows(), static_cast<LocalIndex>(rows.size()));
+  for (std::size_t oi = 0; oi < rows.size(); ++oi) {
+    for (LocalIndex oj = 0; oj < nc; ++oj) {
+      EXPECT_NEAR(sub.at(static_cast<LocalIndex>(oi), oj),
+                  a.at(rows[oi], oj * 2), 1e-15);
+    }
+  }
+}
+
+TEST(Csr, DiagonalAndScaleRows) {
+  Csr a = random_spd_ish(15, 4, 21);
+  const auto d = a.diagonal();
+  for (LocalIndex i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], a.at(i, i));
+  }
+  RealVector s(15, 2.0);
+  const Real before = a.at(3, 3);
+  a.scale_rows(s);
+  EXPECT_DOUBLE_EQ(a.at(3, 3), 2.0 * before);
+}
+
+// --- SpGEMM -------------------------------------------------------------
+
+class SpGemmProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(SpGemmProperty, HashEqualsSortEqualsDense) {
+  const auto [m, n, seed] = GetParam();
+  const Csr a = random_rect(static_cast<LocalIndex>(m), static_cast<LocalIndex>(n), 5, seed);
+  const Csr b = random_rect(static_cast<LocalIndex>(n), static_cast<LocalIndex>(m), 4, seed + 1);
+  const Csr ch = spgemm_hash(a, b);
+  const Csr cs = spgemm_sort(a, b);
+  EXPECT_LT(matrix_diff(ch, cs), 1e-11);
+  // Dense reference on a few random rows.
+  Rng rng(seed + 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto i = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(m)));
+    const auto j = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(m)));
+    Real ref = 0;
+    for (LocalIndex k = 0; k < static_cast<LocalIndex>(n); ++k) {
+      ref += a.at(i, k) * b.at(k, j);
+    }
+    EXPECT_NEAR(ch.at(i, j), ref, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpGemmProperty,
+    ::testing::Values(std::tuple{20, 30, 1ull}, std::tuple{64, 64, 2ull},
+                      std::tuple{100, 40, 3ull}, std::tuple{7, 150, 4ull},
+                      std::tuple{128, 128, 5ull}));
+
+TEST(SpGemm, IdentityIsNeutral) {
+  const Csr a = random_rect(30, 30, 5, 42);
+  const Csr eye = Csr::identity(30);
+  EXPECT_LT(matrix_diff(spgemm(a, eye), a), 1e-15);
+  EXPECT_LT(matrix_diff(spgemm(eye, a), a), 1e-15);
+}
+
+TEST(SpGemm, RapEqualsTripleProduct) {
+  const Csr a = laplace3d(4);
+  const Csr p = random_rect(64, 20, 3, 17);
+  const Csr c1 = rap(a, p);
+  const Csr c2 = triple_product(p.transpose(), a, p);
+  EXPECT_LT(matrix_diff(c1, c2), 1e-11);
+}
+
+TEST(SpGemm, FlopCountMatchesExpansionSize) {
+  const Csr a = random_rect(25, 25, 3, 8);
+  const Csr b = random_rect(25, 25, 3, 9);
+  double expansion = 0;
+  for (LocalIndex i = 0; i < a.nrows(); ++i) {
+    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
+      expansion += b.row_nnz(a.cols()[static_cast<std::size_t>(k)]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(spgemm_flops(a, b), 2.0 * expansion);
+}
+
+// --- Dense LU -----------------------------------------------------------
+
+TEST(DenseLu, SolvesLaplacian) {
+  const Csr a = laplace3d(3, 0.2);
+  const DenseLu lu(a);
+  const RealVector b = random_vector(27, 5);
+  const auto x = lu.solve(b);
+  EXPECT_LT(residual_inf_norm(a, x, b), 1e-10);
+}
+
+TEST(DenseLu, PivotingHandlesZeroLeadingDiag) {
+  // [[0 1],[1 0]] requires a pivot swap.
+  const DenseLu lu(2, {0.0, 1.0, 1.0, 0.0});
+  const auto x = lu.solve(RealVector{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(DenseLu, ThrowsOnSingular) {
+  const std::vector<Real> singular{1.0, 2.0, 2.0, 4.0};
+  EXPECT_THROW(DenseLu lu(2, singular), Error);
+}
+
+}  // namespace
+}  // namespace exw::sparse

@@ -1,0 +1,158 @@
+#pragma once
+/// Shared fixtures: reference matrices, random systems, dense comparisons.
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace exw::testutil {
+
+/// 3D 7-point Laplacian (+shift) on an n^3 grid — the canonical elliptic
+/// test operator.
+inline sparse::Csr laplace3d(int n, Real shift = 0.0) {
+  std::vector<LocalIndex> ti, tj;
+  std::vector<Real> tv;
+  auto id = [&](int i, int j, int k) {
+    return static_cast<LocalIndex>((k * n + j) * n + i);
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const LocalIndex row = id(i, j, k);
+        Real diag = 0;
+        auto nb = [&](int a, int b, int c) {
+          if (a < 0 || a >= n || b < 0 || b >= n || c < 0 || c >= n) return;
+          ti.push_back(row);
+          tj.push_back(id(a, b, c));
+          tv.push_back(-1.0);
+          diag += 1.0;
+        };
+        nb(i - 1, j, k);
+        nb(i + 1, j, k);
+        nb(i, j - 1, k);
+        nb(i, j + 1, k);
+        nb(i, j, k - 1);
+        nb(i, j, k + 1);
+        ti.push_back(row);
+        tj.push_back(row);
+        tv.push_back(diag + shift);
+      }
+    }
+  }
+  const auto nn = static_cast<LocalIndex>(n) * n * n;
+  return sparse::Csr::from_triples(nn, nn, std::move(ti), std::move(tj),
+                                   std::move(tv));
+}
+
+/// Anisotropic 2D 5-point operator (eps << 1 gives strong y-coupling) —
+/// exercises strength-of-connection thresholds.
+inline sparse::Csr aniso2d(int n, Real eps) {
+  std::vector<LocalIndex> ti, tj;
+  std::vector<Real> tv;
+  auto id = [&](int i, int j) { return static_cast<LocalIndex>(j * n + i); };
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const LocalIndex row = id(i, j);
+      Real diag = 0;
+      auto nb = [&](int a, int b, Real w) {
+        if (a < 0 || a >= n || b < 0 || b >= n) return;
+        ti.push_back(row);
+        tj.push_back(id(a, b));
+        tv.push_back(-w);
+        diag += w;
+      };
+      nb(i - 1, j, eps);
+      nb(i + 1, j, eps);
+      nb(i, j - 1, 1.0);
+      nb(i, j + 1, 1.0);
+      ti.push_back(row);
+      tj.push_back(row);
+      tv.push_back(diag);
+    }
+  }
+  const auto nn = static_cast<LocalIndex>(n) * n;
+  return sparse::Csr::from_triples(nn, nn, std::move(ti), std::move(tj),
+                                   std::move(tv));
+}
+
+/// Random sparse matrix with guaranteed diagonal dominance.
+inline sparse::Csr random_spd_ish(LocalIndex n, int nnz_per_row,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LocalIndex> ti, tj;
+  std::vector<Real> tv;
+  for (LocalIndex i = 0; i < n; ++i) {
+    Real diag = 1.0;
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const auto j = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(n)));
+      if (j == i) continue;
+      const Real v = -rng.uniform(0.1, 1.0);
+      ti.push_back(i);
+      tj.push_back(j);
+      tv.push_back(v);
+      diag += std::abs(v);
+    }
+    ti.push_back(i);
+    tj.push_back(i);
+    tv.push_back(diag);
+  }
+  return sparse::Csr::from_triples(n, n, std::move(ti), std::move(tj),
+                                   std::move(tv));
+}
+
+/// Random rectangular matrix.
+inline sparse::Csr random_rect(LocalIndex nrows, LocalIndex ncols,
+                               int nnz_per_row, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LocalIndex> ti, tj;
+  std::vector<Real> tv;
+  for (LocalIndex i = 0; i < nrows; ++i) {
+    for (int k = 0; k < nnz_per_row; ++k) {
+      ti.push_back(i);
+      tj.push_back(static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(ncols))));
+      tv.push_back(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return sparse::Csr::from_triples(nrows, ncols, std::move(ti), std::move(tj),
+                                   std::move(tv));
+}
+
+inline RealVector random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVector v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Max |a - b| over dense arrays.
+inline Real max_diff(const RealVector& a, const RealVector& b) {
+  Real m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Dense comparison of two sparse matrices: max |A - B| entrywise.
+inline Real matrix_diff(const sparse::Csr& a, const sparse::Csr& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) {
+    return 1e300;
+  }
+  Real m = 0;
+  for (LocalIndex i = 0; i < a.nrows(); ++i) {
+    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const LocalIndex c = a.cols()[static_cast<std::size_t>(k)];
+      m = std::max(m, std::abs(a.vals()[static_cast<std::size_t>(k)] - b.at(i, c)));
+    }
+    for (LocalIndex k = b.row_begin(i); k < b.row_end(i); ++k) {
+      const LocalIndex c = b.cols()[static_cast<std::size_t>(k)];
+      m = std::max(m, std::abs(b.vals()[static_cast<std::size_t>(k)] - a.at(i, c)));
+    }
+  }
+  return m;
+}
+
+}  // namespace exw::testutil
