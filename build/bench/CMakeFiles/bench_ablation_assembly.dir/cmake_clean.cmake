@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assembly.dir/bench_ablation_assembly.cpp.o"
+  "CMakeFiles/bench_ablation_assembly.dir/bench_ablation_assembly.cpp.o.d"
+  "bench_ablation_assembly"
+  "bench_ablation_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interp.dir/bench_ablation_interp.cpp.o"
+  "CMakeFiles/bench_ablation_interp.dir/bench_ablation_interp.cpp.o.d"
+  "bench_ablation_interp"
+  "bench_ablation_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

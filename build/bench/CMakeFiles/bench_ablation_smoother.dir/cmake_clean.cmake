@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smoother.dir/bench_ablation_smoother.cpp.o"
+  "CMakeFiles/bench_ablation_smoother.dir/bench_ablation_smoother.cpp.o.d"
+  "bench_ablation_smoother"
+  "bench_ablation_smoother.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nnz_refined.dir/bench_fig10_nnz_refined.cpp.o"
+  "CMakeFiles/bench_fig10_nnz_refined.dir/bench_fig10_nnz_refined.cpp.o.d"
+  "bench_fig10_nnz_refined"
+  "bench_fig10_nnz_refined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nnz_refined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cross_machine.dir/bench_fig11_cross_machine.cpp.o"
+  "CMakeFiles/bench_fig11_cross_machine.dir/bench_fig11_cross_machine.cpp.o.d"
+  "bench_fig11_cross_machine"
+  "bench_fig11_cross_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cross_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

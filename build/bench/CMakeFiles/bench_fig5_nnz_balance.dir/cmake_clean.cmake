@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nnz_balance.dir/bench_fig5_nnz_balance.cpp.o"
+  "CMakeFiles/bench_fig5_nnz_balance.dir/bench_fig5_nnz_balance.cpp.o.d"
+  "bench_fig5_nnz_balance"
+  "bench_fig5_nnz_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nnz_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

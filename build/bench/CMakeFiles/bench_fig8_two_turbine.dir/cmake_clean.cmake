@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_two_turbine.dir/bench_fig8_two_turbine.cpp.o"
+  "CMakeFiles/bench_fig8_two_turbine.dir/bench_fig8_two_turbine.cpp.o.d"
+  "bench_fig8_two_turbine"
+  "bench_fig8_two_turbine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_two_turbine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

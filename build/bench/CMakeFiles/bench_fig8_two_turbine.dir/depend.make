@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_two_turbine.
+# This may be replaced when dependencies are built.

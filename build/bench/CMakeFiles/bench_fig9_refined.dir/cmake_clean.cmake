@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_refined.dir/bench_fig9_refined.cpp.o"
+  "CMakeFiles/bench_fig9_refined.dir/bench_fig9_refined.cpp.o.d"
+  "bench_fig9_refined"
+  "bench_fig9_refined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_refined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

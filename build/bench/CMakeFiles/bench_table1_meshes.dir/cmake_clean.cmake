@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_meshes.dir/bench_table1_meshes.cpp.o"
+  "CMakeFiles/bench_table1_meshes.dir/bench_table1_meshes.cpp.o.d"
+  "bench_table1_meshes"
+  "bench_table1_meshes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

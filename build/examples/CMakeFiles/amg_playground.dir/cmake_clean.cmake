@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_playground.dir/amg_playground.cpp.o"
+  "CMakeFiles/amg_playground.dir/amg_playground.cpp.o.d"
+  "amg_playground"
+  "amg_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

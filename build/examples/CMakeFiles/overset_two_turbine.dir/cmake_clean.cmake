@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overset_two_turbine.dir/overset_two_turbine.cpp.o"
+  "CMakeFiles/overset_two_turbine.dir/overset_two_turbine.cpp.o.d"
+  "overset_two_turbine"
+  "overset_two_turbine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overset_two_turbine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for overset_two_turbine.
+# This may be replaced when dependencies are built.

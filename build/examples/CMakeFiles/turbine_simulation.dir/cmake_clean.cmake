@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbine_simulation.dir/turbine_simulation.cpp.o"
+  "CMakeFiles/turbine_simulation.dir/turbine_simulation.cpp.o.d"
+  "turbine_simulation"
+  "turbine_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbine_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

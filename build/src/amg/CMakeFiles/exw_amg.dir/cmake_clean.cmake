@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_amg.dir/coarsen.cpp.o"
+  "CMakeFiles/exw_amg.dir/coarsen.cpp.o.d"
+  "CMakeFiles/exw_amg.dir/hierarchy.cpp.o"
+  "CMakeFiles/exw_amg.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/exw_amg.dir/interp.cpp.o"
+  "CMakeFiles/exw_amg.dir/interp.cpp.o.d"
+  "CMakeFiles/exw_amg.dir/rap.cpp.o"
+  "CMakeFiles/exw_amg.dir/rap.cpp.o.d"
+  "CMakeFiles/exw_amg.dir/smoothers.cpp.o"
+  "CMakeFiles/exw_amg.dir/smoothers.cpp.o.d"
+  "CMakeFiles/exw_amg.dir/soc.cpp.o"
+  "CMakeFiles/exw_amg.dir/soc.cpp.o.d"
+  "libexw_amg.a"
+  "libexw_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

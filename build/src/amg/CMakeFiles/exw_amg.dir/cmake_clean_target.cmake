@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexw_amg.a"
+)

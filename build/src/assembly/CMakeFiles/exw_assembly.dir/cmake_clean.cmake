@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_assembly.dir/global.cpp.o"
+  "CMakeFiles/exw_assembly.dir/global.cpp.o.d"
+  "CMakeFiles/exw_assembly.dir/graph.cpp.o"
+  "CMakeFiles/exw_assembly.dir/graph.cpp.o.d"
+  "CMakeFiles/exw_assembly.dir/ij.cpp.o"
+  "CMakeFiles/exw_assembly.dir/ij.cpp.o.d"
+  "CMakeFiles/exw_assembly.dir/layout.cpp.o"
+  "CMakeFiles/exw_assembly.dir/layout.cpp.o.d"
+  "libexw_assembly.a"
+  "libexw_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

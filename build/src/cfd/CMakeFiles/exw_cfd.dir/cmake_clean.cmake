@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_cfd.dir/config.cpp.o"
+  "CMakeFiles/exw_cfd.dir/config.cpp.o.d"
+  "CMakeFiles/exw_cfd.dir/simulation.cpp.o"
+  "CMakeFiles/exw_cfd.dir/simulation.cpp.o.d"
+  "libexw_cfd.a"
+  "libexw_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_common.dir/error.cpp.o"
+  "CMakeFiles/exw_common.dir/error.cpp.o.d"
+  "libexw_common.a"
+  "libexw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/parcsr.cpp" "src/linalg/CMakeFiles/exw_linalg.dir/parcsr.cpp.o" "gcc" "src/linalg/CMakeFiles/exw_linalg.dir/parcsr.cpp.o.d"
+  "/root/repo/src/linalg/parvector.cpp" "src/linalg/CMakeFiles/exw_linalg.dir/parvector.cpp.o" "gcc" "src/linalg/CMakeFiles/exw_linalg.dir/parvector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/exw_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/exw_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/exw_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_linalg.dir/parcsr.cpp.o"
+  "CMakeFiles/exw_linalg.dir/parcsr.cpp.o.d"
+  "CMakeFiles/exw_linalg.dir/parvector.cpp.o"
+  "CMakeFiles/exw_linalg.dir/parvector.cpp.o.d"
+  "libexw_linalg.a"
+  "libexw_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

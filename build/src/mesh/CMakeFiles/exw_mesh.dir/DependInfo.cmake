@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generators.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/generators.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/mesh/meshdb.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/meshdb.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/meshdb.cpp.o.d"
+  "/root/repo/src/mesh/motion.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/motion.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/motion.cpp.o.d"
+  "/root/repo/src/mesh/overset.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/overset.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/overset.cpp.o.d"
+  "/root/repo/src/mesh/quality.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/quality.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/quality.cpp.o.d"
+  "/root/repo/src/mesh/vtk_writer.cpp" "src/mesh/CMakeFiles/exw_mesh.dir/vtk_writer.cpp.o" "gcc" "src/mesh/CMakeFiles/exw_mesh.dir/vtk_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

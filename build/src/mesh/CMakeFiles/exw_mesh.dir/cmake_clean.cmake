@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_mesh.dir/generators.cpp.o"
+  "CMakeFiles/exw_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/exw_mesh.dir/meshdb.cpp.o"
+  "CMakeFiles/exw_mesh.dir/meshdb.cpp.o.d"
+  "CMakeFiles/exw_mesh.dir/motion.cpp.o"
+  "CMakeFiles/exw_mesh.dir/motion.cpp.o.d"
+  "CMakeFiles/exw_mesh.dir/overset.cpp.o"
+  "CMakeFiles/exw_mesh.dir/overset.cpp.o.d"
+  "CMakeFiles/exw_mesh.dir/quality.cpp.o"
+  "CMakeFiles/exw_mesh.dir/quality.cpp.o.d"
+  "CMakeFiles/exw_mesh.dir/vtk_writer.cpp.o"
+  "CMakeFiles/exw_mesh.dir/vtk_writer.cpp.o.d"
+  "libexw_mesh.a"
+  "libexw_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

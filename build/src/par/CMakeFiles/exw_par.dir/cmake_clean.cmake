@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_par.dir/partition.cpp.o"
+  "CMakeFiles/exw_par.dir/partition.cpp.o.d"
+  "CMakeFiles/exw_par.dir/runtime.cpp.o"
+  "CMakeFiles/exw_par.dir/runtime.cpp.o.d"
+  "libexw_par.a"
+  "libexw_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/graph_partition.cpp" "src/part/CMakeFiles/exw_part.dir/graph_partition.cpp.o" "gcc" "src/part/CMakeFiles/exw_part.dir/graph_partition.cpp.o.d"
+  "/root/repo/src/part/rcb.cpp" "src/part/CMakeFiles/exw_part.dir/rcb.cpp.o" "gcc" "src/part/CMakeFiles/exw_part.dir/rcb.cpp.o.d"
+  "/root/repo/src/part/renumber.cpp" "src/part/CMakeFiles/exw_part.dir/renumber.cpp.o" "gcc" "src/part/CMakeFiles/exw_part.dir/renumber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/exw_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/exw_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/exw_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

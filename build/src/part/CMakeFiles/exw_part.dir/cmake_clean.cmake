@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_part.dir/graph_partition.cpp.o"
+  "CMakeFiles/exw_part.dir/graph_partition.cpp.o.d"
+  "CMakeFiles/exw_part.dir/rcb.cpp.o"
+  "CMakeFiles/exw_part.dir/rcb.cpp.o.d"
+  "CMakeFiles/exw_part.dir/renumber.cpp.o"
+  "CMakeFiles/exw_part.dir/renumber.cpp.o.d"
+  "libexw_part.a"
+  "libexw_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_perf.dir/machine_model.cpp.o"
+  "CMakeFiles/exw_perf.dir/machine_model.cpp.o.d"
+  "CMakeFiles/exw_perf.dir/tracer.cpp.o"
+  "CMakeFiles/exw_perf.dir/tracer.cpp.o.d"
+  "libexw_perf.a"
+  "libexw_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

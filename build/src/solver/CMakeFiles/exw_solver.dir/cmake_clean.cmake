@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_solver.dir/gmres.cpp.o"
+  "CMakeFiles/exw_solver.dir/gmres.cpp.o.d"
+  "CMakeFiles/exw_solver.dir/krylov.cpp.o"
+  "CMakeFiles/exw_solver.dir/krylov.cpp.o.d"
+  "libexw_solver.a"
+  "libexw_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/exw_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/exw_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/exw_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/exw_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/exw_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/exw_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/sparse/CMakeFiles/exw_sparse.dir/spgemm.cpp.o" "gcc" "src/sparse/CMakeFiles/exw_sparse.dir/spgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

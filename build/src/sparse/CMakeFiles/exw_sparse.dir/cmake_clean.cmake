@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exw_sparse.dir/coo.cpp.o"
+  "CMakeFiles/exw_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/exw_sparse.dir/csr.cpp.o"
+  "CMakeFiles/exw_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/exw_sparse.dir/dense.cpp.o"
+  "CMakeFiles/exw_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/exw_sparse.dir/spgemm.cpp.o"
+  "CMakeFiles/exw_sparse.dir/spgemm.cpp.o.d"
+  "libexw_sparse.a"
+  "libexw_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exw_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

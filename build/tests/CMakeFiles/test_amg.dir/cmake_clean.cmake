@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amg.dir/test_amg.cpp.o"
+  "CMakeFiles/test_amg.dir/test_amg.cpp.o.d"
+  "test_amg"
+  "test_amg.pdb"
+  "test_amg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembly.dir/test_assembly.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_assembly.cpp.o.d"
+  "test_assembly"
+  "test_assembly.pdb"
+  "test_assembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cfd.cpp" "tests/CMakeFiles/test_cfd.dir/test_cfd.cpp.o" "gcc" "tests/CMakeFiles/test_cfd.dir/test_cfd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfd/CMakeFiles/exw_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/exw_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/amg/CMakeFiles/exw_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/exw_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/exw_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/exw_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/exw_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/exw_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/exw_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/exw_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

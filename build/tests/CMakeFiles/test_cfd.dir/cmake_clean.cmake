@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfd.dir/test_cfd.cpp.o"
+  "CMakeFiles/test_cfd.dir/test_cfd.cpp.o.d"
+  "test_cfd"
+  "test_cfd.pdb"
+  "test_cfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_par.dir/test_perf_par.cpp.o"
+  "CMakeFiles/test_perf_par.dir/test_perf_par.cpp.o.d"
+  "test_perf_par"
+  "test_perf_par.pdb"
+  "test_perf_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

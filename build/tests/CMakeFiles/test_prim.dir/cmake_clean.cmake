@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prim.dir/test_prim.cpp.o"
+  "CMakeFiles/test_prim.dir/test_prim.cpp.o.d"
+  "test_prim"
+  "test_prim.pdb"
+  "test_prim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

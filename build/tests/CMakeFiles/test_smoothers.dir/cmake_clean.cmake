@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoothers.dir/test_smoothers.cpp.o"
+  "CMakeFiles/test_smoothers.dir/test_smoothers.cpp.o.d"
+  "test_smoothers"
+  "test_smoothers.pdb"
+  "test_smoothers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
