@@ -1,0 +1,123 @@
+// Shared-memory executor benchmark: wall-clock speedup of the threaded
+// rank loops over the serial escape hatch, on a Table-1-sized problem.
+//
+// Unlike the figure benches (which price *simulated* work under a
+// MachineModel), this one measures real host wall-clock: the same
+// simulation is run once with the thread pool disabled
+// (par::set_serial_mode) and once with it enabled, and the two runs must
+// produce bitwise-identical solver histories — the executor only changes
+// which host thread runs each rank body, never the arithmetic.
+//
+// Usage:
+//   bench_parallel_speedup            # serial + parallel, compare
+//   bench_parallel_speedup --serial   # serial only (escape hatch)
+// Env: EXW_NUM_THREADS, EXW_BENCH_STEPS, EXW_BENCH_REFINE.
+//
+// Exit code is nonzero if the histories differ, or if >= 4 hardware
+// threads are available yet the speedup is below 2x.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "par/thread_pool.hpp"
+
+using namespace exw;
+
+namespace {
+
+/// Everything a step produces that the solver path can influence.
+struct StepRecord {
+  int prs_iters, mom_iters;
+  Real prs_res, mom_res;
+  Real vel_rms, div_rms;
+
+  bool operator==(const StepRecord&) const = default;
+};
+
+struct TimedRun {
+  double seconds = 0;
+  std::vector<StepRecord> history;
+};
+
+TimedRun run(mesh::OversetSystem& sys, const cfd::SimConfig& cfg, int nranks,
+             int steps) {
+  par::Runtime rt(nranks);
+  cfd::Simulation sim(sys, cfg, rt);
+  TimedRun out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    out.history.push_back({sim.continuity_stats().gmres_iterations,
+                           sim.momentum_stats().gmres_iterations,
+                           sim.continuity_stats().final_residual,
+                           sim.momentum_stats().final_residual,
+                           sim.velocity_rms(), sim.divergence_rms()});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+void print_history(const char* mode, const TimedRun& r) {
+  std::printf("%-8s %8.3fs", mode, r.seconds);
+  for (const auto& s : r.history) {
+    std::printf("  [it %d/%d res %.3e/%.3e]", s.prs_iters, s.mom_iters,
+                s.prs_res, s.mom_res);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serial_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) serial_only = true;
+  }
+
+  const double refine = bench::env_refine(0.8);
+  const int steps = bench::env_steps(2);
+  const int nranks = 16;  // >= 8 per the acceptance bar
+  auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
+  cfd::SimConfig cfg = cfd::SimConfig::optimized();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("parallel rank executor — %s (%lld mesh nodes), %d simulated "
+              "ranks, %d step(s)\n",
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              nranks, steps);
+  std::printf("host: %u hardware threads, pool size %d%s\n\n", hw,
+              par::ThreadPool::instance().num_threads(),
+              serial_only ? " (--serial: pool bypassed)" : "");
+
+  par::set_serial_mode(true);
+  auto serial_sys = sys;  // step() mutates the mesh (rotor motion)
+  const auto serial = run(serial_sys, cfg, nranks, steps);
+  print_history("serial", serial);
+  if (serial_only) return 0;
+
+  par::set_serial_mode(false);
+  auto par_sys = sys;
+  const auto threaded = run(par_sys, cfg, nranks, steps);
+  print_history("threads", threaded);
+
+  if (threaded.history != serial.history) {
+    std::printf("\nFAIL: solver histories differ between serial and "
+                "threaded runs\n");
+    return 1;
+  }
+  const double speedup = serial.seconds / threaded.seconds;
+  std::printf("\nhistories bitwise-identical; speedup %.2fx with %d "
+              "threads\n", speedup,
+              par::ThreadPool::instance().num_threads());
+  if (hw >= 4 && par::ThreadPool::instance().num_threads() >= 4 &&
+      speedup < 2.0) {
+    std::printf("FAIL: expected >= 2x speedup with >= 4 hardware threads\n");
+    return 1;
+  }
+  return 0;
+}

@@ -65,7 +65,7 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
 
   std::vector<sparse::Coo> owned(static_cast<std::size_t>(nranks));
   std::vector<sparse::Coo> shared(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     const auto& ab = a.block(r);
     const auto& pb = p.block(r);
     const auto& er = ext[static_cast<std::size_t>(r)];
@@ -124,11 +124,13 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
     }
     tracer.kernel(r, 2.0 * products,
                   sort_penalty * products * (sizeof(Real) + sizeof(GlobalIndex)));
-  }
+  });
 
   // Reuse the paper's Algorithm 1 for the coarse operator.
-  for (auto& coo : owned) coo.normalize();
-  for (auto& coo : shared) coo.normalize();
+  rt.parallel_for_ranks([&](RankId r) {
+    owned[static_cast<std::size_t>(r)].normalize();
+    shared[static_cast<std::size_t>(r)].normalize();
+  });
   return assembly::assemble_matrix(rt, coarse, coarse, owned, shared);
 }
 
@@ -149,7 +151,7 @@ linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
   const double sort_penalty = algo == sparse::SpGemmAlgo::kSort ? 8.0 : 2.0;
 
   std::vector<linalg::RankBlock> blocks(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     const auto& ab = a.block(r);
     const auto& bb = b.block(r);
     const auto& er = ext[static_cast<std::size_t>(r)];
@@ -197,7 +199,7 @@ linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
                   sort_penalty * products * (sizeof(Real) + sizeof(GlobalIndex)));
     blocks[static_cast<std::size_t>(r)] =
         assembly::split_diag_offd(coo, a.rows(), out_cols, r);
-  }
+  });
   EXW_REQUIRE(mid.global_size() == a.global_cols(), "matmat partitions");
   return linalg::ParCsr(rt, a.rows(), out_cols, std::move(blocks));
 }

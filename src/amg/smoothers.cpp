@@ -13,7 +13,7 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
   out.upper.resize(static_cast<std::size_t>(nranks));
   out.dinv.resize(static_cast<std::size_t>(nranks));
   out.l1_dinv.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  a.runtime().parallel_for_ranks([&](RankId r) {
     const auto& b = a.block(r);
     const LocalIndex n = b.diag.nrows();
     sparse::Csr lo(n, n), up(n, n);
@@ -49,16 +49,22 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
     }
     out.lower[static_cast<std::size_t>(r)] = std::move(lo);
     out.upper[static_cast<std::size_t>(r)] = std::move(up);
-  }
+  });
   return out;
 }
 
 Real estimate_eig_max(const linalg::ParCsr& a) {
-  // Gershgorin on Dinv A: max_i (1 + sum_{j != i} |a_ij| / a_ii).
-  Real bound = 0;
-  for (int r = 0; r < a.nranks(); ++r) {
+  // Gershgorin on Dinv A: max_i (1 + sum_{j != i} |a_ij| / |a_ii|).
+  // Rows with a negative diagonal must contribute through |a_ii| — the
+  // old `dii > 0` guard silently skipped them and could return a bound
+  // of 0, which collapses the Chebyshev interval to a point and poisons
+  // the smoother. A zero diagonal has no valid Dinv A row at all, so
+  // that fails loudly instead.
+  std::vector<Real> per_rank(static_cast<std::size_t>(a.nranks()), 0.0);
+  a.runtime().parallel_for_ranks([&](RankId r) {
     const auto& b = a.block(r);
     const auto d = b.diag.diagonal();
+    Real bound = 0;
     for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
       Real row = 0;
       for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
@@ -70,11 +76,13 @@ Real estimate_eig_max(const linalg::ParCsr& a) {
         row += std::abs(b.offd.vals()[static_cast<std::size_t>(k)]);
       }
       const Real dii = d[static_cast<std::size_t>(i)];
-      if (dii > 0) {
-        bound = std::max(bound, 1.0 + row / dii);
-      }
+      EXW_REQUIRE(dii != 0.0, "zero diagonal in eigenvalue estimate");
+      bound = std::max(bound, 1.0 + row / std::abs(dii));
     }
-  }
+    per_rank[static_cast<std::size_t>(r)] = bound;
+  });
+  Real bound = 0;
+  for (Real b : per_rank) bound = std::max(bound, b);
   return bound;
 }
 
@@ -114,7 +122,7 @@ void Smoother::sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
   linalg::ParVector r(a_->runtime(), a_->rows());
   a_->residual(b, x, r);
   auto& tracer = a_->runtime().tracer();
-  for (int rk = 0; rk < a_->nranks(); ++rk) {
+  a_->runtime().parallel_for_ranks([&](RankId rk) {
     auto& xl = x.local(rk);
     const auto& rl = r.local(rk);
     const auto& d = l1 ? ldu_.l1_dinv[static_cast<std::size_t>(rk)]
@@ -124,7 +132,7 @@ void Smoother::sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
     }
     tracer.kernel(rk, 3.0 * static_cast<double>(xl.size()),
                   4.0 * sizeof(Real) * static_cast<double>(xl.size()));
-  }
+  });
 }
 
 void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
@@ -133,7 +141,7 @@ void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
   // GS sweep on the local rows (off-rank values frozen).
   const auto ext = a_->halo_exchange(x);
   auto& tracer = a_->runtime().tracer();
-  for (int rk = 0; rk < a_->nranks(); ++rk) {
+  a_->runtime().parallel_for_ranks([&](RankId rk) {
     const auto& blk = a_->block(rk);
     auto& xl = x.local(rk);
     const auto& bl = b.local(rk);
@@ -159,7 +167,7 @@ void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
     }
     const auto nnz = static_cast<double>(blk.diag.nnz() + blk.offd.nnz());
     tracer.kernel(rk, 2.0 * nnz, nnz * (sizeof(Real) + sizeof(LocalIndex)));
-  }
+  });
 }
 
 void Smoother::jr_lower(RankId r, const RealVector& rhs, RealVector& g) const {
@@ -210,8 +218,8 @@ void Smoother::sweep_two_stage(const linalg::ParVector& b,
   // x += Mtilde^-1 (b - A x) with Mtilde^-1 ~ (L+D)^-1 by inner JR.
   linalg::ParVector r(a_->runtime(), a_->rows());
   a_->residual(b, x, r);
-  RealVector g;
-  for (int rk = 0; rk < a_->nranks(); ++rk) {
+  a_->runtime().parallel_for_ranks([&](RankId rk) {
+    RealVector g;
     jr_lower(rk, r.local(rk), g);
     auto& xl = x.local(rk);
     for (std::size_t i = 0; i < xl.size(); ++i) {
@@ -220,7 +228,7 @@ void Smoother::sweep_two_stage(const linalg::ParVector& b,
     a_->runtime().tracer().kernel(
         rk, static_cast<double>(xl.size()),
         3.0 * sizeof(Real) * static_cast<double>(xl.size()));
-  }
+  });
 }
 
 void Smoother::sweep_sgs2(const linalg::ParVector& b,
@@ -229,8 +237,8 @@ void Smoother::sweep_sgs2(const linalg::ParVector& b,
   // approximated by inner JR sweeps (compact form of Eqs. 11-14).
   linalg::ParVector r(a_->runtime(), a_->rows());
   a_->residual(b, x, r);
-  RealVector g, h, t;
-  for (int rk = 0; rk < a_->nranks(); ++rk) {
+  a_->runtime().parallel_for_ranks([&](RankId rk) {
+    RealVector g, h, t;
     const auto& d = ldu_.dinv[static_cast<std::size_t>(rk)];
     jr_lower(rk, r.local(rk), g);
     // rhs for the backward stage: D * g.
@@ -246,7 +254,7 @@ void Smoother::sweep_sgs2(const linalg::ParVector& b,
     a_->runtime().tracer().kernel(
         rk, 2.0 * static_cast<double>(xl.size()),
         4.0 * sizeof(Real) * static_cast<double>(xl.size()));
-  }
+  });
 }
 
 void Smoother::sweep_chebyshev(const linalg::ParVector& b,
@@ -268,7 +276,7 @@ void Smoother::sweep_chebyshev(const linalg::ParVector& b,
   a_->residual(b, x, r);
 
   auto scale_dinv = [&](const linalg::ParVector& src, linalg::ParVector& dst) {
-    for (int rk = 0; rk < a_->nranks(); ++rk) {
+    rt.parallel_for_ranks([&](RankId rk) {
       const auto& dv = ldu_.dinv[static_cast<std::size_t>(rk)];
       auto& out = dst.local(rk);
       const auto& in = src.local(rk);
@@ -277,7 +285,7 @@ void Smoother::sweep_chebyshev(const linalg::ParVector& b,
       }
       rt.tracer().kernel(rk, static_cast<double>(out.size()),
                          3.0 * sizeof(Real) * static_cast<double>(out.size()));
-    }
+    });
   };
 
   // d_0 = (1/theta) Dinv r.

@@ -111,7 +111,7 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
 
   // Step 2: route each rank's shared triples to the owning ranks.
   // shared[r] is sorted by row, so owner runs are contiguous.
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     const auto& sh = shared[static_cast<std::size_t>(r)];
     std::size_t i = 0;
     while (i < sh.nnz()) {
@@ -131,10 +131,10 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
                                        sh.vals.begin() + static_cast<std::ptrdiff_t>(j)));
       i = j;
     }
-  }
+  });
 
   std::vector<linalg::RankBlock> blocks(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     // Step 3-4: stack owned + all received buffers.
     sparse::Coo recv;
     for (int src = 0; src < nranks; ++src) {
@@ -202,7 +202,7 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
     // Step 7: split into diag/offd.
     blocks[static_cast<std::size_t>(r)] = split_diag_offd(all, rows, cols, r);
     charge_stream(tracer, r, all.nnz(), kTripleBytes);
-  }
+  });
   return linalg::ParCsr(rt, rows, cols, std::move(blocks));
 }
 
@@ -226,7 +226,7 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
   }
   (void)rt.allreduce_sum(send_counts);
 
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     const auto& sh = shared[static_cast<std::size_t>(r)];
     std::size_t i = 0;
     while (i < sh.size()) {
@@ -243,10 +243,10 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
                                        sh.vals.begin() + static_cast<std::ptrdiff_t>(j)));
       i = j;
     }
-  }
+  });
 
   linalg::ParVector rhs(rt, rows);
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     EXW_REQUIRE(owned[static_cast<std::size_t>(r)].size() ==
                     static_cast<std::size_t>(rows.local_size(r)),
                 "owned RHS must be dense over local rows");
@@ -277,7 +277,7 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
       local[static_cast<std::size_t>(recv.rows[k] - row0)] += recv.vals[k];
     }
     charge_stream(tracer, r, local.size() + recv.size(), kPairBytes);
-  }
+  });
   return rhs;
 }
 

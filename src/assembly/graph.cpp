@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.hpp"
+#include "par/thread_pool.hpp"
 
 namespace exw::assembly {
 
@@ -68,7 +69,10 @@ void EquationGraph::build_patterns() {
   owned_row_start_.resize(static_cast<std::size_t>(nranks));
   shared_rows_.resize(static_cast<std::size_t>(nranks));
   shared_row_start_.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  // Per-rank normalize/sort + offset build: each body touches only its
+  // own rank's containers (EquationGraph has no Runtime, so this goes
+  // through the shared pool directly).
+  par::parallel_for(nranks, [&](int r) {
     RankSystem& sys = ranks_[static_cast<std::size_t>(r)];
     sys.owned = std::move(raw_owned[static_cast<std::size_t>(r)]);
     sys.shared = std::move(raw_shared[static_cast<std::size_t>(r)]);
@@ -99,7 +103,7 @@ void EquationGraph::build_patterns() {
       }
     }
     sstart.push_back(sys.shared.nnz());
-  }
+  });
 }
 
 void EquationGraph::build_slots() {

@@ -141,7 +141,7 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
   auto& transport = rt_->transport();
   const int nranks = rows_.nranks();
   // Pack + send owned values requested by neighbors.
-  for (int r = 0; r < nranks; ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     for (const auto& send : comm_.sends[static_cast<std::size_t>(r)]) {
       RealVector buf(send.idx.size());
       const auto& xl = x.local(r);
@@ -152,10 +152,10 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
                            2.0 * sizeof(Real) * static_cast<double>(buf.size()));
       transport.send(r, send.dst, kTagHalo, std::move(buf));
     }
-  }
-  // Receive in col_map order.
+  });
+  // Receive in col_map order (all sends completed at the region barrier).
   std::vector<RealVector> ext(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& e = ext[static_cast<std::size_t>(r)];
     e.reserve(blocks_[static_cast<std::size_t>(r)].col_map.size());
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
@@ -163,7 +163,7 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
       EXW_ASSERT(static_cast<LocalIndex>(buf.size()) == recv.count);
       e.insert(e.end(), buf.begin(), buf.end());
     }
-  }
+  });
   return ext;
 }
 
@@ -172,7 +172,7 @@ void ParCsr::matvec(const ParVector& x, ParVector& y, Real alpha,
   EXW_REQUIRE(x.global_size() == global_cols(), "matvec x size mismatch");
   EXW_REQUIRE(y.global_size() == global_rows(), "matvec y size mismatch");
   const auto ext = halo_exchange(x);
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     const auto& b = blocks_[static_cast<std::size_t>(r)];
     auto& yl = y.local(r);
     b.diag.spmv(x.local(r), yl, alpha, beta);
@@ -183,7 +183,7 @@ void ParCsr::matvec(const ParVector& x, ParVector& y, Real alpha,
     rt_->tracer().kernel(r, 2.0 * nnz,
                          nnz * (sizeof(Real) + sizeof(LocalIndex)) +
                              sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
-  }
+  });
 }
 
 void ParCsr::residual(const ParVector& b, const ParVector& x,
@@ -203,7 +203,7 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
   // buffer laid out in col_map order, shipped to the owners (the exact
   // reverse of the halo exchange, so the comm package is reused).
   std::vector<RealVector> offd_contrib(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     const auto& b = blocks_[static_cast<std::size_t>(r)];
     auto& yl = y.local(r);
     b.diag.spmv_transpose(x.local(r), yl, alpha, beta);
@@ -216,10 +216,10 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
     rt_->tracer().kernel(r, 2.0 * nnz,
                          nnz * (sizeof(Real) + sizeof(LocalIndex)) +
                              sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
-  }
+  });
   // Reverse-direction exchange: each recv run in col_map order becomes a
   // send back to its source rank.
-  for (int r = 0; r < nranks; ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     std::size_t offset = 0;
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
       RealVector buf(offd_contrib[static_cast<std::size_t>(r)].begin() +
@@ -229,8 +229,8 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
       transport.send(r, recv.src, kTagHalo, std::move(buf));
       offset += static_cast<std::size_t>(recv.count);
     }
-  }
-  for (int owner = 0; owner < nranks; ++owner) {
+  });
+  rt_->parallel_for_ranks([&](RankId owner) {
     auto& yl = y.local(owner);
     for (const auto& send : comm_.sends[static_cast<std::size_t>(owner)]) {
       auto buf = transport.recv<Real>(owner, send.dst, kTagHalo);
@@ -241,7 +241,7 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
       rt_->tracer().kernel(owner, static_cast<double>(buf.size()),
                            3.0 * sizeof(Real) * static_cast<double>(buf.size()));
     }
-  }
+  });
 }
 
 std::vector<RealVector> ParCsr::diagonals() const {
@@ -301,7 +301,7 @@ std::vector<ExtRows> fetch_external_rows(
   std::vector<std::vector<std::vector<GlobalIndex>>> reqs(
       static_cast<std::size_t>(nranks));  // [owner][requester] -> ids
   for (auto& v : reqs) v.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     std::vector<GlobalIndex> sorted = needed[static_cast<std::size_t>(r)];
     std::sort(sorted.begin(), sorted.end());
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
@@ -320,10 +320,10 @@ std::vector<ExtRows> fetch_external_rows(
           std::move(ids);
       i = j;
     }
-  }
+  });
 
   // 2. Owners reply with (row length header, global cols, values).
-  for (int owner = 0; owner < nranks; ++owner) {
+  rt.parallel_for_ranks([&](RankId owner) {
     const auto& b = m.block(owner);
     const GlobalIndex row0 = m.rows().first_row(owner);
     const GlobalIndex col0 = m.cols().first_row(owner);
@@ -355,11 +355,11 @@ std::vector<ExtRows> fetch_external_rows(
       transport.send(owner, r, kTagRowCol, std::move(cols));
       transport.send(owner, r, kTagRowVal, std::move(vals));
     }
-  }
+  });
 
   // 3. Requesters assemble ExtRows in ascending row order.
   std::vector<ExtRows> out(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     ExtRows& e = out[static_cast<std::size_t>(r)];
     e.row_ptr.push_back(0);
     for (int owner = 0; owner < nranks; ++owner) {
@@ -381,7 +381,7 @@ std::vector<ExtRows> fetch_external_rows(
       }
     }
     EXW_ASSERT(std::is_sorted(e.row_ids.begin(), e.row_ids.end()));
-  }
+  });
   return out;
 }
 

@@ -35,35 +35,35 @@ Real ParVector::at(GlobalIndex g) const {
 }
 
 void ParVector::fill(Real value) {
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
     std::fill(x.begin(), x.end(), value);
     rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(x.size()));
-  }
+  });
 }
 
 void ParVector::copy_from(const ParVector& other) {
   EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     local_[static_cast<std::size_t>(r)] = other.local_[static_cast<std::size_t>(r)];
     rt_->tracer().kernel(
         r, 0.0,
         2.0 * kRead * static_cast<double>(local_[static_cast<std::size_t>(r)].size()));
-  }
+  });
 }
 
 void ParVector::scale(Real alpha) {
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
     for (auto& v : x) v *= alpha;
     rt_->tracer().kernel(r, static_cast<double>(x.size()),
                          2.0 * kRead * static_cast<double>(x.size()));
-  }
+  });
 }
 
 void ParVector::axpy(Real alpha, const ParVector& x) {
   EXW_REQUIRE(x.global_size() == global_size(), "vector size mismatch");
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& y = local_[static_cast<std::size_t>(r)];
     const auto& xs = x.local_[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < y.size(); ++i) {
@@ -71,12 +71,12 @@ void ParVector::axpy(Real alpha, const ParVector& x) {
     }
     rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
                          3.0 * kRead * static_cast<double>(y.size()));
-  }
+  });
 }
 
 void ParVector::aypx(Real alpha, const ParVector& x) {
   EXW_REQUIRE(x.global_size() == global_size(), "vector size mismatch");
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& y = local_[static_cast<std::size_t>(r)];
     const auto& xs = x.local_[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < y.size(); ++i) {
@@ -84,13 +84,13 @@ void ParVector::aypx(Real alpha, const ParVector& x) {
     }
     rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
                          3.0 * kRead * static_cast<double>(y.size()));
-  }
+  });
 }
 
 double ParVector::dot(const ParVector& other) const {
   EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
   std::vector<double> partial(static_cast<std::size_t>(nranks()), 0.0);
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     const auto& x = local_[static_cast<std::size_t>(r)];
     const auto& y = other.local_[static_cast<std::size_t>(r)];
     double s = 0;
@@ -100,7 +100,7 @@ double ParVector::dot(const ParVector& other) const {
     partial[static_cast<std::size_t>(r)] = s;
     rt_->tracer().kernel(r, 2.0 * static_cast<double>(x.size()),
                          2.0 * kRead * static_cast<double>(x.size()));
-  }
+  });
   return rt_->allreduce_sum(partial);
 }
 
@@ -109,7 +109,7 @@ double ParVector::norm2() const { return std::sqrt(dot(*this)); }
 double ParVector::dot_compensated(const ParVector& other) const {
   EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
   std::vector<double> partial(static_cast<std::size_t>(nranks()), 0.0);
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     const auto& x = local_[static_cast<std::size_t>(r)];
     const auto& y = other.local_[static_cast<std::size_t>(r)];
     // Neumaier (Kahan-Babuska) compensation: robust even when a term is
@@ -128,29 +128,30 @@ double ParVector::dot_compensated(const ParVector& other) const {
     partial[static_cast<std::size_t>(r)] = sum + comp;
     rt_->tracer().kernel(r, 8.0 * static_cast<double>(x.size()),
                          2.0 * kRead * static_cast<double>(x.size()));
-  }
+  });
   return rt_->allreduce_sum(partial);
 }
 
 RealVector ParVector::gather() const {
   RealVector out(static_cast<std::size_t>(global_size()));
-  for (int r = 0; r < nranks(); ++r) {
+  // Ranks write disjoint [first_row, end_row) slices.
+  rt_->parallel_for_ranks([&](RankId r) {
     const auto& x = local_[static_cast<std::size_t>(r)];
     std::copy(x.begin(), x.end(),
               out.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)));
-  }
+  });
   return out;
 }
 
 void ParVector::scatter(const RealVector& global) {
   EXW_REQUIRE(global.size() == static_cast<std::size_t>(global_size()),
               "vector size mismatch");
-  for (int r = 0; r < nranks(); ++r) {
+  rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
     std::copy(global.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)),
               global.begin() + static_cast<std::ptrdiff_t>(rows_.end_row(r)),
               x.begin());
-  }
+  });
 }
 
 }  // namespace exw::linalg

@@ -48,7 +48,9 @@ GlobalIndex Runtime::allreduce_max(
   EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
               "allreduce needs one value per rank");
   tracer_.collective(sizeof(GlobalIndex));
-  GlobalIndex m = 0;
+  // Seed from the first element, not 0: a zero seed silently clamps the
+  // result for all-negative inputs.
+  GlobalIndex m = per_rank_values.front();
   for (GlobalIndex v : per_rank_values) {
     m = std::max(m, v);
   }

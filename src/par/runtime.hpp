@@ -9,15 +9,24 @@
 /// source, destination, and tag; exchange = the pack/communicate/unpack
 /// halo pattern) so the code reads like the real program, and it charges
 /// every message to the Tracer's cost model.
+///
+/// Local phases may also run concurrently, one thread per simulated rank,
+/// via Runtime::parallel_for_ranks (see thread_pool.hpp for the threading
+/// contract). Mailboxes are sharded by destination rank with one lock per
+/// shard, so sends from concurrent rank bodies are safe without
+/// serializing the whole transport.
 
 #include <cstddef>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "par/thread_pool.hpp"
 #include "perf/tracer.hpp"
 
 namespace exw::par {
@@ -25,41 +34,60 @@ namespace exw::par {
 /// In-memory point-to-point mailboxes between simulated ranks.
 class Transport {
  public:
-  explicit Transport(perf::Tracer* tracer) : tracer_(tracer) {}
+  Transport(perf::Tracer* tracer, int nranks)
+      : tracer_(tracer),
+        shards_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)) {}
 
   /// Post a message. Bytes are charged to the cost model immediately.
+  /// Safe to call from concurrent rank bodies; per-channel FIFO order is
+  /// preserved because each (src, dst, tag) channel has a single sender.
   template <typename T>
   void send(RankId src, RankId dst, int tag, std::vector<T> payload) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (tracer_ != nullptr) {
       tracer_->message(src, dst, static_cast<double>(payload.size() * sizeof(T)));
     }
-    auto& box = boxes_[Key{src, dst, tag}];
-    box.push_back(to_bytes(payload));
+    Shard& sh = shard(dst);
+    std::vector<std::byte> raw = to_bytes(payload);
+    std::lock_guard<std::mutex> lk(sh.mutex);
+    sh.boxes[Key{src, dst, tag}].push_back(std::move(raw));
   }
 
   /// Receive the oldest matching message; throws if none is pending.
   template <typename T>
   std::vector<T> recv(RankId dst, RankId src, int tag) {
-    auto it = boxes_.find(Key{src, dst, tag});
-    EXW_REQUIRE(it != boxes_.end() && !it->second.empty(),
-                "recv with no matching message");
-    std::vector<std::byte> raw = std::move(it->second.front());
-    it->second.erase(it->second.begin());
-    if (it->second.empty()) {
-      boxes_.erase(it);
+    Shard& sh = shard(dst);
+    std::vector<std::byte> raw;
+    {
+      std::lock_guard<std::mutex> lk(sh.mutex);
+      auto it = sh.boxes.find(Key{src, dst, tag});
+      EXW_REQUIRE(it != sh.boxes.end() && !it->second.empty(),
+                  "recv with no matching message");
+      raw = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) {
+        sh.boxes.erase(it);
+      }
     }
     return from_bytes<T>(raw);
   }
 
   /// True if a message from src to dst with tag is pending.
   bool has_message(RankId dst, RankId src, int tag) const {
-    auto it = boxes_.find(Key{src, dst, tag});
-    return it != boxes_.end() && !it->second.empty();
+    const Shard& sh = shard(dst);
+    std::lock_guard<std::mutex> lk(sh.mutex);
+    auto it = sh.boxes.find(Key{src, dst, tag});
+    return it != sh.boxes.end() && !it->second.empty();
   }
 
   /// No messages left anywhere (useful test invariant: protocols drain).
-  bool drained() const { return boxes_.empty(); }
+  bool drained() const {
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mutex);
+      if (!sh.boxes.empty()) return false;
+    }
+    return true;
+  }
 
  private:
   struct Key {
@@ -68,6 +96,22 @@ class Transport {
     int tag;
     auto operator<=>(const Key&) const = default;
   };
+
+  /// One lock + mailbox map per destination rank: concurrent senders to
+  /// different destinations never contend, and the common in-region
+  /// pattern (every rank draining its own inbox while posting to
+  /// neighbors) contends only on true neighbor pairs.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<Key, std::deque<std::vector<std::byte>>> boxes;
+  };
+
+  Shard& shard(RankId dst) {
+    return shards_[static_cast<std::size_t>(dst) % shards_.size()];
+  }
+  const Shard& shard(RankId dst) const {
+    return shards_[static_cast<std::size_t>(dst) % shards_.size()];
+  }
 
   template <typename T>
   static std::vector<std::byte> to_bytes(const std::vector<T>& v) {
@@ -89,19 +133,26 @@ class Transport {
   }
 
   perf::Tracer* tracer_;
-  std::map<Key, std::vector<std::vector<std::byte>>> boxes_;
+  std::vector<Shard> shards_;
 };
 
 /// The simulated world handed to every distributed component.
 class Runtime {
  public:
   explicit Runtime(int nranks)
-      : tracer_(nranks), transport_(&tracer_), nranks_(nranks) {}
+      : tracer_(nranks), transport_(&tracer_, nranks), nranks_(nranks) {}
 
   int nranks() const { return nranks_; }
   perf::Tracer& tracer() { return tracer_; }
   const perf::Tracer& tracer() const { return tracer_; }
   Transport& transport() { return transport_; }
+
+  /// Run fn(r) for every rank, potentially concurrently (one thread per
+  /// rank body, blocking until all return). Rank bodies stay internally
+  /// sequential, so results are bitwise-identical to the serial loop.
+  void parallel_for_ranks(const std::function<void(RankId)>& fn) const {
+    parallel_for(nranks_, fn);
+  }
 
   /// Sum a per-rank contribution into one global value, charging one
   /// allreduce. The SPMD analogue of MPI_Allreduce(MPI_SUM).

@@ -1,0 +1,154 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exw::par {
+
+namespace {
+
+thread_local bool t_in_region = false;
+std::atomic<bool> g_serial{false};
+
+int configured_threads() {
+  if (const char* s = std::getenv("EXW_NUM_THREADS")) {
+    const int n = std::atoi(s);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  const std::function<void(int)>* fn = nullptr;
+  int n = 0;
+  std::atomic<int> next{0};
+  int finished = 0;  ///< workers done with the current epoch
+  bool stop = false;
+  std::exception_ptr error;
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : impl_(new Impl), num_threads_(configured_threads()) {
+  if (std::getenv("EXW_SERIAL") != nullptr) {
+    g_serial.store(true, std::memory_order_relaxed);
+  }
+  // The orchestrator participates in every region, so spawn one fewer.
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_start.notify_all();
+  for (auto& w : impl_->workers) {
+    w.join();
+  }
+  delete impl_;
+}
+
+void ThreadPool::run_bodies() {
+  t_in_region = true;
+  for (;;) {
+    const int i = impl_->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= impl_->n) break;
+    try {
+      (*impl_->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(impl_->mutex);
+      if (!impl_->error) {
+        impl_->error = std::current_exception();
+      }
+    }
+  }
+  t_in_region = false;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(impl_->mutex);
+      impl_->cv_start.wait(
+          lk, [&] { return impl_->stop || impl_->epoch != seen; });
+      if (impl_->stop) return;
+      seen = impl_->epoch;
+    }
+    run_bodies();
+    {
+      std::lock_guard<std::mutex> lk(impl_->mutex);
+      impl_->finished += 1;
+      if (impl_->finished == static_cast<int>(impl_->workers.size())) {
+        impl_->cv_done.notify_one();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ <= 1 || n == 1 || t_in_region ||
+      g_serial.load(std::memory_order_relaxed)) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->finished = 0;
+    impl_->error = nullptr;
+    impl_->epoch += 1;
+  }
+  impl_->cv_start.notify_all();
+  run_bodies();
+  std::unique_lock<std::mutex> lk(impl_->mutex);
+  impl_->cv_done.wait(lk, [&] {
+    return impl_->finished == static_cast<int>(impl_->workers.size());
+  });
+  impl_->fn = nullptr;
+  if (impl_->error) {
+    std::exception_ptr e = impl_->error;
+    impl_->error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+bool in_parallel_region() { return t_in_region; }
+
+void set_serial_mode(bool serial) {
+  g_serial.store(serial, std::memory_order_relaxed);
+}
+
+bool serial_mode() { return g_serial.load(std::memory_order_relaxed); }
+
+void parallel_for(int n, const std::function<void(int)>& fn) {
+  ThreadPool::instance().parallel_for(n, fn);
+}
+
+}  // namespace exw::par

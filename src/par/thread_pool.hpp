@@ -1,0 +1,69 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Shared-memory execution of simulated-rank local phases.
+///
+/// The reproduction drives SPMD algorithms rank-sequentially from one
+/// orchestrator thread, but each rank's local phase is embarrassingly
+/// parallel by construction (that is the paper's whole premise). The
+/// process-wide ThreadPool below runs `fn(0..n-1)` concurrently so the
+/// wall-clock of the Table 1 / Fig. 3-10 benchmarks no longer grows
+/// linearly with the simulated rank count.
+///
+/// Contract for rank bodies executed through parallel_for():
+///   * body `i` runs exactly once, on some pool thread (or inline);
+///   * a body may freely mutate rank-i-owned state and call
+///     Transport::send / recv for rank i (mailboxes are lock-sharded)
+///     and Tracer::kernel / message with `src == i` (cross-rank message
+///     charges are atomic);
+///   * phase push/pop must stay on the orchestrator thread — the open
+///     phase stack is frozen for the duration of the region;
+///   * nested parallel_for() calls run inline on the calling thread;
+///   * the first exception thrown by any body is rethrown on the
+///     orchestrator thread once every body has finished.
+///
+/// Sizing: EXW_NUM_THREADS if set, else std::thread::hardware_concurrency.
+/// EXW_SERIAL=1 (or set_serial_mode(true), the benches' --serial flag)
+/// forces every region inline for determinism debugging; the parallel
+/// path is bitwise-identical anyway because each rank body is unchanged
+/// and all reductions happen on the orchestrator.
+
+#include <functional>
+
+namespace exw::par {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (created on first use, joined at exit).
+  static ThreadPool& instance();
+
+  /// Worker count the pool was sized for (>= 1; 1 means inline only).
+  int num_threads() const { return num_threads_; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all bodies return.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  void worker_loop();
+  void run_bodies();
+
+  struct Impl;
+  Impl* impl_;
+  int num_threads_ = 1;
+};
+
+/// True while the calling thread is executing a parallel_for body.
+bool in_parallel_region();
+
+/// Force all regions inline (the --serial escape hatch; also EXW_SERIAL=1).
+void set_serial_mode(bool serial);
+bool serial_mode();
+
+/// Convenience: ThreadPool::instance().parallel_for honoring serial_mode().
+void parallel_for(int n, const std::function<void(int)>& fn);
+
+}  // namespace exw::par

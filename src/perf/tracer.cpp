@@ -1,6 +1,7 @@
 #include "perf/tracer.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 
@@ -54,11 +55,7 @@ long PhaseStats::total_kernels() const {
   return n;
 }
 
-long PhaseStats::total_messages() const {
-  long n = 0;
-  for (const auto& w : rank) n += w.msgs;
-  return n / 2;  // each message was charged to both endpoints
-}
+long PhaseStats::total_messages() const { return messages; }
 
 double PhaseStats::total_flops() const {
   double n = 0;
@@ -100,10 +97,19 @@ void Tracer::pop_phase() {
   stack_.pop_back();
 }
 
+PhaseStats& Tracer::find_stats(const std::string& name) {
+  auto it = phases_.find(name);
+  EXW_ASSERT(it != phases_.end());
+  return it->second;
+}
+
 void Tracer::kernel(RankId r, double flops, double bytes) {
   EXW_ASSERT(r >= 0 && r < nranks_);
+  // Rank r's RankWork is written only by the thread running rank r's
+  // body, so plain accumulation is race-free even inside parallel
+  // regions (the stack is frozen there and find_stats never inserts).
   for (const auto& name : stack_) {
-    auto& w = stats_for(name).rank[static_cast<std::size_t>(r)];
+    auto& w = find_stats(name).rank[static_cast<std::size_t>(r)];
     w.flops += flops;
     w.bytes += bytes;
     w.kernels += 1;
@@ -113,15 +119,18 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
 void Tracer::message(RankId src, RankId dst, double bytes) {
   EXW_ASSERT(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
   for (const auto& name : stack_) {
-    auto& s = stats_for(name);
+    auto& s = find_stats(name);
     auto& ws = s.rank[static_cast<std::size_t>(src)];
     ws.msgs += 1;
     ws.msg_bytes += bytes;
     if (dst != src) {
+      // The destination's body may be running on another thread.
       auto& wd = s.rank[static_cast<std::size_t>(dst)];
-      wd.msgs += 1;
-      wd.msg_bytes += bytes;
+      std::atomic_ref<long>(wd.msgs).fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<double>(wd.msg_bytes)
+          .fetch_add(bytes, std::memory_order_relaxed);
     }
+    std::atomic_ref<long>(s.messages).fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -155,6 +164,7 @@ void Tracer::reset() {
     std::fill(s.rank.begin(), s.rank.end(), RankWork{});
     s.collectives = 0;
     s.coll_bytes = 0;
+    s.messages = 0;
   }
 }
 

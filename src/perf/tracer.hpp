@@ -46,6 +46,11 @@ struct PhaseStats {
   std::vector<RankWork> rank;
   long collectives = 0;
   double coll_bytes = 0;
+  /// Exact point-to-point message count. Kept separately from the
+  /// per-rank `msgs` charges: a message is charged to both endpoints
+  /// unless dst == src (self-routed triples in assembly), so halving the
+  /// per-rank sum undercounts whenever self-messages occur.
+  long messages = 0;
 
   /// Modeled wall time of this phase on machine `m`.
   double modeled_time(const MachineModel& m) const;
@@ -74,9 +79,14 @@ class Tracer {
   const std::string& current_phase() const { return stack_.back(); }
 
   /// One kernel on rank `r` doing `flops` work over `bytes` traffic.
+  /// Thread-safe during parallel rank regions as long as it is called
+  /// from the thread executing rank r's body (each rank's RankWork is
+  /// written only by that thread) and the phase stack is not mutated.
   void kernel(RankId r, double flops, double bytes);
 
-  /// One message of `bytes` from src to dst; charged to both endpoints.
+  /// One message of `bytes` from src to dst; charged to both endpoints
+  /// (once if dst == src). During parallel regions, call from the thread
+  /// executing rank `src`'s body; the dst-side charge is atomic.
   void message(RankId src, RankId dst, double bytes);
 
   /// One allreduce-style collective with `bytes` payload per rank.
@@ -95,6 +105,10 @@ class Tracer {
 
  private:
   PhaseStats& stats_for(const std::string& name);
+  /// Lookup without insertion — the hot accounting path. Never mutates
+  /// the phase registry, so concurrent rank bodies can charge work while
+  /// the orchestrator holds the phase stack fixed.
+  PhaseStats& find_stats(const std::string& name);
 
   int nranks_;
   std::map<std::string, PhaseStats> phases_;

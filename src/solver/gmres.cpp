@@ -18,7 +18,7 @@ std::vector<double> fused_dots(const std::vector<linalg::ParVector>& v,
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(nranks),
       std::vector<double>(count + 1, 0.0));
-  for (int r = 0; r < nranks; ++r) {
+  rt.parallel_for_ranks([&](RankId r) {
     const auto& wl = w.local(r);
     auto& p = partial[static_cast<std::size_t>(r)];
     for (std::size_t j = 0; j < count; ++j) {
@@ -35,7 +35,7 @@ std::vector<double> fused_dots(const std::vector<linalg::ParVector>& v,
     rt.tracer().kernel(
         r, 2.0 * static_cast<double>((count + 1) * wl.size()),
         static_cast<double>((count + 2) * wl.size()) * sizeof(Real));
-  }
+  });
   return rt.allreduce_sum_vec(partial);
 }
 

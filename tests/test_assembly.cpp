@@ -149,6 +149,7 @@ TEST_P(AssemblyRankSweep, VectorAssemblyMatchesSerialReference) {
     ref[static_cast<std::size_t>(layout.row_of(node))] += 0.5;
   }
   EXPECT_LT(max_diff(rhs.gather(), ref), 1e-12);
+  EXPECT_TRUE(rt.transport().drained());
 }
 
 TEST_P(AssemblyRankSweep, AtomicFillMatchesOrderedFill) {
@@ -191,6 +192,7 @@ TEST_P(AssemblyRankSweep, DirichletRowsAreIdentityOnly) {
     EXPECT_EQ(a.row_nnz(row), 1);
     EXPECT_DOUBLE_EQ(a.at(row, row), 1.0);
   }
+  EXPECT_TRUE(rt.transport().drained());
 }
 
 TEST_P(AssemblyRankSweep, RhsOnlyRefillMatchesFullFill) {
@@ -273,6 +275,7 @@ TEST(IjInterface, SixCallPatternAssembles) {
   EXPECT_DOUBLE_EQ(b[1], 2.0);
   EXPECT_DOUBLE_EQ(b[2], 0.0);
   EXPECT_DOUBLE_EQ(b[3], 10.5);
+  EXPECT_TRUE(rt.transport().drained());
 }
 
 TEST(IjInterface, RejectsWrongOwnership) {

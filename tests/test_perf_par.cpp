@@ -1,7 +1,12 @@
-// Unit tests: machine models, tracer accounting, simulated transport.
+// Unit tests: machine models, tracer accounting, simulated transport,
+// and the shared-memory parallel rank executor.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+
 #include "par/runtime.hpp"
+#include "par/thread_pool.hpp"
 #include "perf/machine_model.hpp"
 #include "perf/tracer.hpp"
 
@@ -84,6 +89,26 @@ TEST(Tracer, MessageChargedToBothEndpoints) {
   EXPECT_EQ(s.total_messages(), 1);
 }
 
+TEST(Tracer, SelfMessageCountedOnce) {
+  // Regression: total_messages() used to halve the per-rank sum, which
+  // undercounts when a rank routes shared COO triples to itself
+  // (assembly charges dst == src only once).
+  perf::Tracer t(2);
+  t.message(0, 1, 8);  // charged to both endpoints
+  t.message(1, 1, 8);  // self-message: charged once
+  const auto& s = t.phase("");
+  EXPECT_EQ(s.rank[0].msgs, 1);
+  EXPECT_EQ(s.rank[1].msgs, 2);
+  EXPECT_EQ(s.total_messages(), 2);
+}
+
+TEST(Tracer, ResetClearsMessageCount) {
+  perf::Tracer t(2);
+  t.message(0, 1, 8);
+  t.reset();
+  EXPECT_EQ(t.phase("").total_messages(), 0);
+}
+
 TEST(Tracer, CollectiveScalesWithRanks) {
   perf::MachineModel m;
   m.coll_hop_s = 1.0;
@@ -135,6 +160,82 @@ TEST(Runtime, AllreduceSumAndMax) {
   EXPECT_DOUBLE_EQ(v[1], 20);
   // Three collectives were charged.
   EXPECT_EQ(rt.tracer().phase("").collectives, 3);
+}
+
+TEST(Runtime, AllreduceMaxAllNegative) {
+  // Regression: the accumulator used to start at 0, so an all-negative
+  // reduction wrongly returned 0.
+  par::Runtime rt(3);
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{-5, -9, -2}), -2);
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{-7, -7, -7}), -7);
+}
+
+TEST(ThreadPool, ParallelForRanksRunsEveryBodyExactlyOnce) {
+  par::Runtime rt(64);
+  std::vector<int> hits(64, 0);
+  rt.parallel_for_ranks([&](RankId r) { hits[static_cast<std::size_t>(r)] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  par::Runtime rt(8);
+  EXPECT_THROW(rt.parallel_for_ranks([&](RankId r) {
+    EXW_REQUIRE(r != 5, "boom");
+  }),
+               Error);
+}
+
+TEST(ThreadPool, NestedRegionsRunInline) {
+  par::Runtime rt(4);
+  std::atomic<int> total{0};
+  rt.parallel_for_ranks([&](RankId) {
+    EXPECT_TRUE(par::in_parallel_region() || par::serial_mode() ||
+                par::ThreadPool::instance().num_threads() == 1);
+    par::parallel_for(3, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 12);
+}
+
+TEST(ThreadPool, SerialModeForcesInlineExecution) {
+  par::set_serial_mode(true);
+  std::vector<int> order;
+  par::parallel_for(8, [&](int i) { order.push_back(i); });  // no data race
+  par::set_serial_mode(false);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Transport, ConcurrentSendsFromRankBodiesAreSafe) {
+  // Every rank posts to every other rank inside one parallel region, then
+  // every rank drains its inbox in a second region. FIFO per channel and
+  // exact message counts must survive the concurrency.
+  const int nranks = 16;
+  par::Runtime rt(nranks);
+  rt.parallel_for_ranks([&](RankId src) {
+    for (int dst = 0; dst < nranks; ++dst) {
+      rt.transport().send<int>(src, dst, 7, {src, dst, 1});
+      rt.transport().send<int>(src, dst, 7, {src, dst, 2});
+    }
+  });
+  std::atomic<int> received{0};
+  rt.parallel_for_ranks([&](RankId dst) {
+    for (int src = 0; src < nranks; ++src) {
+      const auto first = rt.transport().recv<int>(dst, src, 7);
+      const auto second = rt.transport().recv<int>(dst, src, 7);
+      if (first == std::vector<int>{src, dst, 1} &&
+          second == std::vector<int>{src, dst, 2}) {
+        received.fetch_add(2);
+      }
+    }
+  });
+  EXPECT_EQ(received.load(), 2 * nranks * nranks);
+  EXPECT_TRUE(rt.transport().drained());
+  // Exact count: nranks self-messages + nranks*(nranks-1) pair messages,
+  // two of each.
+  EXPECT_EQ(rt.tracer().phase("").total_messages(), 2 * nranks * nranks);
 }
 
 }  // namespace
