@@ -140,7 +140,9 @@ class Transport {
 class Runtime {
  public:
   explicit Runtime(int nranks)
-      : tracer_(nranks), transport_(&tracer_, nranks), nranks_(nranks) {}
+      : tracer_(nranks), transport_(&tracer_, nranks), nranks_(nranks) {
+    EXW_REQUIRE(nranks >= 1, "runtime needs at least one rank");
+  }
 
   int nranks() const { return nranks_; }
   perf::Tracer& tracer() { return tracer_; }

@@ -110,8 +110,22 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   if (num_threads_ <= 1 || n == 1 || t_in_region ||
       g_serial.load(std::memory_order_relaxed)) {
+    // Mirror run_bodies(): run every body even if one throws, then
+    // rethrow the first failure. Otherwise a throwing body would leave
+    // different side effects (tracer charges, pending transport
+    // messages) in serial vs. threaded runs.
+    std::exception_ptr error;
     for (int i = 0; i < n; ++i) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
     }
     return;
   }

@@ -105,9 +105,12 @@ PhaseStats& Tracer::find_stats(const std::string& name) {
 
 void Tracer::kernel(RankId r, double flops, double bytes) {
   EXW_ASSERT(r >= 0 && r < nranks_);
-  // Rank r's RankWork is written only by the thread running rank r's
-  // body, so plain accumulation is race-free even inside parallel
-  // regions (the stack is frozen there and find_stats never inserts).
+  // Rank r's flops/bytes/kernels are written only by the thread running
+  // rank r's body, so plain accumulation is race-free even inside
+  // parallel regions (the stack is frozen there and find_stats never
+  // inserts). The msgs/msg_bytes members are NOT single-writer — any
+  // thread may charge rank r as a message endpoint — so Tracer::message
+  // uses atomic RMWs for them; they must never be touched here.
   for (const auto& name : stack_) {
     auto& w = find_stats(name).rank[static_cast<std::size_t>(r)];
     w.flops += flops;
@@ -120,11 +123,18 @@ void Tracer::message(RankId src, RankId dst, double bytes) {
   EXW_ASSERT(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
   for (const auto& name : stack_) {
     auto& s = find_stats(name);
+    // In a halo exchange every rank is simultaneously a sender (charged
+    // here by its own thread) and a destination (charged by neighbor
+    // threads), so BOTH endpoint charges must be atomic: mixing plain
+    // and atomic access to the same object is UB and loses updates.
+    // Relaxed order suffices — the region barrier publishes the totals —
+    // and the double adds stay deterministic because byte counts are
+    // integers, exact in double regardless of accumulation order.
     auto& ws = s.rank[static_cast<std::size_t>(src)];
-    ws.msgs += 1;
-    ws.msg_bytes += bytes;
+    std::atomic_ref<long>(ws.msgs).fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<double>(ws.msg_bytes)
+        .fetch_add(bytes, std::memory_order_relaxed);
     if (dst != src) {
-      // The destination's body may be running on another thread.
       auto& wd = s.rank[static_cast<std::size_t>(dst)];
       std::atomic_ref<long>(wd.msgs).fetch_add(1, std::memory_order_relaxed);
       std::atomic_ref<double>(wd.msg_bytes)

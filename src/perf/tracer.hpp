@@ -80,13 +80,15 @@ class Tracer {
 
   /// One kernel on rank `r` doing `flops` work over `bytes` traffic.
   /// Thread-safe during parallel rank regions as long as it is called
-  /// from the thread executing rank r's body (each rank's RankWork is
-  /// written only by that thread) and the phase stack is not mutated.
+  /// from the thread executing rank r's body (rank r's flops/bytes/
+  /// kernels are written only by that thread) and the phase stack is
+  /// not mutated.
   void kernel(RankId r, double flops, double bytes);
 
   /// One message of `bytes` from src to dst; charged to both endpoints
-  /// (once if dst == src). During parallel regions, call from the thread
-  /// executing rank `src`'s body; the dst-side charge is atomic.
+  /// (once if dst == src). Safe to call from concurrent rank bodies:
+  /// both endpoint charges are atomic, since any rank may be charged as
+  /// src by its own thread and as dst by neighbor threads at once.
   void message(RankId src, RankId dst, double bytes);
 
   /// One allreduce-style collective with `bytes` payload per rank.

@@ -236,6 +236,38 @@ TEST(Transport, ConcurrentSendsFromRankBodiesAreSafe) {
   // Exact count: nranks self-messages + nranks*(nranks-1) pair messages,
   // two of each.
   EXPECT_EQ(rt.tracer().phase("").total_messages(), 2 * nranks * nranks);
+  // Per-rank charges are exact even though each rank is charged as src
+  // by its own thread and as dst by neighbor threads concurrently
+  // (regression: the src-side charge used to be a plain RMW racing the
+  // atomic dst-side charge, losing updates). Each rank: 2*nranks sends
+  // (self-messages charged once) + 2*(nranks-1) receives from others.
+  const auto& root = rt.tracer().phase("");
+  for (int r = 0; r < nranks; ++r) {
+    const auto& w = root.rank[static_cast<std::size_t>(r)];
+    EXPECT_EQ(w.msgs, 4 * nranks - 2) << "rank " << r;
+    EXPECT_DOUBLE_EQ(w.msg_bytes,
+                     static_cast<double>(4 * nranks - 2) * 3 * sizeof(int))
+        << "rank " << r;
+  }
+}
+
+TEST(ThreadPool, InlinePathRunsAllBodiesBeforeRethrow) {
+  // Regression: the inline fallback used to abort at the first throwing
+  // body, while the threaded path runs every remaining body and rethrows
+  // afterwards — so a failure left different side effects (tracer
+  // charges, pending messages) in serial vs. threaded runs.
+  par::set_serial_mode(true);
+  std::vector<int> hits(8, 0);
+  EXPECT_THROW(par::parallel_for(8,
+                                 [&](int i) {
+                                   hits[static_cast<std::size_t>(i)] += 1;
+                                   EXW_REQUIRE(i != 2, "boom");
+                                 }),
+               Error);
+  par::set_serial_mode(false);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << "body " << i;
+  }
 }
 
 }  // namespace
