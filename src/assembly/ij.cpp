@@ -1,6 +1,7 @@
 #include "assembly/ij.hpp"
 
 #include "common/error.hpp"
+#include "par/contract.hpp"
 
 namespace exw::assembly {
 
@@ -16,6 +17,7 @@ void IJMatrix::SetValues2(RankId rank, std::span<const GlobalIndex> rows,
                           std::span<const Real> values) {
   EXW_REQUIRE(rows.size() == cols.size() && rows.size() == values.size(),
               "IJ SetValues2 array mismatch");
+  EXW_CONTRACT_CHECK_WRITE(rank, "IJMatrix::SetValues2(rank)");
   auto& coo = owned_[static_cast<std::size_t>(rank)];
   for (std::size_t k = 0; k < rows.size(); ++k) {
     EXW_REQUIRE(rows_.owns(rank, rows[k]),
@@ -29,6 +31,7 @@ void IJMatrix::AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
                             std::span<const Real> values) {
   EXW_REQUIRE(rows.size() == cols.size() && rows.size() == values.size(),
               "IJ AddToValues2 array mismatch");
+  EXW_CONTRACT_CHECK_WRITE(rank, "IJMatrix::AddToValues2(rank)");
   auto& coo = shared_[static_cast<std::size_t>(rank)];
   for (std::size_t k = 0; k < rows.size(); ++k) {
     EXW_REQUIRE(!rows_.owns(rank, rows[k]),
@@ -60,6 +63,7 @@ IJVector::IJVector(par::Runtime& rt, par::RowPartition rows)
 void IJVector::SetValues2(RankId rank, std::span<const GlobalIndex> rows,
                           std::span<const Real> values) {
   EXW_REQUIRE(rows.size() == values.size(), "IJ SetValues2 array mismatch");
+  EXW_CONTRACT_CHECK_WRITE(rank, "IJVector::SetValues2(rank)");
   auto& dense = owned_[static_cast<std::size_t>(rank)];
   for (std::size_t k = 0; k < rows.size(); ++k) {
     EXW_REQUIRE(rows_.owns(rank, rows[k]),
@@ -71,6 +75,7 @@ void IJVector::SetValues2(RankId rank, std::span<const GlobalIndex> rows,
 void IJVector::AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
                             std::span<const Real> values) {
   EXW_REQUIRE(rows.size() == values.size(), "IJ AddToValues2 array mismatch");
+  EXW_CONTRACT_CHECK_WRITE(rank, "IJVector::AddToValues2(rank)");
   auto& coo = shared_[static_cast<std::size_t>(rank)];
   for (std::size_t k = 0; k < rows.size(); ++k) {
     EXW_REQUIRE(!rows_.owns(rank, rows[k]),

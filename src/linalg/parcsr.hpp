@@ -65,7 +65,12 @@ class ParCsr {
   const RankBlock& block(RankId r) const {
     return blocks_[static_cast<std::size_t>(r)];
   }
-  RankBlock& block_mut(RankId r) { return blocks_[static_cast<std::size_t>(r)]; }
+  /// Mutable access to rank r's block. Inside a parallel rank region
+  /// only rank r's own body may take it (contract-checked).
+  RankBlock& block_mut(RankId r) {
+    EXW_CONTRACT_CHECK_WRITE(r, "ParCsr::block_mut(r)");
+    return blocks_[static_cast<std::size_t>(r)];
+  }
   const CommPkg& comm() const { return comm_; }
 
   GlobalIndex nnz_of_rank(RankId r) const;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "par/contract.hpp"
 #include "par/partition.hpp"
 #include "par/runtime.hpp"
 
@@ -24,7 +25,12 @@ class ParVector {
   GlobalIndex global_size() const { return rows_.global_size(); }
   int nranks() const { return rows_.nranks(); }
 
-  RealVector& local(RankId r) { return local_[static_cast<std::size_t>(r)]; }
+  /// Mutable access to rank r's local block. Inside a parallel rank
+  /// region only rank r's own body may take it (contract-checked).
+  RealVector& local(RankId r) {
+    EXW_CONTRACT_CHECK_WRITE(r, "ParVector::local(r)");
+    return local_[static_cast<std::size_t>(r)];
+  }
   const RealVector& local(RankId r) const {
     return local_[static_cast<std::size_t>(r)];
   }

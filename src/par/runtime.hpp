@@ -26,6 +26,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "par/contract.hpp"
 #include "par/thread_pool.hpp"
 #include "perf/tracer.hpp"
 
@@ -36,14 +37,19 @@ class Transport {
  public:
   Transport(perf::Tracer* tracer, int nranks)
       : tracer_(tracer),
-        shards_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)) {}
+        shards_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)),
+        nranks_(nranks > 0 ? nranks : 1) {}
 
   /// Post a message. Bytes are charged to the cost model immediately.
   /// Safe to call from concurrent rank bodies; per-channel FIFO order is
-  /// preserved because each (src, dst, tag) channel has a single sender.
+  /// preserved because each (src, dst, tag) channel has a single sender
+  /// (enforced by the contract checker inside parallel regions).
   template <typename T>
-  void send(RankId src, RankId dst, int tag, std::vector<T> payload) {
+  void send(RankId src, RankId dst, int tag, const std::vector<T>& payload) {
     static_assert(std::is_trivially_copyable_v<T>);
+    require_rank(src, "send src");
+    require_rank(dst, "send dst");
+    EXW_CONTRACT_CHECK(contract::check_send(src, dst, tag, "Transport::send"));
     if (tracer_ != nullptr) {
       tracer_->message(src, dst, static_cast<double>(payload.size() * sizeof(T)));
     }
@@ -56,6 +62,9 @@ class Transport {
   /// Receive the oldest matching message; throws if none is pending.
   template <typename T>
   std::vector<T> recv(RankId dst, RankId src, int tag) {
+    require_rank(dst, "recv dst");
+    require_rank(src, "recv src");
+    EXW_CONTRACT_CHECK(contract::check_recv(dst, src, tag, "Transport::recv"));
     Shard& sh = shard(dst);
     std::vector<std::byte> raw;
     {
@@ -74,6 +83,8 @@ class Transport {
 
   /// True if a message from src to dst with tag is pending.
   bool has_message(RankId dst, RankId src, int tag) const {
+    require_rank(dst, "has_message dst");
+    require_rank(src, "has_message src");
     const Shard& sh = shard(dst);
     std::lock_guard<std::mutex> lk(sh.mutex);
     auto it = sh.boxes.find(Key{src, dst, tag});
@@ -106,11 +117,17 @@ class Transport {
     std::map<Key, std::deque<std::vector<std::byte>>> boxes;
   };
 
-  Shard& shard(RankId dst) {
-    return shards_[static_cast<std::size_t>(dst) % shards_.size()];
+  /// All public entry points validate ranks first: an out-of-range id
+  /// must throw, not silently alias another rank's shard via modulo
+  /// wrap-around and corrupt its mailboxes.
+  void require_rank(RankId r, const char* what) const {
+    EXW_REQUIRE(r >= 0 && r < nranks_,
+                std::string(what) + " rank out of range [0, nranks)");
   }
+
+  Shard& shard(RankId dst) { return shards_[static_cast<std::size_t>(dst)]; }
   const Shard& shard(RankId dst) const {
-    return shards_[static_cast<std::size_t>(dst) % shards_.size()];
+    return shards_[static_cast<std::size_t>(dst)];
   }
 
   template <typename T>
@@ -134,6 +151,7 @@ class Transport {
 
   perf::Tracer* tracer_;
   std::vector<Shard> shards_;
+  int nranks_;
 };
 
 /// The simulated world handed to every distributed component.

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "par/contract.hpp"
+
 namespace exw::par {
 
 namespace {
@@ -17,6 +19,8 @@ thread_local bool t_in_region = false;
 std::atomic<bool> g_serial{false};
 
 int configured_threads() {
+  // Read once, before any worker exists, so the mt-unsafe getenv is safe.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* s = std::getenv("EXW_NUM_THREADS")) {
     const int n = std::atoi(s);
     if (n >= 1) return n;
@@ -47,6 +51,7 @@ ThreadPool& ThreadPool::instance() {
 }
 
 ThreadPool::ThreadPool() : impl_(new Impl), num_threads_(configured_threads()) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before any worker spawns
   if (std::getenv("EXW_SERIAL") != nullptr) {
     g_serial.store(true, std::memory_order_relaxed);
   }
@@ -74,6 +79,9 @@ void ThreadPool::run_bodies() {
     const int i = impl_->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= impl_->n) break;
     try {
+#if EXW_CONTRACT_CHECKS_ENABLED
+      contract::ScopedRankContext ctx(i);
+#endif
       (*impl_->fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(impl_->mutex);
@@ -114,9 +122,24 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
     // rethrow the first failure. Otherwise a throwing body would leave
     // different side effects (tracer charges, pending transport
     // messages) in serial vs. threaded runs.
+#if EXW_CONTRACT_CHECKS_ENABLED
+    // A nested call is part of the enclosing rank's body: keep the outer
+    // rank context and region. Only a top-level inline region (serial
+    // mode, single-thread pool, n == 1) opens a checked region of its own.
+    const bool top_level =
+        !t_in_region && contract::current_rank() == contract::kNoRank;
+    contract::RegionScope region(top_level);
+#endif
     std::exception_ptr error;
     for (int i = 0; i < n; ++i) {
       try {
+#if EXW_CONTRACT_CHECKS_ENABLED
+        if (top_level) {
+          contract::ScopedRankContext ctx(i);
+          fn(i);
+          continue;
+        }
+#endif
         fn(i);
       } catch (...) {
         if (!error) {
@@ -129,6 +152,9 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
     }
     return;
   }
+#if EXW_CONTRACT_CHECKS_ENABLED
+  contract::RegionScope region(true);
+#endif
   {
     std::lock_guard<std::mutex> lk(impl_->mutex);
     impl_->fn = &fn;

@@ -21,6 +21,13 @@
 ///   * the first exception thrown by any body is rethrown on the
 ///     orchestrator thread once every body has finished.
 ///
+/// This contract is machine-checked: parallel_for wraps each body in a
+/// contract::ScopedRankContext and opens a checked region, and the
+/// layers that carry the contract (Transport, Tracer, the per-rank
+/// accessors in linalg/assembly) reject cross-rank access with an
+/// exw::Error naming the offending ranks. See par/contract.hpp; checks
+/// compile away when EXW_CONTRACT_CHECKS=OFF.
+///
 /// Sizing: EXW_NUM_THREADS if set, else std::thread::hardware_concurrency.
 /// EXW_SERIAL=1 (or set_serial_mode(true), the benches' --serial flag)
 /// forces every region inline for determinism debugging; the parallel

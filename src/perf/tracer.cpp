@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.hpp"
+#include "par/contract.hpp"
 
 namespace exw::perf {
 
@@ -86,6 +87,7 @@ PhaseStats& Tracer::stats_for(const std::string& name) {
 }
 
 void Tracer::push_phase(const std::string& name) {
+  EXW_CONTRACT_CHECK(par::contract::check_phase_mutation("push_phase"));
   const std::string full =
       stack_.back().empty() ? name : stack_.back() + "/" + name;
   stats_for(full);
@@ -93,6 +95,7 @@ void Tracer::push_phase(const std::string& name) {
 }
 
 void Tracer::pop_phase() {
+  EXW_CONTRACT_CHECK(par::contract::check_phase_mutation("pop_phase"));
   EXW_REQUIRE(stack_.size() > 1, "pop_phase with no open phase");
   stack_.pop_back();
 }
@@ -105,6 +108,7 @@ PhaseStats& Tracer::find_stats(const std::string& name) {
 
 void Tracer::kernel(RankId r, double flops, double bytes) {
   EXW_ASSERT(r >= 0 && r < nranks_);
+  EXW_CONTRACT_CHECK(par::contract::check_kernel_charge(r));
   // Rank r's flops/bytes/kernels are written only by the thread running
   // rank r's body, so plain accumulation is race-free even inside
   // parallel regions (the stack is frozen there and find_stats never
@@ -121,6 +125,7 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
 
 void Tracer::message(RankId src, RankId dst, double bytes) {
   EXW_ASSERT(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+  EXW_CONTRACT_CHECK(par::contract::check_message_charge(src));
   for (const auto& name : stack_) {
     auto& s = find_stats(name);
     // In a halo exchange every rank is simultaneously a sender (charged

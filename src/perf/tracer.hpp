@@ -73,6 +73,8 @@ class Tracer {
   int nranks() const { return nranks_; }
 
   /// Open a nested phase. Pair with pop_phase(); prefer PhaseScope.
+  /// Must be called on the orchestrator, between parallel regions — the
+  /// contract checker rejects push/pop from inside a rank body.
   void push_phase(const std::string& name);
   void pop_phase();
   /// Fully-qualified name of the innermost open phase.
@@ -82,7 +84,7 @@ class Tracer {
   /// Thread-safe during parallel rank regions as long as it is called
   /// from the thread executing rank r's body (rank r's flops/bytes/
   /// kernels are written only by that thread) and the phase stack is
-  /// not mutated.
+  /// not mutated. Both conditions are contract-checked (par/contract.hpp).
   void kernel(RankId r, double flops, double bytes);
 
   /// One message of `bytes` from src to dst; charged to both endpoints

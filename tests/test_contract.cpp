@@ -1,0 +1,324 @@
+// Tests for the machine-checked threading contract (par/contract.hpp):
+// violations of the rank-parallel rules must throw exw::Error with a
+// diagnostic naming the offending ranks, and the checks must compile to
+// nothing when EXW_CONTRACT_CHECKS=OFF.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "assembly/ij.hpp"
+#include "linalg/parcsr.hpp"
+#include "linalg/parvector.hpp"
+#include "par/contract.hpp"
+#include "par/partition.hpp"
+#include "par/runtime.hpp"
+#include "par/thread_pool.hpp"
+#include "sparse/csr.hpp"
+
+namespace exw {
+namespace {
+
+using par::contract::ScopedRankContext;
+
+/// Run `body` and return the Error message it threw (fails if it didn't).
+template <typename Fn>
+std::string thrown_message(Fn&& body) {
+  try {
+    body();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a contract violation, none was thrown";
+  return {};
+}
+
+// --- always-on transport rank validation (independent of the contract) ---
+
+TEST(TransportRanks, OutOfRangeRankThrowsInsteadOfAliasing) {
+  // Regression: shard() used to wrap out-of-range ids via modulo, so an
+  // invalid dst silently landed in another rank's mailbox.
+  par::Runtime rt(4);
+  EXPECT_THROW(rt.transport().send<int>(0, 4, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(-1, 2, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(0, 7, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().recv<int>(4, 0, 1), Error);
+  EXPECT_THROW(rt.transport().recv<int>(0, -2, 1), Error);
+  EXPECT_THROW(rt.transport().has_message(5, 0, 1), Error);
+  EXPECT_THROW(rt.transport().has_message(0, 4, 1), Error);
+  // Nothing was delivered anywhere.
+  EXPECT_TRUE(rt.transport().drained());
+}
+
+#if EXW_CONTRACT_CHECKS_ENABLED
+
+// --- contract violations must throw with actionable diagnostics ----------
+
+TEST(Contract, WrongRankSendThrowsNamingBothRanks) {
+  par::Runtime rt(4);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      if (r == 1) {
+        // Rank body 1 impersonates rank 0 as the sender.
+        rt.transport().send<int>(0, 2, 7, {42});
+      }
+    });
+  });
+  EXPECT_NE(msg.find("rank body 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Transport::send"), std::string::npos) << msg;
+}
+
+TEST(Contract, WrongRankRecvThrowsNamingBothRanks) {
+  par::Runtime rt(4);
+  rt.transport().send<int>(0, 2, 7, {42});
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      if (r == 3) {
+        // Rank body 3 drains rank 2's mailbox.
+        rt.transport().recv<int>(2, 0, 7);
+      }
+    });
+  });
+  EXPECT_NE(msg.find("rank body 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("dst 2"), std::string::npos) << msg;
+  // Drain the message on the orchestrator so nothing leaks into the next test.
+  (void)rt.transport().recv<int>(2, 0, 7);
+}
+
+TEST(Contract, CrossRankParVectorWriteThrows) {
+  par::Runtime rt(4);
+  linalg::ParVector v(rt, par::RowPartition::even(64, rt.nranks()));
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      // Every body writes its right neighbor's slice — cross-rank.
+      v.local((r + 1) % rt.nranks())[0] = 1.0;
+    });
+  });
+  EXPECT_NE(msg.find("ParVector::local"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank body"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("parvector.hpp"), std::string::npos) << msg;
+}
+
+TEST(Contract, CrossRankParCsrBlockMutThrows) {
+  par::Runtime rt(2);
+  const auto rows = par::RowPartition::even(8, 2);
+  auto a = linalg::ParCsr::from_serial(rt, sparse::Csr::identity(8), rows, rows);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      a.block_mut(1 - r);
+    });
+  });
+  EXPECT_NE(msg.find("ParCsr::block_mut"), std::string::npos) << msg;
+}
+
+TEST(Contract, PhasePushInsideRegionThrows) {
+  par::Runtime rt(4);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      if (r == 2) {
+        rt.tracer().push_phase("illegal");
+      }
+    });
+  });
+  EXPECT_NE(msg.find("push_phase"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank body 2"), std::string::npos) << msg;
+  // The stack must be unchanged: the root phase is still open.
+  EXPECT_EQ(rt.tracer().current_phase(), "");
+}
+
+TEST(Contract, PhasePopInsideRegionThrows) {
+  par::Runtime rt(4);
+  rt.tracer().push_phase("outer");
+  EXPECT_THROW(rt.parallel_for_ranks([&](RankId) { rt.tracer().pop_phase(); }),
+               Error);
+  EXPECT_EQ(rt.tracer().current_phase(), "outer");
+  rt.tracer().pop_phase();
+}
+
+TEST(Contract, WrongRankKernelChargeThrows) {
+  par::Runtime rt(4);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      rt.tracer().kernel((r + 1) % rt.nranks(), 1.0, 1.0);
+    });
+  });
+  EXPECT_NE(msg.find("Tracer::kernel"), std::string::npos) << msg;
+}
+
+TEST(Contract, WrongRankMessageChargeThrows) {
+  par::Runtime rt(4);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      if (r == 0) {
+        rt.tracer().message(3, 0, 8.0);
+      }
+    });
+  });
+  EXPECT_NE(msg.find("rank body 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src 3"), std::string::npos) << msg;
+}
+
+TEST(Contract, CrossRankIJAssemblyWriteThrows) {
+  par::Runtime rt(2);
+  const auto rows = par::RowPartition::even(8, 2);
+  assembly::IJMatrix ij(rt, rows, rows);
+  const std::string msg = thrown_message([&] {
+    rt.parallel_for_ranks([&](RankId r) {
+      // Body r stages entries into the *other* rank's buffers.
+      const RankId other = 1 - r;
+      const std::vector<GlobalIndex> row{rows.first_row(other)};
+      const std::vector<Real> val{1.0};
+      ij.SetValues2(other, row, row, val);
+    });
+  });
+  EXPECT_NE(msg.find("IJMatrix::SetValues2"), std::string::npos) << msg;
+}
+
+TEST(Contract, TwoThreadsOnOneChannelThrows) {
+  // The FIFO-determinism invariant, checked below the rank-context layer:
+  // two distinct threads sending on one (src, dst, tag) channel within a
+  // region is rejected even if both carry the right rank context.
+  par::contract::begin_region();
+  // Keep the first sender alive while the second sends: pool threads all
+  // live for the whole region, and a joined thread's id may be reused.
+  std::atomic<bool> first_sent{false};
+  std::atomic<bool> release_first{false};
+  std::thread first([&] {
+    ScopedRankContext ctx(0);
+    par::contract::check_send(0, 1, 7, "test");
+    first_sent.store(true);
+    while (!release_first.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!first_sent.load()) {
+    std::this_thread::yield();
+  }
+  std::string msg;
+  std::thread second([&msg] {
+    ScopedRankContext ctx(0);
+    try {
+      par::contract::check_send(0, 1, 7, "test");
+    } catch (const Error& e) {
+      msg = e.what();
+    }
+  });
+  second.join();
+  release_first.store(true);
+  first.join();
+  par::contract::end_region();
+  EXPECT_NE(msg.find("two distinct threads"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("FIFO"), std::string::npos) << msg;
+}
+
+TEST(Contract, SameThreadMaySendTwiceOnOneChannel) {
+  // FIFO per channel with a single sender is exactly what the transport
+  // promises — repeated sends from one body must stay legal.
+  par::Runtime rt(2);
+  rt.parallel_for_ranks([&](RankId r) {
+    if (r == 0) {
+      rt.transport().send<int>(0, 1, 7, {1});
+      rt.transport().send<int>(0, 1, 7, {2});
+    }
+  });
+  EXPECT_EQ(rt.transport().recv<int>(1, 0, 7)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(1, 0, 7)[0], 2);
+}
+
+TEST(Contract, OrchestratorIsUnrestrictedBetweenRegions) {
+  // Outside parallel regions there is no rank context: the orchestrator
+  // may touch any rank's state, send as anyone, and manage phases.
+  par::Runtime rt(3);
+  linalg::ParVector v(rt, par::RowPartition::even(30, 3));
+  v.local(2)[0] = 4.0;
+  rt.transport().send<int>(1, 2, 5, {9});
+  EXPECT_EQ(rt.transport().recv<int>(2, 1, 5)[0], 9);
+  rt.tracer().push_phase("ok");
+  rt.tracer().kernel(1, 1.0, 1.0);
+  rt.tracer().pop_phase();
+  EXPECT_EQ(par::contract::current_rank(), par::contract::kNoRank);
+}
+
+TEST(Contract, ReportCountsCheckedRegionsAndCalls) {
+  par::contract::reset();
+  par::Runtime rt(4);
+  linalg::ParVector x(rt, par::RowPartition::even(64, 4));
+  linalg::ParVector y(rt, par::RowPartition::even(64, 4));
+  x.fill(1.0);
+  y.fill(2.0);
+  (void)x.dot(y);
+  rt.parallel_for_ranks([&](RankId r) { x.local(r)[0] += 1.0; });
+  rt.parallel_for_ranks([&](RankId r) {
+    rt.transport().send<int>(r, (r + 1) % 4, 3, {1});
+  });
+  rt.parallel_for_ranks(
+      [&](RankId r) { (void)rt.transport().recv<int>(r, (r + 3) % 4, 3); });
+  const auto rep = par::contract::report();
+  EXPECT_GE(rep.regions, 6);         // fill x2, dot, write, send, recv
+  EXPECT_GE(rep.sends, 4);
+  EXPECT_GE(rep.recvs, 4);
+  EXPECT_GE(rep.rank_writes, 4);     // the local(r) region, one per rank
+  EXPECT_GE(rep.kernel_charges, 12);
+  EXPECT_GE(rep.message_charges, 4);
+  EXPECT_EQ(rep.violations, 0);
+  EXPECT_FALSE(par::contract::summary().empty());
+  EXPECT_TRUE(rt.transport().drained());
+}
+
+TEST(Contract, ViolationsAreCountedInReport) {
+  par::contract::reset();
+  par::Runtime rt(2);
+  linalg::ParVector v(rt, par::RowPartition::even(8, 2));
+  EXPECT_THROW(
+      rt.parallel_for_ranks([&](RankId r) { v.local(1 - r)[0] = 1.0; }),
+      Error);
+  EXPECT_GE(par::contract::report().violations, 1);
+}
+
+TEST(Contract, NestedParallelForKeepsOuterRankContext) {
+  // Nested regions run inline as part of the outer body, so contract
+  // checks inside them still attribute work to the outer rank.
+  par::Runtime rt(4);
+  rt.parallel_for_ranks([&](RankId r) {
+    par::parallel_for(3, [&](int) {
+      EXPECT_EQ(par::contract::current_rank(), r);
+      rt.transport().send<int>(r, r, 1, {1});
+      (void)rt.transport().recv<int>(r, r, 1);
+    });
+  });
+  EXPECT_TRUE(rt.transport().drained());
+}
+
+#else  // !EXW_CONTRACT_CHECKS_ENABLED
+
+// --- with checks off, the macros must compile to nothing -----------------
+
+TEST(Contract, ChecksCompileToNothingWhenOff) {
+  EXPECT_FALSE(par::contract::enabled());
+  // EXW_CONTRACT_CHECK must not evaluate its argument at all.
+  int evaluated = 0;
+  EXW_CONTRACT_CHECK(evaluated = 1);
+  EXW_CONTRACT_CHECK_WRITE(evaluated = 1, "never evaluated");
+  EXPECT_EQ(evaluated, 0);
+}
+
+TEST(Contract, ViolationsPassSilentlyWhenOff) {
+  // The same cross-rank write that throws in checked builds is simply
+  // not observed (the races it would catch are the user's problem —
+  // this configuration exists for release-mode performance).
+  par::Runtime rt(2);
+  linalg::ParVector v(rt, par::RowPartition::even(8, 2));
+  // The same cross-rank write that throws in checked builds. The two
+  // bodies touch disjoint slots, so it is well-defined — just contract-
+  // breaking — and must pass silently here.
+  EXPECT_NO_THROW(rt.parallel_for_ranks(
+      [&](RankId r) { v.local(1 - r)[0] = 1.0; }));
+  EXPECT_EQ(par::contract::report().regions, 0);
+}
+
+#endif  // EXW_CONTRACT_CHECKS_ENABLED
+
+}  // namespace
+}  // namespace exw
