@@ -18,7 +18,7 @@ int main() {
   const double refine = bench::env_refine(0.6);
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Global-assembly ablation (%lld nodes)\n\n",
-              static_cast<long long>(sys.total_nodes()));
+              static_cast<long long>(sys.total_nodes().value()));
   std::printf("%6s %-12s %18s %16s\n", "ranks", "variant",
               "modeled global[s]", "host wall[s]");
 

@@ -47,12 +47,12 @@ int main() {
     const Real g = db.edges[e].coeff;
     graph.add_edge(e, {g, -g, -g, g}, {0, 0});
   }
-  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     graph.add_node(node, dirichlet[static_cast<std::size_t>(node)] ? 1.0 : 1e-8,
                    1.0);
   }
   std::vector<sparse::Coo> owned, shared;
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     owned.push_back(graph.rank(r).owned);
     shared.push_back(graph.rank(r).shared);
   }
@@ -60,7 +60,7 @@ int main() {
   const auto a = assembly::assemble_matrix(rt, rows, rows, owned, shared);
   std::printf("Interpolation ablation — rotor pressure matrix (%lld rows, "
               "boundary-layer anisotropy)\n\n",
-              static_cast<long long>(a.global_rows()));
+              static_cast<long long>(a.global_rows().value()));
 
   linalg::ParVector b(rt, a.rows()), x(rt, a.rows()), r(rt, a.rows());
   b.fill(1.0);

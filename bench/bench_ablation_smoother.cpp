@@ -19,7 +19,7 @@ int main() {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Smoother ablation — momentum GMRES iterations vs inner "
               "Jacobi-Richardson sweeps (%lld nodes)\n\n",
-              static_cast<long long>(sys.total_nodes()));
+              static_cast<long long>(sys.total_nodes().value()));
 
   std::printf("%13s %10s %12s %14s\n", "inner sweeps", "mom_iters",
               "scl_iters", "NLI(gpu)[s]");

@@ -49,7 +49,7 @@ int main() {
     const auto a = [&] {
       std::vector<LocalIndex> ti, tj;
       std::vector<Real> tv;
-      const LocalIndex nn = static_cast<LocalIndex>(n) * n * n;
+      const LocalIndex nn{n * n * n};
       auto id = [&](int i, int j, int k) {
         return static_cast<LocalIndex>((k * n + j) * n + i);
       };
@@ -81,7 +81,7 @@ int main() {
         wall_seconds([&] { sparse::spgemm_sort(a, a); }, 3);
     char label[64];
     std::snprintf(label, sizeof(label), "A*A (7-pt Laplacian %d^3)", n);
-    std::printf("%-28s %10d %12.5f %12.5f %7.2fx\n", label, a.nrows(), t_hash,
+    std::printf("%-28s %10d %12.5f %12.5f %7.2fx\n", label, a.nrows().value(), t_hash,
                 t_sort, t_sort / t_hash);
   }
 

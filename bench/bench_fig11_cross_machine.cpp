@@ -23,7 +23,7 @@ int main() {
   const int steps = env_steps(1);
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Fig. 11 — Summit vs Eagle, %s (%lld mesh nodes)\n\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()));
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()));
 
   const double scale =
       paper_scale(mesh::TurbineCase::kSingle, sys.total_nodes());

@@ -23,7 +23,7 @@ int main() {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Fig. 3 — strong scaling, %s (%lld mesh nodes), %d step(s), 4 "
               "Picard iters\n\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()),
               steps);
 
   const double scale =
@@ -67,6 +67,6 @@ int main() {
                 scaling_slope(xs, ts));
   }
   std::printf("(mesh nodes per GPU at 32 Summit nodes: %.0f)\n",
-              static_cast<double>(sys.total_nodes()) / (32.0 * 6.0));
+              static_cast<double>(sys.total_nodes().value()) / (32.0 * 6.0));
   return 0;
 }

@@ -30,7 +30,7 @@ std::vector<double> pressure_nnz(const mesh::OversetSystem& sys, int nranks,
                      role == mesh::NodeRole::kHole;
     }
     assembly::EquationGraph graph(db, layout, dirichlet);
-    for (int r = 0; r < nranks; ++r) {
+    for (RankId r{0}; r.value() < nranks; ++r) {
       nnz[static_cast<std::size_t>(r)] +=
           static_cast<double>(graph.rank(r).owned.nnz());
     }
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   std::printf("Fig. %s — pressure-system NNZ per rank, RCB vs graph "
               "partitioner, %s (%lld nodes)\n\n",
               refined ? "10" : "5", sys.name.c_str(),
-              static_cast<long long>(sys.total_nodes()));
+              static_cast<long long>(sys.total_nodes().value()));
   std::printf("%8s  %-8s %12s %12s %12s %10s %9s\n", "ranks", "method",
               "median", "min", "max", "max/min", "stddev");
 

@@ -20,7 +20,7 @@ int main() {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Fig. 6 — CPU pressure-Poisson breakdown, %s (%lld nodes), "
               "modeled seconds per step (SummitCPU)\n\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()));
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()));
 
   const double scale =
       paper_scale(mesh::TurbineCase::kSingle, sys.total_nodes());

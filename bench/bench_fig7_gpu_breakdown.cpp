@@ -19,7 +19,7 @@ int main() {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("Fig. 7 — GPU pressure-Poisson breakdown, %s (%lld nodes), "
               "modeled seconds per step (SummitGPU)\n\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()));
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()));
 
   const double scale =
       paper_scale(mesh::TurbineCase::kSingle, sys.total_nodes());

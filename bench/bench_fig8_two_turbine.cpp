@@ -17,7 +17,7 @@ int main() {
   const int steps = env_steps(1);
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kDual, refine);
   std::printf("Fig. 8 — strong scaling, %s (%lld mesh nodes)\n\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()));
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()));
 
   const double scale = paper_scale(mesh::TurbineCase::kDual, sys.total_nodes());
   const auto gpu = scaled_model(perf::MachineModel::summit_gpu(), scale);

@@ -42,7 +42,7 @@ sparse::Csr laplacian(int n) {
         nb(i, j, k - 1, -1.0);
         nb(i, j, k + 1, -1.0);
       }
-  const auto nn = static_cast<LocalIndex>(n) * n * n;
+  const LocalIndex nn{n * n * n};
   return sparse::Csr::from_triples(nn, nn, std::move(ti), std::move(tj),
                                    std::move(tv));
 }
@@ -104,7 +104,7 @@ BENCHMARK(BM_SpGemmSort)->Arg(16)->Arg(24)->Arg(32);
 void BM_LocalAssemblyFill(benchmark::State& state) {
   // Stage-2 fill rate on a turbine-like mesh at one rank.
   mesh::BackgroundParams bg;
-  bg.nx = bg.ny = bg.nz = state.range(0);
+  bg.nx = bg.ny = bg.nz = GlobalIndex{state.range(0)};
   const auto db = mesh::make_background_mesh(bg, "bg");
   const auto layout =
       assembly::make_layout(db, 1, assembly::PartitionMethod::kRcb);
@@ -116,16 +116,16 @@ void BM_LocalAssemblyFill(benchmark::State& state) {
       const Real g = db.edges[e].coeff;
       graph.add_edge(e, {g, -g, -g, g}, {0.1, -0.1});
     }
-    benchmark::DoNotOptimize(graph.rank(0).owned.vals.data());
+    benchmark::DoNotOptimize(graph.rank(RankId{0}).owned.vals.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(db.num_edges()) * 4);
+                          static_cast<int64_t>(db.num_edges().value()) * 4);
 }
 BENCHMARK(BM_LocalAssemblyFill)->Arg(16)->Arg(28);
 
 void BM_LocalAssemblyFillAtomic(benchmark::State& state) {
   mesh::BackgroundParams bg;
-  bg.nx = bg.ny = bg.nz = state.range(0);
+  bg.nx = bg.ny = bg.nz = GlobalIndex{state.range(0)};
   const auto db = mesh::make_background_mesh(bg, "bg");
   const auto layout =
       assembly::make_layout(db, 1, assembly::PartitionMethod::kRcb);
@@ -137,39 +137,39 @@ void BM_LocalAssemblyFillAtomic(benchmark::State& state) {
       const Real g = db.edges[e].coeff;
       graph.add_edge(e, {g, -g, -g, g}, {0.1, -0.1}, /*atomic=*/true);
     }
-    benchmark::DoNotOptimize(graph.rank(0).owned.vals.data());
+    benchmark::DoNotOptimize(graph.rank(RankId{0}).owned.vals.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(db.num_edges()) * 4);
+                          static_cast<int64_t>(db.num_edges().value()) * 4);
 }
 BENCHMARK(BM_LocalAssemblyFillAtomic)->Arg(16)->Arg(28);
 
 void BM_TwoStageGsSweep(benchmark::State& state) {
   const auto mat = laplacian(static_cast<int>(state.range(0)));
   par::Runtime rt(1);
-  const auto rows = par::RowPartition::even(mat.nrows(), 1);
+  const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, 1);
   const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
   amg::Smoother smoother(a, amg::SmootherType::kTwoStageGs, 2, 1.0);
   linalg::ParVector b(rt, rows), x(rt, rows);
   b.fill(1.0);
   for (auto _ : state) {
     smoother.apply(b, x, 1);
-    benchmark::DoNotOptimize(x.local(0).data());
+    benchmark::DoNotOptimize(x.local(RankId{0}).data());
   }
 }
 BENCHMARK(BM_TwoStageGsSweep)->Arg(24)->Arg(40);
 
 void BM_GraphPartition(benchmark::State& state) {
   mesh::BackgroundParams bg;
-  bg.nx = bg.ny = bg.nz = 24;
+  bg.nx = bg.ny = bg.nz = GlobalIndex{24};
   const auto db = mesh::make_background_mesh(bg, "bg");
   std::vector<LocalIndex> ei(db.edges.size()), ej(db.edges.size());
   for (std::size_t e = 0; e < db.edges.size(); ++e) {
-    ei[e] = static_cast<LocalIndex>(db.edges[e].a);
-    ej[e] = static_cast<LocalIndex>(db.edges[e].b);
+    ei[e] = checked_narrow<LocalIndex>(db.edges[e].a);
+    ej[e] = checked_narrow<LocalIndex>(db.edges[e].b);
   }
   const auto g = part::graph_from_edges(
-      static_cast<LocalIndex>(db.num_nodes()), ei, ej, {});
+      checked_narrow<LocalIndex>(db.num_nodes()), ei, ej, {});
   for (auto _ : state) {
     auto parts = part::graph_partition(g, static_cast<int>(state.range(0)));
     benchmark::DoNotOptimize(parts.data());
@@ -179,7 +179,7 @@ BENCHMARK(BM_GraphPartition)->Arg(8)->Arg(32);
 
 void BM_Rcb(benchmark::State& state) {
   mesh::BackgroundParams bg;
-  bg.nx = bg.ny = bg.nz = 24;
+  bg.nx = bg.ny = bg.nz = GlobalIndex{24};
   const auto db = mesh::make_background_mesh(bg, "bg");
   for (auto _ : state) {
     auto parts =

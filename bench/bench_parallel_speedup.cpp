@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("parallel rank executor — %s (%lld mesh nodes), %d simulated "
               "ranks, %d step(s)\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()),
               nranks, steps);
   std::printf("host: %u hardware threads, pool size %d%s\n\n", hw,
               par::ThreadPool::instance().num_threads(),

@@ -27,14 +27,14 @@ int main() {
        {mesh::TurbineCase::kSingle, mesh::TurbineCase::kDual,
         mesh::TurbineCase::kSingleRefined}) {
     const auto sys = mesh::make_turbine_case(which, refine);
-    GlobalIndex edges = 0;
+    GlobalIndex edges{0};
     for (const auto& m : sys.meshes) edges += m.num_edges();
-    nodes[i] = static_cast<double>(sys.total_nodes());
+    nodes[i] = static_cast<double>(sys.total_nodes().value());
     std::printf("%-20s %12lld %12lld %12lld %14lld\n",
                 mesh::case_name(which).c_str(),
-                static_cast<long long>(sys.total_nodes()),
-                static_cast<long long>(sys.total_hexes()),
-                static_cast<long long>(edges), paper[i]);
+                static_cast<long long>(sys.total_nodes().value()),
+                static_cast<long long>(sys.total_hexes().value()),
+                static_cast<long long>(edges.value()), paper[i]);
     ++i;
   }
   std::printf("\nratios: dual/single = %.2f (paper %.2f), refined/single = "

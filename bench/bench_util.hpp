@@ -109,7 +109,7 @@ inline double paper_scale(mesh::TurbineCase which, GlobalIndex actual_nodes) {
   const double paper = which == mesh::TurbineCase::kSingle ? 23022027.0
                        : which == mesh::TurbineCase::kDual ? 44233109.0
                                                            : 634469604.0;
-  return paper / static_cast<double>(actual_nodes);
+  return paper / static_cast<double>(actual_nodes.value());
 }
 
 inline int env_steps(int fallback) {

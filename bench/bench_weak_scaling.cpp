@@ -42,8 +42,8 @@ int main() {
     cfg.picard_iters = 2;
     const auto r = run_case(sys, cfg, ranks[i], gpu, steps);
     std::printf("%8.3f %8d %12lld %14.0f %12.4f %8d\n", refines[i], ranks[i],
-                static_cast<long long>(sys.total_nodes()),
-                static_cast<double>(sys.total_nodes()) / ranks[i], r.nli_mean,
+                static_cast<long long>(sys.total_nodes().value()),
+                static_cast<double>(sys.total_nodes().value()) / ranks[i], r.nli_mean,
                 r.prs_iters);
     if (i == 0) first = r.nli_mean;
     last = r.nli_mean;

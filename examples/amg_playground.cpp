@@ -33,12 +33,12 @@ linalg::ParCsr pressure_matrix(par::Runtime& rt, mesh::OversetSystem& sys) {
     const Real g = db.edges[e].coeff;
     graph.add_edge(e, {g, -g, -g, g}, {0, 0});
   }
-  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     graph.add_node(node, dirichlet[static_cast<std::size_t>(node)] ? 1.0 : 0.0,
                    1.0);
   }
   std::vector<sparse::Coo> owned, shared;
-  for (int r = 0; r < graph.nranks(); ++r) {
+  for (RankId r{0}; r.value() < graph.nranks(); ++r) {
     owned.push_back(graph.rank(r).owned);
     shared.push_back(graph.rank(r).shared);
   }
@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
   par::Runtime rt(nranks);
   const auto a = pressure_matrix(rt, sys);
   std::printf("pressure matrix: %lld rows, %lld nnz (avg %.1f/row)\n\n",
-              static_cast<long long>(a.global_rows()),
-              static_cast<long long>(a.global_nnz()),
-              static_cast<double>(a.global_nnz()) /
-                  static_cast<double>(a.global_rows()));
+              static_cast<long long>(a.global_rows().value()),
+              static_cast<long long>(a.global_nnz().value()),
+              static_cast<double>(a.global_nnz().value()) /
+                  static_cast<double>(a.global_rows().value()));
 
   linalg::ParVector b(rt, a.rows()), x(rt, a.rows()), r(rt, a.rows());
   b.fill(1.0);

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kDual, refine);
   std::printf("case: %s | %lld nodes over %zu component meshes\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()),
               sys.meshes.size());
 
   // Overset inventory: which mesh donates to which.

@@ -20,19 +20,19 @@ int main(int argc, char** argv) {
 
   // 1. A graded box mesh (boundary-layer-like clustering in z).
   mesh::MeshDB db;
-  const GlobalIndex n = 24;
+  const GlobalIndex n{24};
   mesh::StructuredBlockBuilder block(n, n, n);
   block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    const Real t = static_cast<Real>(k) / static_cast<Real>(n);
-    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
+    const Real t = static_cast<Real>(k.value()) / static_cast<Real>(n.value());
+    return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
                 24.0 * t * t};  // quadratic clustering: anisotropic cells
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();
   std::printf("mesh: %lld nodes, %lld hexes, %lld dual edges\n",
-              static_cast<long long>(db.num_nodes()),
-              static_cast<long long>(db.num_hexes()),
-              static_cast<long long>(db.num_edges()));
+              static_cast<long long>(db.num_nodes().value()),
+              static_cast<long long>(db.num_hexes().value()),
+              static_cast<long long>(db.num_edges().value()));
 
   // 2. A simulated distributed runtime with `nranks` ranks.
   par::Runtime rt(nranks);
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     push(r, e.b, e.b, e.coeff + 1e-6);
     push(r, e.b, e.a, -e.coeff);
   }
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     // Split into owned rows (SetValues2) and off-rank rows (AddToValues2).
     std::vector<GlobalIndex> orow, ocol, srow, scol;
     std::vector<Real> oval, sval;
@@ -89,8 +89,8 @@ int main(int argc, char** argv) {
   const linalg::ParCsr a = ij_mat.Assemble();   // Algorithm 1
   const linalg::ParVector b = ij_rhs.Assemble();  // Algorithm 2
   std::printf("matrix: %lld rows, %lld nonzeros over %d ranks\n",
-              static_cast<long long>(a.global_rows()),
-              static_cast<long long>(a.global_nnz()), nranks);
+              static_cast<long long>(a.global_rows().value()),
+              static_cast<long long>(a.global_nnz().value()), nranks);
 
   // 4. BoomerAMG-style preconditioner (aggressive PMIS + MM-ext + two-
   //    stage Gauss-Seidel) inside one-reduce GMRES.

@@ -26,12 +26,12 @@ int main(int argc, char** argv) {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, refine);
   std::printf("case: %s | %lld mesh nodes (%zu meshes), %zu overset fringe "
               "constraints\n",
-              sys.name.c_str(), static_cast<long long>(sys.total_nodes()),
+              sys.name.c_str(), static_cast<long long>(sys.total_nodes().value()),
               sys.meshes.size(), sys.constraints.size());
   for (const auto& m : sys.meshes) {
     std::printf("  mesh %-12s nodes=%lld hexes=%lld\n", m.name.c_str(),
-                static_cast<long long>(m.num_nodes()),
-                static_cast<long long>(m.num_hexes()));
+                static_cast<long long>(m.num_nodes().value()),
+                static_cast<long long>(m.num_hexes().value()));
   }
 
   par::Runtime rt(nranks);

@@ -36,7 +36,7 @@ StrongGraph build_strong_graph(const linalg::ParCsr& a, const Strength& s) {
       static_cast<std::size_t>(nranks));
   std::vector<std::vector<std::vector<GlobalIndex>>> dep(
       static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     nbr[static_cast<std::size_t>(r)].resize(
         static_cast<std::size_t>(rows.local_size(r)));
     dep[static_cast<std::size_t>(r)].resize(
@@ -48,26 +48,26 @@ StrongGraph build_strong_graph(const linalg::ParCsr& a, const Strength& s) {
        [static_cast<std::size_t>(rows.to_local(owner, to))].push_back(from);
   };
 
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& b = a.block(r);
     const GlobalIndex row0 = rows.first_row(r);
-    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
-      const GlobalIndex gi = row0 + i;
+    for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
+      const GlobalIndex gi = row0 + i.value();
       auto& ni = nbr[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)];
       auto& di = dep[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)];
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
         if (!s.strong_diag(r, static_cast<std::size_t>(k))) continue;
         const GlobalIndex gj =
-            row0 + b.diag.cols()[static_cast<std::size_t>(k)];
+            row0 + b.diag.cols()[k].value();
         ni.push_back(gj);
         di.push_back(gj);
         add_reverse(gj, gi);
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
         if (!s.strong_offd(r, static_cast<std::size_t>(k))) continue;
         const GlobalIndex gj =
             b.col_map[static_cast<std::size_t>(
-                b.offd.cols()[static_cast<std::size_t>(k)])];
+                b.offd.cols()[k])];
         ni.push_back(gj);
         di.push_back(gj);
         add_reverse(gj, gi);
@@ -76,7 +76,7 @@ StrongGraph build_strong_graph(const linalg::ParCsr& a, const Strength& s) {
     }
   }
 
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     auto& xa = g.xadj[static_cast<std::size_t>(r)];
     auto& ad = g.adj[static_cast<std::size_t>(r)];
     auto& dxa = g.dep_xadj[static_cast<std::size_t>(r)];
@@ -119,7 +119,7 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
   // Influence count: number of reverse edges delivered to each node. The
   // symmetrized neighbor list contains (deps ∪ influencers); recompute
   // influencers exactly by streaming dependencies once more.
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& dxa = graph.dep_xadj[static_cast<std::size_t>(r)];
     const auto& dad = graph.dep_adj[static_cast<std::size_t>(r)];
     for (std::size_t k = 0; k < dad.size(); ++k) {
@@ -131,9 +131,9 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
     // Isolated / purely-weak rows (e.g. Dirichlet identity rows) become
     // F-points immediately: nothing interpolates from them and the
     // smoother resolves them exactly.
-    const RankId r = rows.rank_of(static_cast<GlobalIndex>(g));
+    const RankId r = rows.rank_of(checked_narrow<GlobalIndex>(g));
     const auto li = static_cast<std::size_t>(
-        rows.to_local(r, static_cast<GlobalIndex>(g)));
+        rows.to_local(r, checked_narrow<GlobalIndex>(g)));
     const auto& xa = graph.xadj[static_cast<std::size_t>(r)];
     const bool isolated = xa[li + 1] == xa[li];
     if (isolated && w[g] == 0.0) {
@@ -146,7 +146,7 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
 
   Coarsening out;
   out.cf.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     out.cf[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(rows.local_size(r)), CF::kUndecided);
   }
@@ -155,7 +155,7 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
   while (any_undecided) {
     out.rounds += 1;
     // Charge the boundary (w, cf) exchange for this round.
-    for (int r = 0; r < nranks; ++r) {
+    for (RankId r{0}; r.value() < nranks; ++r) {
       const double deg = graph.boundary_degree[static_cast<std::size_t>(r)];
       if (deg > 0) {
         tracer.kernel(r, deg, deg * (sizeof(double) + 1.0));
@@ -166,12 +166,12 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
     // Phase 1: local maxima of w over undecided strong neighborhoods
     // become C-points (one independent-set round of Luby's algorithm).
     std::vector<GlobalIndex> new_c;
-    for (int r = 0; r < nranks; ++r) {
+    for (RankId r{0}; r.value() < nranks; ++r) {
       const GlobalIndex row0 = rows.first_row(r);
       const auto& xa = graph.xadj[static_cast<std::size_t>(r)];
       const auto& ad = graph.adj[static_cast<std::size_t>(r)];
-      for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
-        const auto gi = static_cast<std::size_t>(row0 + i);
+      for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
+        const auto gi = static_cast<std::size_t>(row0 + i.value());
         if (state[gi] != CF::kUndecided) continue;
         bool is_max = true;
         for (std::size_t k = xa[static_cast<std::size_t>(i)];
@@ -183,7 +183,7 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
           }
         }
         if (is_max) {
-          new_c.push_back(static_cast<GlobalIndex>(gi));
+          new_c.push_back(checked_narrow<GlobalIndex>(gi));
         }
       }
       tracer.kernel(r, static_cast<double>(xa.back()),
@@ -195,12 +195,12 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
 
     // Phase 2: undecided points strongly depending on a C-point become F.
     any_undecided = false;
-    for (int r = 0; r < nranks; ++r) {
+    for (RankId r{0}; r.value() < nranks; ++r) {
       const GlobalIndex row0 = rows.first_row(r);
       const auto& dxa = graph.dep_xadj[static_cast<std::size_t>(r)];
       const auto& dad = graph.dep_adj[static_cast<std::size_t>(r)];
-      for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
-        const auto gi = static_cast<std::size_t>(row0 + i);
+      for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
+        const auto gi = static_cast<std::size_t>(row0 + i.value());
         if (state[gi] != CF::kUndecided) continue;
         for (std::size_t k = dxa[static_cast<std::size_t>(i)];
              k < dxa[static_cast<std::size_t>(i) + 1]; ++k) {
@@ -218,25 +218,25 @@ Coarsening pmis(const linalg::ParCsr& a, const Strength& s,
   }
 
   // Coarse numbering: per-rank contiguous, in local row order.
-  std::vector<GlobalIndex> counts(static_cast<std::size_t>(nranks), 0);
+  std::vector<GlobalIndex> counts(static_cast<std::size_t>(nranks), GlobalIndex{0});
   out.coarse_id.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const GlobalIndex row0 = rows.first_row(r);
     auto& cf = out.cf[static_cast<std::size_t>(r)];
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
       cf[static_cast<std::size_t>(i)] =
-          state[static_cast<std::size_t>(row0 + i)];
+          state[static_cast<std::size_t>(row0 + i.value())];
       if (cf[static_cast<std::size_t>(i)] == CF::kCoarse) {
         counts[static_cast<std::size_t>(r)] += 1;
       }
     }
   }
   out.coarse_rows = par::RowPartition::from_counts(counts);
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     auto& ids = out.coarse_id[static_cast<std::size_t>(r)];
     ids.assign(static_cast<std::size_t>(rows.local_size(r)), kInvalidGlobal);
     GlobalIndex next = out.coarse_rows.first_row(r);
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
       if (out.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] ==
           CF::kCoarse) {
         ids[static_cast<std::size_t>(i)] = next++;

@@ -36,7 +36,7 @@ struct AmgConfig {
   int pmax = 4;                ///< max interpolation entries per row
   Real trunc_factor = 0.0;     ///< drop |w| < trunc * max|w| before pmax
   int max_levels = 20;
-  GlobalIndex max_coarse_size = 64;  ///< direct-solve threshold
+  GlobalIndex max_coarse_size{64};  ///< direct-solve threshold
   SmootherType smoother = SmootherType::kTwoStageGs;
   int pre_sweeps = 1;
   int post_sweeps = 1;

@@ -22,7 +22,7 @@ bool coarsen_once(const linalg::ParCsr& a, const AmgConfig& cfg,
   const Strength s = compute_strength(a, cfg.strong_threshold);
   const Coarsening c = pmis(a, s, seed);
   coarse_size = c.coarse_size();
-  if (coarse_size == 0 || coarse_size >= a.global_rows()) {
+  if (coarse_size == GlobalIndex{0} || coarse_size >= a.global_rows()) {
     return false;
   }
   p_out = build_interpolation(a, s, c, cfg);
@@ -42,14 +42,14 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
   levels_.back().a = a;
 
   std::uint64_t seed = cfg_.pmis_seed;
-  while (static_cast<int>(levels_.size()) < cfg_.max_levels &&
+  while (checked_narrow<int>(levels_.size()) < cfg_.max_levels &&
          levels_.back().a.global_rows() > cfg_.max_coarse_size) {
     AmgLevel& lvl = levels_.back();
-    const int level_index = static_cast<int>(levels_.size()) - 1;
+    const int level_index = checked_narrow<int>(levels_.size()) - 1;
     const bool aggressive = level_index < cfg_.agg_levels;
 
     linalg::ParCsr p1;
-    GlobalIndex n1 = 0;
+    GlobalIndex n1{0};
     seed = hash64(seed + 1);
     if (!coarsen_once(lvl.a, cfg_, seed, p1, n1)) {
       break;
@@ -61,7 +61,7 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
       // interpolations (P = P1 * P2) — distance-2 coarsening with
       // two-stage interpolation.
       linalg::ParCsr p2;
-      GlobalIndex n2 = 0;
+      GlobalIndex n2{0};
       seed = hash64(seed + 2);
       if (coarsen_once(a1, cfg_, seed, p2, n2)) {
         p1 = par_matmat(p1, p2, cfg_.spgemm);
@@ -87,8 +87,8 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
   }
   const auto& coarsest = levels_.back().a;
   coarse_lu_ = sparse::DenseLu(coarsest.to_serial());
-  rt.tracer().kernel(0, std::pow(static_cast<double>(coarsest.global_rows()), 3.0) / 3.0,
-                     8.0 * std::pow(static_cast<double>(coarsest.global_rows()), 2.0));
+  rt.tracer().kernel(RankId{0}, std::pow(static_cast<double>(coarsest.global_rows().value()), 3.0) / 3.0,
+                     8.0 * std::pow(static_cast<double>(coarsest.global_rows().value()), 2.0));
 }
 
 void AmgHierarchy::vcycle(const linalg::ParVector& b, linalg::ParVector& x) {
@@ -121,11 +121,11 @@ void AmgHierarchy::coarse_solve(const linalg::ParVector& b,
   // Gather, solve directly, scatter. Charged as one small collective plus
   // an O(n^2) triangular-solve kernel on one rank.
   par::Runtime& rt = levels_.back().a.runtime();
-  const auto n = static_cast<double>(b.global_size());
+  const auto n = static_cast<double>(b.global_size().value());
   rt.tracer().collective(n * sizeof(Real));
   RealVector rhs = b.gather();
   coarse_lu_.solve_in_place(rhs);
-  rt.tracer().kernel(0, 2.0 * n * n, 8.0 * n * n);
+  rt.tracer().kernel(RankId{0}, 2.0 * n * n, 8.0 * n * n);
   rt.tracer().collective(n * sizeof(Real));
   x.scatter(rhs);
 }
@@ -133,17 +133,17 @@ void AmgHierarchy::coarse_solve(const linalg::ParVector& b,
 double AmgHierarchy::grid_complexity() const {
   double sum = 0;
   for (const auto& lvl : levels_) {
-    sum += static_cast<double>(lvl.a.global_rows());
+    sum += static_cast<double>(lvl.a.global_rows().value());
   }
-  return sum / static_cast<double>(levels_.front().a.global_rows());
+  return sum / static_cast<double>(levels_.front().a.global_rows().value());
 }
 
 double AmgHierarchy::operator_complexity() const {
   double sum = 0;
   for (const auto& lvl : levels_) {
-    sum += static_cast<double>(lvl.a.global_nnz());
+    sum += static_cast<double>(lvl.a.global_nnz().value());
   }
-  return sum / static_cast<double>(levels_.front().a.global_nnz());
+  return sum / static_cast<double>(levels_.front().a.global_nnz().value());
 }
 
 std::string AmgHierarchy::describe() const {
@@ -153,8 +153,8 @@ std::string AmgHierarchy::describe() const {
     const auto& a = levels_[l].a;
     os << "  level " << l << ": rows=" << a.global_rows()
        << " nnz=" << a.global_nnz() << " avg_row="
-       << static_cast<double>(a.global_nnz()) /
-              static_cast<double>(std::max<GlobalIndex>(1, a.global_rows()))
+       << static_cast<double>(a.global_nnz().value()) /
+              static_cast<double>(std::max<std::int64_t>(1, a.global_rows().value()))
        << "\n";
   }
   os << "  grid complexity " << grid_complexity() << ", operator complexity "

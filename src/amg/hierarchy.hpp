@@ -45,7 +45,7 @@ class AmgHierarchy {
   /// One V-cycle for A x = b (x is both initial guess and result).
   void vcycle(const linalg::ParVector& b, linalg::ParVector& x);
 
-  int num_levels() const { return static_cast<int>(levels_.size()); }
+  int num_levels() const { return checked_narrow<int>(levels_.size()); }
   const AmgLevel& level(int l) const {
     return levels_[static_cast<std::size_t>(l)];
   }

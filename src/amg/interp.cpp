@@ -13,14 +13,14 @@ namespace {
 /// Charge one halo exchange of per-boundary-column (cf, coarse id) data.
 void charge_cf_exchange(const linalg::ParCsr& a) {
   auto& tracer = a.runtime().tracer();
-  for (int r = 0; r < a.nranks(); ++r) {
+  for (RankId r{0}; r.value() < a.nranks(); ++r) {
     const auto n = static_cast<double>(a.block(r).col_map.size());
     if (n > 0) {
       tracer.kernel(r, n, n * (sizeof(GlobalIndex) + 1.0));
     }
     for (const auto& recv : a.comm().recvs[static_cast<std::size_t>(r)]) {
       tracer.message(recv.src, r,
-                     static_cast<double>(recv.count) * (sizeof(GlobalIndex) + 1.0));
+                     static_cast<double>(recv.count.value()) * (sizeof(GlobalIndex) + 1.0));
     }
   }
 }
@@ -32,16 +32,16 @@ void for_each_offdiag(const linalg::ParCsr& a, const Strength& s, RankId r,
                       LocalIndex i, Fn&& fn) {
   const auto& b = a.block(r);
   const GlobalIndex col0 = a.cols().first_row(r);
-  for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-    const LocalIndex c = b.diag.cols()[static_cast<std::size_t>(k)];
+  for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+    const LocalIndex c = b.diag.cols()[k];
     if (c == i) continue;
-    fn(col0 + c, b.diag.vals()[static_cast<std::size_t>(k)],
+    fn(col0 + c.value(), b.diag.vals()[k],
        s.strong_diag(r, static_cast<std::size_t>(k)));
   }
-  for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+  for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
     fn(b.col_map[static_cast<std::size_t>(
-           b.offd.cols()[static_cast<std::size_t>(k)])],
-       b.offd.vals()[static_cast<std::size_t>(k)],
+           b.offd.cols()[k])],
+       b.offd.vals()[k],
        s.strong_offd(r, static_cast<std::size_t>(k)));
   }
 }
@@ -51,11 +51,11 @@ linalg::ParCsr p_from_rank_coos(par::Runtime& rt,
                                 const par::RowPartition& coarse,
                                 std::vector<sparse::Coo> coos) {
   std::vector<linalg::RankBlock> blocks(coos.size());
-  for (int r = 0; r < static_cast<int>(coos.size()); ++r) {
+  for (int r = 0; r < checked_narrow<int>(coos.size()); ++r) {
     auto& coo = coos[static_cast<std::size_t>(r)];
     coo.normalize();
     blocks[static_cast<std::size_t>(r)] =
-        assembly::split_diag_offd(coo, fine, coarse, r);
+        assembly::split_diag_offd(coo, fine, coarse, RankId{r});
   }
   return linalg::ParCsr(rt, fine, coarse, std::move(blocks));
 }
@@ -69,13 +69,13 @@ linalg::ParCsr build_direct(const linalg::ParCsr& a, const Strength& s,
   charge_cf_exchange(a);
 
   std::vector<sparse::Coo> coos(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& b = a.block(r);
     const GlobalIndex row0 = rows.first_row(r);
     auto& coo = coos[static_cast<std::size_t>(r)];
     const auto& diag_vals = b.diag.diagonal();
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
-      const GlobalIndex gi = row0 + i;
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
+      const GlobalIndex gi = row0 + i.value();
       if (c.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] ==
           CF::kCoarse) {
         coo.push(gi, c.coarse_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], 1.0);
@@ -83,7 +83,7 @@ linalg::ParCsr build_direct(const linalg::ParCsr& a, const Strength& s,
       }
       // Scan the row once, classifying neighbors.
       Real sum_all = 0, sum_strong_c = 0, sum_strong_f = 0, sum_weak = 0;
-      GlobalIndex n_strong_c = 0;
+      GlobalIndex n_strong_c{0};
       for_each_offdiag(a, s, r, i, [&](GlobalIndex g, Real v, bool strong) {
         sum_all += v;
         const bool is_c = c.cf_of(rows, g) == CF::kCoarse;
@@ -96,7 +96,7 @@ linalg::ParCsr build_direct(const linalg::ParCsr& a, const Strength& s,
           sum_weak += v;
         }
       });
-      if (n_strong_c == 0) {
+      if (n_strong_c == GlobalIndex{0}) {
         continue;  // PMIS F-point with no C-neighbor: empty row (§4.1)
       }
       const Real aii = diag_vals[static_cast<std::size_t>(i)];
@@ -105,7 +105,7 @@ linalg::ParCsr build_direct(const linalg::ParCsr& a, const Strength& s,
         // C set; lump weak couplings into the diagonal.
         const Real denom = aii + sum_weak;
         if (denom == 0.0) continue;
-        const Real spread = sum_strong_f / static_cast<Real>(n_strong_c);
+        const Real spread = sum_strong_f / static_cast<Real>(n_strong_c.value());
         for_each_offdiag(a, s, r, i, [&](GlobalIndex g, Real v, bool strong) {
           if (strong && c.cf_of(rows, g) == CF::kCoarse) {
             coo.push(gi, c.coarse_of(rows, g), -(v + spread) / denom);
@@ -146,14 +146,14 @@ linalg::ParCsr build_mm_ext(const linalg::ParCsr& a, const Strength& s,
       static_cast<std::size_t>(nranks));
   std::vector<std::vector<std::size_t>> ff_ptr(static_cast<std::size_t>(nranks));
 
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const GlobalIndex row0 = rows.first_row(r);
     const auto nlocal = static_cast<std::size_t>(rows.local_size(r));
     beta[static_cast<std::size_t>(r)].assign(nlocal, 0.0);
     gamma[static_cast<std::size_t>(r)].assign(nlocal, 0.0);
     ff_ptr[static_cast<std::size_t>(r)].assign(nlocal + 1, 0);
     auto& ffr = ff[static_cast<std::size_t>(r)];
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
       const bool is_f =
           c.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] !=
           CF::kCoarse;
@@ -173,8 +173,8 @@ linalg::ParCsr build_mm_ext(const linalg::ParCsr& a, const Strength& s,
     }
     // Y rows: strong-C entries scaled by 1/beta.
     auto& yc = y_coos[static_cast<std::size_t>(r)];
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
-      const GlobalIndex gi = row0 + i;
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
+      const GlobalIndex gi = row0 + i.value();
       if (c.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] ==
           CF::kCoarse) {
         continue;
@@ -197,7 +197,7 @@ linalg::ParCsr build_mm_ext(const linalg::ParCsr& a, const Strength& s,
 
   // Distance-2 reach: fetch Y rows of external strong-F neighbors.
   std::vector<std::vector<GlobalIndex>> needed(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     for (const auto& [g, v] : ff[static_cast<std::size_t>(r)]) {
       if (!rows.owns(r, g)) {
         needed[static_cast<std::size_t>(r)].push_back(g);
@@ -215,15 +215,15 @@ linalg::ParCsr build_mm_ext(const linalg::ParCsr& a, const Strength& s,
       const auto li = rows.to_local(owner, gf);
       const auto& yb = y.block(owner);
       const GlobalIndex c0 = c.coarse_rows.first_row(owner);
-      for (LocalIndex k = yb.diag.row_begin(li); k < yb.diag.row_end(li); ++k) {
-        out.emplace_back(c0 + yb.diag.cols()[static_cast<std::size_t>(k)],
-                         scale * yb.diag.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = yb.diag.row_begin(li); k < yb.diag.row_end(li); ++k) {
+        out.emplace_back(c0 + yb.diag.cols()[k].value(),
+                         scale * yb.diag.vals()[k]);
       }
-      for (LocalIndex k = yb.offd.row_begin(li); k < yb.offd.row_end(li); ++k) {
+      for (EntryOffset k = yb.offd.row_begin(li); k < yb.offd.row_end(li); ++k) {
         out.emplace_back(
             yb.col_map[static_cast<std::size_t>(
-                yb.offd.cols()[static_cast<std::size_t>(k)])],
-            scale * yb.offd.vals()[static_cast<std::size_t>(k)]);
+                yb.offd.cols()[k])],
+            scale * yb.offd.vals()[k]);
       }
     } else {
       const auto& e = ext[static_cast<std::size_t>(r)];
@@ -236,14 +236,14 @@ linalg::ParCsr build_mm_ext(const linalg::ParCsr& a, const Strength& s,
   };
 
   std::vector<sparse::Coo> coos(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const GlobalIndex row0 = rows.first_row(r);
     const auto& diag_vals = a.block(r).diag.diagonal();
     auto& coo = coos[static_cast<std::size_t>(r)];
     std::vector<std::pair<GlobalIndex, Real>> acc;
     double flops = 0;
-    for (LocalIndex i = 0; i < rows.local_size(r); ++i) {
-      const GlobalIndex gi = row0 + i;
+    for (LocalIndex i{0}; i < rows.local_size(r); ++i) {
+      const GlobalIndex gi = row0 + i.value();
       if (c.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] ==
           CF::kCoarse) {
         coo.push(gi, c.coarse_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], 1.0);
@@ -321,24 +321,24 @@ linalg::ParCsr build_interpolation(const linalg::ParCsr& a, const Strength& s,
 void truncate_interpolation(linalg::ParCsr& p, int pmax, Real trunc_factor) {
   if (pmax <= 0 && trunc_factor <= 0) return;
   auto& tracer = p.runtime().tracer();
-  for (int r = 0; r < p.nranks(); ++r) {
+  for (RankId r{0}; r.value() < p.nranks(); ++r) {
     auto& b = p.block_mut(r);
     // Work on the concatenated (diag, offd) row with a shared budget.
     sparse::Csr new_diag(b.diag.nrows(), b.diag.ncols());
     sparse::Csr new_offd(b.offd.nrows(), b.offd.ncols());
     std::vector<std::pair<Real, std::pair<int, LocalIndex>>> entries;
-    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
+    for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
       entries.clear();
       Real row_sum = 0, max_abs = 0;
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        const Real v = b.diag.vals()[static_cast<std::size_t>(k)];
-        entries.push_back({v, {0, b.diag.cols()[static_cast<std::size_t>(k)]}});
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        const Real v = b.diag.vals()[k];
+        entries.push_back({v, {0, b.diag.cols()[k]}});
         row_sum += v;
         max_abs = std::max(max_abs, std::abs(v));
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        const Real v = b.offd.vals()[static_cast<std::size_t>(k)];
-        entries.push_back({v, {1, b.offd.cols()[static_cast<std::size_t>(k)]}});
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        const Real v = b.offd.vals()[k];
+        entries.push_back({v, {1, b.offd.cols()[k]}});
         row_sum += v;
         max_abs = std::max(max_abs, std::abs(v));
       }
@@ -373,9 +373,9 @@ void truncate_interpolation(linalg::ParCsr& p, int pmax, Real trunc_factor) {
         }
       }
       new_diag.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
-          static_cast<LocalIndex>(new_diag.cols_vec().size());
+          EntryOffset{new_diag.cols_vec().size()};
       new_offd.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
-          static_cast<LocalIndex>(new_offd.cols_vec().size());
+          EntryOffset{new_offd.cols_vec().size()};
     }
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
     tracer.kernel(r, 4.0 * nnz, 2.0 * nnz * sizeof(Real));

@@ -52,7 +52,7 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
 
   // Fetch external P rows for A's offd columns.
   std::vector<std::vector<GlobalIndex>> needed(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     needed[static_cast<std::size_t>(r)] = a.block(r).col_map;
   }
   const auto ext = fetch_external_rows(p, needed);
@@ -75,33 +75,33 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
 
     // Emit P(local row li) as (global coarse col, val) via callback.
     auto for_p_row = [&](LocalIndex li, auto&& fn) {
-      for (LocalIndex k = pb.diag.row_begin(li); k < pb.diag.row_end(li); ++k) {
-        fn(pc0 + pb.diag.cols()[static_cast<std::size_t>(k)],
-           pb.diag.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = pb.diag.row_begin(li); k < pb.diag.row_end(li); ++k) {
+        fn(pc0 + pb.diag.cols()[k].value(),
+           pb.diag.vals()[k]);
       }
-      for (LocalIndex k = pb.offd.row_begin(li); k < pb.offd.row_end(li); ++k) {
+      for (EntryOffset k = pb.offd.row_begin(li); k < pb.offd.row_end(li); ++k) {
         fn(pb.col_map[static_cast<std::size_t>(
-               pb.offd.cols()[static_cast<std::size_t>(k)])],
-           pb.offd.vals()[static_cast<std::size_t>(k)]);
+               pb.offd.cols()[k])],
+           pb.offd.vals()[k]);
       }
     };
 
-    for (LocalIndex i = 0; i < fine.local_size(r); ++i) {
+    for (LocalIndex i{0}; i < fine.local_size(r); ++i) {
       // AP(i, :) = sum_k A(i, k) P(k, :).
       ap_row.clear();
-      for (LocalIndex k = ab.diag.row_begin(i); k < ab.diag.row_end(i); ++k) {
-        const LocalIndex kc = ab.diag.cols()[static_cast<std::size_t>(k)];
-        const Real av = ab.diag.vals()[static_cast<std::size_t>(k)];
+      for (EntryOffset k = ab.diag.row_begin(i); k < ab.diag.row_end(i); ++k) {
+        const LocalIndex kc = ab.diag.cols()[k];
+        const Real av = ab.diag.vals()[k];
         for_p_row(kc, [&](GlobalIndex col, Real pv) {
           ap_row.add(col, av * pv);
           products += 1;
         });
       }
-      for (LocalIndex k = ab.offd.row_begin(i); k < ab.offd.row_end(i); ++k) {
+      for (EntryOffset k = ab.offd.row_begin(i); k < ab.offd.row_end(i); ++k) {
         const GlobalIndex gk =
             ab.col_map[static_cast<std::size_t>(
-                ab.offd.cols()[static_cast<std::size_t>(k)])];
-        const Real av = ab.offd.vals()[static_cast<std::size_t>(k)];
+                ab.offd.cols()[k])];
+        const Real av = ab.offd.vals()[k];
         const std::size_t ei = er.find(gk);
         if (ei == static_cast<std::size_t>(-1)) continue;
         for (std::size_t q = er.row_ptr[ei]; q < er.row_ptr[ei + 1]; ++q) {
@@ -144,7 +144,7 @@ linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
   const auto& out_cols = b.cols();
 
   std::vector<std::vector<GlobalIndex>> needed(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     needed[static_cast<std::size_t>(r)] = a.block(r).col_map;
   }
   const auto ext = fetch_external_rows(b, needed);
@@ -160,30 +160,30 @@ linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
     RowAccumulator acc;
     sparse::Coo coo;
     double products = 0;
-    for (LocalIndex i = 0; i < a.rows().local_size(r); ++i) {
+    for (LocalIndex i{0}; i < a.rows().local_size(r); ++i) {
       acc.clear();
-      for (LocalIndex k = ab.diag.row_begin(i); k < ab.diag.row_end(i); ++k) {
-        const LocalIndex kc = ab.diag.cols()[static_cast<std::size_t>(k)];
-        const Real av = ab.diag.vals()[static_cast<std::size_t>(k)];
+      for (EntryOffset k = ab.diag.row_begin(i); k < ab.diag.row_end(i); ++k) {
+        const LocalIndex kc = ab.diag.cols()[k];
+        const Real av = ab.diag.vals()[k];
         // kc is owned by r in b's row partition when partitions align;
         // they do by construction (a.cols() == b.rows()).
-        for (LocalIndex q = bb.diag.row_begin(kc); q < bb.diag.row_end(kc); ++q) {
-          acc.add(bc0 + bb.diag.cols()[static_cast<std::size_t>(q)],
-                  av * bb.diag.vals()[static_cast<std::size_t>(q)]);
+        for (EntryOffset q = bb.diag.row_begin(kc); q < bb.diag.row_end(kc); ++q) {
+          acc.add(bc0 + bb.diag.cols()[q].value(),
+                  av * bb.diag.vals()[q]);
           products += 1;
         }
-        for (LocalIndex q = bb.offd.row_begin(kc); q < bb.offd.row_end(kc); ++q) {
+        for (EntryOffset q = bb.offd.row_begin(kc); q < bb.offd.row_end(kc); ++q) {
           acc.add(bb.col_map[static_cast<std::size_t>(
-                      bb.offd.cols()[static_cast<std::size_t>(q)])],
-                  av * bb.offd.vals()[static_cast<std::size_t>(q)]);
+                      bb.offd.cols()[q])],
+                  av * bb.offd.vals()[q]);
           products += 1;
         }
       }
-      for (LocalIndex k = ab.offd.row_begin(i); k < ab.offd.row_end(i); ++k) {
+      for (EntryOffset k = ab.offd.row_begin(i); k < ab.offd.row_end(i); ++k) {
         const GlobalIndex gk =
             ab.col_map[static_cast<std::size_t>(
-                ab.offd.cols()[static_cast<std::size_t>(k)])];
-        const Real av = ab.offd.vals()[static_cast<std::size_t>(k)];
+                ab.offd.cols()[k])];
+        const Real av = ab.offd.vals()[k];
         const std::size_t ei = er.find(gk);
         if (ei == static_cast<std::size_t>(-1)) continue;
         for (std::size_t q = er.row_ptr[ei]; q < er.row_ptr[ei + 1]; ++q) {
@@ -192,7 +192,7 @@ linalg::ParCsr par_matmat(const linalg::ParCsr& a, const linalg::ParCsr& b,
         }
       }
       for (const auto& [col, v] : acc.merged()) {
-        coo.push(row0 + i, col, v);
+        coo.push(row0 + i.value(), col, v);
       }
     }
     tracer.kernel(r, 2.0 * products,

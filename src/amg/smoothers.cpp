@@ -21,11 +21,11 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
     auto& l1 = out.l1_dinv[static_cast<std::size_t>(r)];
     dinv.assign(static_cast<std::size_t>(n), 0.0);
     l1.assign(static_cast<std::size_t>(n), 0.0);
-    for (LocalIndex i = 0; i < n; ++i) {
+    for (LocalIndex i{0}; i < n; ++i) {
       Real d = 0, off_rank_l1 = 0;
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        const LocalIndex c = b.diag.cols()[static_cast<std::size_t>(k)];
-        const Real v = b.diag.vals()[static_cast<std::size_t>(k)];
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        const LocalIndex c = b.diag.cols()[k];
+        const Real v = b.diag.vals()[k];
         if (c < i) {
           lo.cols_vec().push_back(c);
           lo.vals_vec().push_back(v);
@@ -36,13 +36,13 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
           d = v;
         }
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        off_rank_l1 += std::abs(b.offd.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        off_rank_l1 += std::abs(b.offd.vals()[k]);
       }
       lo.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
-          static_cast<LocalIndex>(lo.cols_vec().size());
+          EntryOffset{lo.cols_vec().size()};
       up.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
-          static_cast<LocalIndex>(up.cols_vec().size());
+          EntryOffset{up.cols_vec().size()};
       EXW_REQUIRE(d != 0.0, "zero diagonal in smoother setup");
       dinv[static_cast<std::size_t>(i)] = 1.0 / d;
       l1[static_cast<std::size_t>(i)] = 1.0 / (d + off_rank_l1);
@@ -65,15 +65,15 @@ Real estimate_eig_max(const linalg::ParCsr& a) {
     const auto& b = a.block(r);
     const auto d = b.diag.diagonal();
     Real bound = 0;
-    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
+    for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
       Real row = 0;
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        if (b.diag.cols()[static_cast<std::size_t>(k)] != i) {
-          row += std::abs(b.diag.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        if (b.diag.cols()[k] != i) {
+          row += std::abs(b.diag.vals()[k]);
         }
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        row += std::abs(b.offd.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        row += std::abs(b.offd.vals()[k]);
       }
       const Real dii = d[static_cast<std::size_t>(i)];
       EXW_REQUIRE(dii != 0.0, "zero diagonal in eigenvalue estimate");
@@ -146,22 +146,22 @@ void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
     auto& xl = x.local(rk);
     const auto& bl = b.local(rk);
     const auto& el = ext[static_cast<std::size_t>(rk)];
-    for (LocalIndex i = 0; i < blk.diag.nrows(); ++i) {
+    for (LocalIndex i{0}; i < blk.diag.nrows(); ++i) {
       Real acc = bl[static_cast<std::size_t>(i)];
       Real diag = 1.0;
-      for (LocalIndex k = blk.diag.row_begin(i); k < blk.diag.row_end(i); ++k) {
-        const LocalIndex c = blk.diag.cols()[static_cast<std::size_t>(k)];
-        const Real v = blk.diag.vals()[static_cast<std::size_t>(k)];
+      for (EntryOffset k = blk.diag.row_begin(i); k < blk.diag.row_end(i); ++k) {
+        const LocalIndex c = blk.diag.cols()[k];
+        const Real v = blk.diag.vals()[k];
         if (c == i) {
           diag = v;
         } else {
           acc -= v * xl[static_cast<std::size_t>(c)];
         }
       }
-      for (LocalIndex k = blk.offd.row_begin(i); k < blk.offd.row_end(i); ++k) {
-        acc -= blk.offd.vals()[static_cast<std::size_t>(k)] *
+      for (EntryOffset k = blk.offd.row_begin(i); k < blk.offd.row_end(i); ++k) {
+        acc -= blk.offd.vals()[k] *
                el[static_cast<std::size_t>(
-                   blk.offd.cols()[static_cast<std::size_t>(k)])];
+                   blk.offd.cols()[k])];
       }
       xl[static_cast<std::size_t>(i)] = acc / diag;
     }

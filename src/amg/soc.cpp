@@ -13,32 +13,32 @@ Strength compute_strength(const linalg::ParCsr& a, Real theta) {
   s.offd.resize(static_cast<std::size_t>(nranks));
   auto& tracer = a.runtime().tracer();
 
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& b = a.block(r);
     auto& sd = s.diag[static_cast<std::size_t>(r)];
     auto& so = s.offd[static_cast<std::size_t>(r)];
     sd.assign(b.diag.nnz(), 0);
     so.assign(b.offd.nnz(), 0);
-    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
+    for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
       // Row-wise threshold: strongest negative off-diagonal coupling.
       Real max_neg = 0.0;
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        if (b.diag.cols()[static_cast<std::size_t>(k)] == i) continue;
-        max_neg = std::max(max_neg, -b.diag.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        if (b.diag.cols()[k] == i) continue;
+        max_neg = std::max(max_neg, -b.diag.vals()[k]);
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        max_neg = std::max(max_neg, -b.offd.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        max_neg = std::max(max_neg, -b.offd.vals()[k]);
       }
       if (max_neg <= 0.0) continue;  // no negative couplings: all weak
       const Real cut = theta * max_neg;
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        if (b.diag.cols()[static_cast<std::size_t>(k)] == i) continue;
-        if (-b.diag.vals()[static_cast<std::size_t>(k)] >= cut) {
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        if (b.diag.cols()[k] == i) continue;
+        if (-b.diag.vals()[k] >= cut) {
           sd[static_cast<std::size_t>(k)] = 1;
         }
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        if (-b.offd.vals()[static_cast<std::size_t>(k)] >= cut) {
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        if (-b.offd.vals()[k] >= cut) {
           so[static_cast<std::size_t>(k)] = 1;
         }
       }

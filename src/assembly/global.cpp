@@ -55,31 +55,32 @@ linalg::RankBlock split_diag_offd(const sparse::Coo& coo,
   block.col_map.erase(std::unique(block.col_map.begin(), block.col_map.end()),
                       block.col_map.end());
 
-  block.diag = sparse::Csr(nlocal, static_cast<LocalIndex>(col1 - col0));
-  block.offd = sparse::Csr(nlocal, static_cast<LocalIndex>(block.col_map.size()));
+  block.diag = sparse::Csr(nlocal, checked_narrow<LocalIndex>(col1 - col0));
+  block.offd =
+      sparse::Csr(nlocal, checked_narrow<LocalIndex>(block.col_map.size()));
   auto& drp = block.diag.row_ptr_mut();
   auto& orp = block.offd.row_ptr_mut();
   std::size_t k = 0;
-  for (LocalIndex i = 0; i < nlocal; ++i) {
-    const GlobalIndex grow = row0 + i;
+  for (LocalIndex i{0}; i < nlocal; ++i) {
+    const GlobalIndex grow = row0 + i.value();
     while (k < coo.nnz() && coo.rows[k] == grow) {
       const GlobalIndex c = coo.cols[k];
       if (c >= col0 && c < col1) {
-        block.diag.cols_vec().push_back(static_cast<LocalIndex>(c - col0));
+        block.diag.cols_vec().push_back(checked_narrow<LocalIndex>(c - col0));
         block.diag.vals_vec().push_back(coo.vals[k]);
       } else {
         const auto it =
             std::lower_bound(block.col_map.begin(), block.col_map.end(), c);
         block.offd.cols_vec().push_back(
-            static_cast<LocalIndex>(it - block.col_map.begin()));
+            checked_narrow<LocalIndex>(it - block.col_map.begin()));
         block.offd.vals_vec().push_back(coo.vals[k]);
       }
       ++k;
     }
     drp[static_cast<std::size_t>(i) + 1] =
-        static_cast<LocalIndex>(block.diag.cols_vec().size());
+        EntryOffset{block.diag.cols_vec().size()};
     orp[static_cast<std::size_t>(i) + 1] =
-        static_cast<LocalIndex>(block.offd.cols_vec().size());
+        EntryOffset{block.offd.cols_vec().size()};
   }
   EXW_REQUIRE(k == coo.nnz(), "COO rows outside owned range in split");
   return block;
@@ -91,8 +92,8 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
                                const std::vector<sparse::Coo>& shared,
                                GlobalAssemblyAlgo algo) {
   const int nranks = rt.nranks();
-  EXW_REQUIRE(static_cast<int>(owned.size()) == nranks &&
-                  static_cast<int>(shared.size()) == nranks,
+  EXW_REQUIRE(checked_narrow<int>(owned.size()) == nranks &&
+                  checked_narrow<int>(shared.size()) == nranks,
               "one COO pair per rank");
   auto& transport = rt.transport();
   auto& tracer = rt.tracer();
@@ -102,10 +103,11 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
   // Pre-compute nnz_recv (paper: "easily computed using MPI_Allreduce API
   // calls after the graph-computation step") so receive buffers can be
   // sized up front.
-  std::vector<GlobalIndex> send_counts(static_cast<std::size_t>(nranks), 0);
-  for (int r = 0; r < nranks; ++r) {
+  std::vector<GlobalIndex> send_counts(static_cast<std::size_t>(nranks),
+                                       GlobalIndex{0});
+  for (RankId r{0}; r.value() < nranks; ++r) {
     send_counts[static_cast<std::size_t>(r)] =
-        static_cast<GlobalIndex>(shared[static_cast<std::size_t>(r)].nnz());
+        GlobalIndex{shared[static_cast<std::size_t>(r)].nnz()};
   }
   (void)rt.allreduce_sum(send_counts);
 
@@ -137,7 +139,7 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
   rt.parallel_for_ranks([&](RankId r) {
     // Step 3-4: stack owned + all received buffers.
     sparse::Coo recv;
-    for (int src = 0; src < nranks; ++src) {
+    for (RankId src{0}; src.value() < nranks; ++src) {
       if (!transport.has_message(r, src, kTagCooRow)) continue;
       auto ri = transport.recv<GlobalIndex>(r, src, kTagCooRow);
       auto rj = transport.recv<GlobalIndex>(r, src, kTagCooCol);
@@ -212,17 +214,18 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
                                   const std::vector<sparse::CooVector>& shared,
                                   GlobalAssemblyAlgo algo) {
   const int nranks = rt.nranks();
-  EXW_REQUIRE(static_cast<int>(owned.size()) == nranks &&
-                  static_cast<int>(shared.size()) == nranks,
+  EXW_REQUIRE(checked_narrow<int>(owned.size()) == nranks &&
+                  checked_narrow<int>(shared.size()) == nranks,
               "one RHS pair per rank");
   auto& transport = rt.transport();
   auto& tracer = rt.tracer();
   constexpr double kPairBytes = sizeof(GlobalIndex) + sizeof(Real);
 
-  std::vector<GlobalIndex> send_counts(static_cast<std::size_t>(nranks), 0);
-  for (int r = 0; r < nranks; ++r) {
+  std::vector<GlobalIndex> send_counts(static_cast<std::size_t>(nranks),
+                                       GlobalIndex{0});
+  for (RankId r{0}; r.value() < nranks; ++r) {
     send_counts[static_cast<std::size_t>(r)] =
-        static_cast<GlobalIndex>(shared[static_cast<std::size_t>(r)].size());
+        GlobalIndex{shared[static_cast<std::size_t>(r)].size()};
   }
   (void)rt.allreduce_sum(send_counts);
 
@@ -256,7 +259,7 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
     // Algorithm 2 lines 4-5: sort/reduce *only the received values*
     // (n_recv << n_own, the paper's key optimization).
     sparse::CooVector recv;
-    for (int src = 0; src < nranks; ++src) {
+    for (RankId src{0}; src.value() < nranks; ++src) {
       if (!transport.has_message(r, src, kTagRhsRow)) continue;
       auto ri = transport.recv<GlobalIndex>(r, src, kTagRhsRow);
       auto rv = transport.recv<Real>(r, src, kTagRhsVal);

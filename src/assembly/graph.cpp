@@ -45,7 +45,7 @@ void EquationGraph::build_patterns() {
 
   // Every node contributes its diagonal on its owner (time term or the
   // identity of a Dirichlet row).
-  for (GlobalIndex n = 0; n < db_->num_nodes(); ++n) {
+  for (GlobalIndex n{0}; n < db_->num_nodes(); ++n) {
     const GlobalIndex row = layout_->row_of(n);
     const RankId r = layout_->node_rank[static_cast<std::size_t>(n)];
     raw_owned[static_cast<std::size_t>(r)].push(row, row, 0.0);
@@ -78,15 +78,16 @@ void EquationGraph::build_patterns() {
     sys.shared = std::move(raw_shared[static_cast<std::size_t>(r)]);
     sys.owned.normalize();
     sys.shared.normalize();
-    sys.rhs_owned.assign(static_cast<std::size_t>(rows.local_size(r)), 0.0);
+    sys.rhs_owned.assign(static_cast<std::size_t>(rows.local_size(RankId{r})),
+                         0.0);
     sys.rhs_shared = std::move(raw_rhs_shared[static_cast<std::size_t>(r)]);
     sys.rhs_shared.normalize();
 
     // Owned row offsets: owned rows are contiguous [first_row, end_row).
     auto& ors = owned_row_start_[static_cast<std::size_t>(r)];
-    ors.assign(static_cast<std::size_t>(rows.local_size(r)) + 1, 0);
+    ors.assign(static_cast<std::size_t>(rows.local_size(RankId{r})) + 1, 0);
     for (GlobalIndex row : sys.owned.rows) {
-      ors[static_cast<std::size_t>(row - rows.first_row(r)) + 1] += 1;
+      ors[static_cast<std::size_t>(row - rows.first_row(RankId{r})) + 1] += 1;
     }
     for (std::size_t i = 1; i < ors.size(); ++i) {
       ors[i] += ors[i - 1];
@@ -109,13 +110,13 @@ void EquationGraph::build_patterns() {
 void EquationGraph::build_slots() {
   const auto& rows = layout_->numbering.rows;
   node_slots_.resize(static_cast<std::size_t>(db_->num_nodes()));
-  for (GlobalIndex n = 0; n < db_->num_nodes(); ++n) {
+  for (GlobalIndex n{0}; n < db_->num_nodes(); ++n) {
     const RankId r = layout_->node_rank[static_cast<std::size_t>(n)];
     const GlobalIndex row = layout_->row_of(n);
     NodeSlots& s = node_slots_[static_cast<std::size_t>(n)];
     s.rank = r;
     s.diag = locate_matrix(r, row, row);
-    s.rhs = static_cast<Slot>(row - rows.first_row(r));
+    s.rhs = (row - rows.first_row(r)).value();
   }
   edge_slots_.resize(db_->edges.size());
   for (std::size_t e = 0; e < db_->edges.size(); ++e) {
@@ -169,7 +170,7 @@ Slot EquationGraph::locate_matrix(RankId r, GlobalIndex row,
 Slot EquationGraph::locate_rhs(RankId r, GlobalIndex row) const {
   const auto& rows = layout_->numbering.rows;
   if (rows.owns(r, row)) {
-    return static_cast<Slot>(row - rows.first_row(r));
+    return (row - rows.first_row(r)).value();
   }
   const RankSystem& sys = ranks_[static_cast<std::size_t>(r)];
   const auto it = std::lower_bound(sys.rhs_shared.rows.begin(),

@@ -46,14 +46,14 @@ struct RankSystem {
 
 /// Precomputed slots for one mesh edge's 2x2 stencil + RHS pair.
 struct EdgeSlots {
-  RankId rank = 0;
+  RankId rank{0};
   Slot aa = kNoSlot, ab = kNoSlot, ba = kNoSlot, bb = kNoSlot;
   Slot rhs_a = kNoSlot, rhs_b = kNoSlot;
 };
 
 /// Precomputed slots for one node's diagonal + RHS.
 struct NodeSlots {
-  RankId rank = 0;
+  RankId rank{0};
   Slot diag = kNoSlot;
   Slot rhs = kNoSlot;
 };
@@ -65,7 +65,7 @@ class EquationGraph {
   EquationGraph(const mesh::MeshDB& db, const MeshLayout& layout,
                 const std::vector<std::uint8_t>& dirichlet);
 
-  int nranks() const { return static_cast<int>(ranks_.size()); }
+  int nranks() const { return checked_narrow<int>(ranks_.size()); }
   RankSystem& rank(RankId r) { return ranks_[static_cast<std::size_t>(r)]; }
   const RankSystem& rank(RankId r) const {
     return ranks_[static_cast<std::size_t>(r)];

@@ -53,7 +53,7 @@ linalg::ParCsr IJMatrix::Assemble(GlobalAssemblyAlgo algo) {
 IJVector::IJVector(par::Runtime& rt, par::RowPartition rows)
     : rt_(&rt), rows_(std::move(rows)) {
   owned_.resize(static_cast<std::size_t>(rt.nranks()));
-  for (int r = 0; r < rt.nranks(); ++r) {
+  for (RankId r{0}; r.value() < rt.nranks(); ++r) {
     owned_[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(rows_.local_size(r)), 0.0);
   }
@@ -87,7 +87,7 @@ void IJVector::AddToValues2(RankId rank, std::span<const GlobalIndex> rows,
 linalg::ParVector IJVector::Assemble() {
   for (auto& coo : shared_) coo.sort();
   auto vec = assemble_vector(*rt_, rows_, owned_, shared_);
-  for (int r = 0; r < rt_->nranks(); ++r) {
+  for (RankId r{0}; r.value() < rt_->nranks(); ++r) {
     owned_[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(rows_.local_size(r)), 0.0);
     shared_[static_cast<std::size_t>(r)].clear();

@@ -28,7 +28,7 @@ MeshLayout make_layout_from_parts(const mesh::MeshDB& db,
 
 MeshLayout make_layout(const mesh::MeshDB& db, int nranks,
                        PartitionMethod method, std::uint64_t seed) {
-  EXW_REQUIRE(db.num_nodes() >= nranks, "more ranks than mesh nodes");
+  EXW_REQUIRE(db.num_nodes().value() >= nranks, "more ranks than mesh nodes");
   // Node weight = expected matrix row size: diagonal + neighbors for
   // live rows, 1 for rows the discretization reduces to identity
   // (boundary / fringe / hole). The graph partitioner balances this —
@@ -57,11 +57,11 @@ MeshLayout make_layout(const mesh::MeshDB& db, int nranks,
   } else {
     std::vector<LocalIndex> ei(db.edges.size()), ej(db.edges.size());
     for (std::size_t e = 0; e < db.edges.size(); ++e) {
-      ei[e] = static_cast<LocalIndex>(db.edges[e].a);
-      ej[e] = static_cast<LocalIndex>(db.edges[e].b);
+      ei[e] = checked_narrow<LocalIndex>(db.edges[e].a);
+      ej[e] = checked_narrow<LocalIndex>(db.edges[e].b);
     }
     part::Graph g = part::graph_from_edges(
-        static_cast<LocalIndex>(db.num_nodes()), ei, ej, vwgt);
+        checked_narrow<LocalIndex>(db.num_nodes()), ei, ej, vwgt);
     part::GraphPartOptions opts;
     opts.seed = seed;
     parts = part::graph_partition(g, nranks, opts);

@@ -34,7 +34,7 @@ void charge_per_rank(perf::Tracer& tracer, const std::vector<double>& items,
                      double flops_per_item, double bytes_per_item) {
   for (std::size_t r = 0; r < items.size(); ++r) {
     if (items[r] > 0) {
-      tracer.kernel(static_cast<RankId>(r), items[r] * flops_per_item,
+      tracer.kernel(checked_narrow<RankId>(r), items[r] * flops_per_item,
                     items[r] * bytes_per_item);
     }
   }
@@ -48,7 +48,7 @@ Simulation::Simulation(mesh::OversetSystem& system, const SimConfig& cfg,
   blocks_.resize(system.meshes.size());
   for (std::size_t m = 0; m < system.meshes.size(); ++m) {
     blocks_[m].db = &system.meshes[m];
-    blocks_[m].mesh_index = static_cast<int>(m);
+    blocks_[m].mesh_index = checked_narrow<int>(m);
     setup_block(blocks_[m]);
   }
   exchange_fringe_values();
@@ -108,7 +108,7 @@ void Simulation::setup_block(MeshBlock& blk) {
   blk.scl.assign(n, cfg_.scalar_inflow);
   for (std::size_t i = 0; i < n; ++i) {
     if (db.roles[i] == NodeRole::kWall || db.roles[i] == NodeRole::kHole) {
-      const Vec3 bc = boundary_velocity(blk, static_cast<GlobalIndex>(i));
+      const Vec3 bc = boundary_velocity(blk, checked_narrow<GlobalIndex>(i));
       blk.u[i] = bc.x;
       blk.v[i] = bc.y;
       blk.w[i] = bc.z;
@@ -179,7 +179,7 @@ void Simulation::exchange_fringe_values() {
   // Charge: the TIOGA-style exchange moves 5 fields x 8 donors per
   // constraint between ranks.
   const auto nc = static_cast<double>(system_->constraints.size());
-  rt_->tracer().kernel(0, 80.0 * nc, 320.0 * nc);
+  rt_->tracer().kernel(RankId{0}, 80.0 * nc, 320.0 * nc);
   rt_->tracer().collective(8.0);
 }
 
@@ -230,7 +230,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
 
   // Local assembly: matrix once + RHS for the u component.
   auto fill_node_rhs = [&](int component) {
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       if (blk.mom_dirichlet[i]) {
         const Vec3 bc = boundary_velocity(blk, node);
@@ -264,7 +264,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
                                   std::max(-f, 0.0) + diff};
       blk.mom_graph->add_edge(e, m, {0.0, 0.0}, cfg_.atomic_local_assembly);
     }
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       if (blk.mom_dirichlet[i]) {
         blk.mom_graph->add_node(node, 1.0, 0.0, cfg_.atomic_local_assembly);
@@ -293,7 +293,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
     shared.clear();
     rhs_owned.clear();
     rhs_shared.clear();
-    for (int r = 0; r < g.nranks(); ++r) {
+    for (RankId r{0}; r.value() < g.nranks(); ++r) {
       owned.push_back(g.rank(r).owned);
       shared.push_back(g.rank(r).shared);
       rhs_owned.push_back(g.rank(r).rhs_owned);
@@ -323,7 +323,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
   mom_stats_ = EquationStats{};
   linalg::ParVector x(*rt_, rows);
   auto solve_component = [&](RealVector& field) {
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       x.at(blk.layout.row_of(node)) = field[static_cast<std::size_t>(node)];
     }
     solver::SolveStats st;
@@ -334,7 +334,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
     mom_stats_.gmres_iterations += st.iterations;
     mom_stats_.solves += 1;
     mom_stats_.final_residual = st.final_residual;
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       field[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
     }
   };
@@ -350,7 +350,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
       perf::PhaseScope ph(tracer, "global");
       rhs_owned.clear();
       rhs_shared.clear();
-      for (int r = 0; r < blk.mom_graph->nranks(); ++r) {
+      for (RankId r{0}; r.value() < blk.mom_graph->nranks(); ++r) {
         rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
         rhs_shared.push_back(blk.mom_graph->rank(r).rhs_shared);
       }
@@ -395,7 +395,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
       blk.prs_graph->add_edge(e, {g, -g, -g, g}, {0.0, 0.0},
                               cfg_.atomic_local_assembly);
     }
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       if (blk.prs_dirichlet[i]) {
         // Solve for total pressure: Dirichlet rows pin p_new; since the
@@ -424,7 +424,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
     std::vector<sparse::Coo> owned, shared;
     std::vector<RealVector> rhs_owned;
     std::vector<sparse::CooVector> rhs_shared;
-    for (int r = 0; r < blk.prs_graph->nranks(); ++r) {
+    for (RankId r{0}; r.value() < blk.prs_graph->nranks(); ++r) {
       owned.push_back(blk.prs_graph->rank(r).owned);
       shared.push_back(blk.prs_graph->rank(r).shared);
       rhs_owned.push_back(blk.prs_graph->rank(r).rhs_owned);
@@ -435,7 +435,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
     rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
                                     cfg_.assembly_algo);
     // Total-pressure form: rhs += A p_old.
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       p_old_vec.at(blk.layout.row_of(node)) =
           blk.p[static_cast<std::size_t>(node)];
     }
@@ -467,7 +467,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
   {
     perf::PhaseScope ph(tracer, "physics");
     RealVector dp(n, 0.0);
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       dp[i] = x.at(blk.layout.row_of(node)) - blk.p[i];
       blk.p[i] += dp[i];
@@ -522,7 +522,7 @@ void Simulation::solve_scalar(MeshBlock& blk) {
                                   std::max(-f, 0.0) + diff};
       blk.mom_graph->add_edge(e, m, {0.0, 0.0}, cfg_.atomic_local_assembly);
     }
-    for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       if (blk.mom_dirichlet[i]) {
         Real bc = cfg_.scalar_inflow;
@@ -553,7 +553,7 @@ void Simulation::solve_scalar(MeshBlock& blk) {
     std::vector<sparse::Coo> owned, shared;
     std::vector<RealVector> rhs_owned;
     std::vector<sparse::CooVector> rhs_shared;
-    for (int r = 0; r < blk.mom_graph->nranks(); ++r) {
+    for (RankId r{0}; r.value() < blk.mom_graph->nranks(); ++r) {
       owned.push_back(blk.mom_graph->rank(r).owned);
       shared.push_back(blk.mom_graph->rank(r).shared);
       rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
@@ -573,7 +573,7 @@ void Simulation::solve_scalar(MeshBlock& blk) {
   }
   scl_stats_ = EquationStats{};
   linalg::ParVector x(*rt_, rows);
-  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     x.at(blk.layout.row_of(node)) = blk.scl[static_cast<std::size_t>(node)];
   }
   solver::SolveStats st;
@@ -584,7 +584,7 @@ void Simulation::solve_scalar(MeshBlock& blk) {
   scl_stats_.gmres_iterations = st.iterations;
   scl_stats_.solves = 1;
   scl_stats_.final_residual = st.final_residual;
-  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     blk.scl[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
   }
 }
@@ -600,7 +600,7 @@ void Simulation::step() {
     perf::PhaseScope scope(tracer, "motion");
     mesh::advance_motion(*system_, time_);
     const auto nc = static_cast<double>(system_->constraints.size());
-    tracer.kernel(0, 200.0 * nc, 400.0 * nc);
+    tracer.kernel(RankId{0}, 200.0 * nc, 400.0 * nc);
   }
 
   for (auto& blk : blocks_) {
@@ -628,7 +628,7 @@ void Simulation::step() {
 std::vector<double> Simulation::pressure_nnz_per_rank(int mesh_index) const {
   const MeshBlock& blk = blocks_[static_cast<std::size_t>(mesh_index)];
   std::vector<double> nnz(static_cast<std::size_t>(rt_->nranks()), 0.0);
-  for (int r = 0; r < blk.prs_graph->nranks(); ++r) {
+  for (RankId r{0}; r.value() < blk.prs_graph->nranks(); ++r) {
     nnz[static_cast<std::size_t>(r)] +=
         static_cast<double>(blk.prs_graph->rank(r).owned.nnz());
   }

@@ -15,5 +15,11 @@ void throw_error(const char* file, int line, const std::string& msg) {
   throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
 }
 
+void throw_narrow_error(long long value, int to_bits) {
+  throw Error("checked_narrow: value " + std::to_string(value) +
+              " does not narrow to a " + std::to_string(to_bits) +
+              "-bit index (negative/sentinel or overflow)");
+}
+
 }  // namespace detail
 }  // namespace exw

@@ -3,12 +3,20 @@
 /// Fundamental scalar and index types used across the library.
 ///
 /// Global indices address degrees of freedom (DoFs) in the assembled global
-/// linear system; local indices address rows/entries owned by one simulated
-/// MPI rank. We follow hypre's convention of signed index types so that -1
-/// can flag "not found / not owned".
+/// linear system; local indices address rows owned by one simulated MPI
+/// rank; entry offsets address positions in CSR entry storage (row_ptr /
+/// nnz space); rank ids address the simulated ranks themselves. We follow
+/// hypre's convention of signed index types so that -1 can flag "not found
+/// / not owned".
+///
+/// Each space is a distinct StrongId (see strong_id.hpp): mixing spaces or
+/// silently narrowing int64 -> int32 is a compile error, and the single
+/// audited runtime gateway between spaces is exw::checked_narrow<To>().
 
 #include <cstdint>
 #include <vector>
+
+#include "common/strong_id.hpp"
 
 namespace exw {
 
@@ -17,17 +25,21 @@ using Real = double;
 
 /// Global DoF / mesh-entity index (64-bit: the paper's refined mesh has
 /// 634M nodes; a reproduction must not bake in 32-bit limits).
-using GlobalIndex = std::int64_t;
+using GlobalIndex = StrongId<struct GlobalIndexTag, std::int64_t>;
 
-/// Rank-local index.
-using LocalIndex = std::int32_t;
+/// Rank-local row/column index (32-bit; per-rank shares stay < 2^31).
+using LocalIndex = StrongId<struct LocalIndexTag, std::int32_t>;
 
 /// Simulated MPI rank id.
-using RankId = int;
+using RankId = StrongId<struct RankIdTag, std::int32_t>;
+
+/// Offset into CSR entry storage (row_ptr / nnz space). 64-bit: a rank's
+/// nonzero *count* overflows 32 bits long before its row count does.
+using EntryOffset = StrongId<struct EntryOffsetTag, std::int64_t>;
 
 /// Invalid-index sentinels.
-inline constexpr GlobalIndex kInvalidGlobal = -1;
-inline constexpr LocalIndex kInvalidLocal = -1;
+inline constexpr GlobalIndex kInvalidGlobal{-1};
+inline constexpr LocalIndex kInvalidLocal{-1};
 
 /// Small geometric vector.
 struct Vec3 {

@@ -18,15 +18,15 @@ ParCsr::ParCsr(par::Runtime& rt, par::RowPartition rows,
                par::RowPartition cols, std::vector<RankBlock> blocks)
     : rt_(&rt), rows_(std::move(rows)), cols_(std::move(cols)),
       blocks_(std::move(blocks)) {
-  EXW_REQUIRE(static_cast<int>(blocks_.size()) == rows_.nranks(),
+  EXW_REQUIRE(checked_narrow<int>(blocks_.size()) == rows_.nranks(),
               "one block per rank required");
   EXW_REQUIRE(rows_.nranks() == cols_.nranks(),
               "row/col partitions must agree on rank count");
-  for (int r = 0; r < rows_.nranks(); ++r) {
+  for (RankId r{0}; r.value() < rows_.nranks(); ++r) {
     const auto& b = blocks_[static_cast<std::size_t>(r)];
     EXW_REQUIRE(b.diag.nrows() == rows_.local_size(r), "diag block rows");
     EXW_REQUIRE(b.offd.nrows() == rows_.local_size(r), "offd block rows");
-    EXW_REQUIRE(b.offd.ncols() == static_cast<LocalIndex>(b.col_map.size()),
+    EXW_REQUIRE(b.offd.ncols() == checked_narrow<LocalIndex>(b.col_map.size()),
                 "offd cols must match col_map");
     EXW_REQUIRE(std::is_sorted(b.col_map.begin(), b.col_map.end()),
                 "col_map must be ascending");
@@ -40,7 +40,7 @@ void ParCsr::build_comm_pkg() {
   comm_.recvs.assign(static_cast<std::size_t>(nranks), {});
   // Group each rank's col_map by owner (ascending col_map => grouped runs),
   // then mirror the request onto the owner's send list.
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& map = blocks_[static_cast<std::size_t>(r)].col_map;
     std::size_t i = 0;
     while (i < map.size()) {
@@ -54,7 +54,7 @@ void ParCsr::build_comm_pkg() {
         ++j;
       }
       comm_.recvs[static_cast<std::size_t>(r)].push_back(
-          CommPkg::Recv{owner, static_cast<LocalIndex>(j - i)});
+          CommPkg::Recv{owner, checked_narrow<LocalIndex>(j - i)});
       comm_.sends[static_cast<std::size_t>(owner)].push_back(std::move(send));
       i = j;
     }
@@ -65,20 +65,21 @@ ParCsr ParCsr::from_serial(par::Runtime& rt, const sparse::Csr& global,
                            const par::RowPartition& rows,
                            const par::RowPartition& cols) {
   std::vector<RankBlock> blocks(static_cast<std::size_t>(rows.nranks()));
-  for (int r = 0; r < rows.nranks(); ++r) {
+  for (RankId r{0}; r.value() < rows.nranks(); ++r) {
     RankBlock& b = blocks[static_cast<std::size_t>(r)];
     const GlobalIndex row0 = rows.first_row(r);
     const GlobalIndex row1 = rows.end_row(r);
     const GlobalIndex col0 = cols.first_row(r);
     const GlobalIndex col1 = cols.end_row(r);
-    const auto nlocal = static_cast<LocalIndex>(row1 - row0);
+    const auto nlocal = checked_narrow<LocalIndex>(row1 - row0);
 
     // Collect off-diagonal global columns for this rank.
     std::vector<GlobalIndex> offd_cols;
     for (GlobalIndex i = row0; i < row1; ++i) {
-      const auto li = static_cast<LocalIndex>(i);
-      for (LocalIndex k = global.row_begin(li); k < global.row_end(li); ++k) {
-        const GlobalIndex c = global.cols()[static_cast<std::size_t>(k)];
+      // The serial matrix addresses all rows with local indices.
+      const auto li = checked_narrow<LocalIndex>(i);
+      for (EntryOffset k = global.row_begin(li); k < global.row_end(li); ++k) {
+        const GlobalIndex c{global.cols()[k].value()};
         if (c < col0 || c >= col1) {
           offd_cols.push_back(c);
         }
@@ -89,30 +90,30 @@ ParCsr ParCsr::from_serial(par::Runtime& rt, const sparse::Csr& global,
                     offd_cols.end());
     b.col_map = offd_cols;
 
-    b.diag = sparse::Csr(nlocal, static_cast<LocalIndex>(col1 - col0));
-    b.offd = sparse::Csr(nlocal, static_cast<LocalIndex>(offd_cols.size()));
+    b.diag = sparse::Csr(nlocal, checked_narrow<LocalIndex>(col1 - col0));
+    b.offd = sparse::Csr(nlocal, checked_narrow<LocalIndex>(offd_cols.size()));
     auto& drp = b.diag.row_ptr_mut();
     auto& orp = b.offd.row_ptr_mut();
     for (GlobalIndex i = row0; i < row1; ++i) {
-      const auto li = static_cast<LocalIndex>(i);
-      for (LocalIndex k = global.row_begin(li); k < global.row_end(li); ++k) {
-        const GlobalIndex c = global.cols()[static_cast<std::size_t>(k)];
-        const Real v = global.vals()[static_cast<std::size_t>(k)];
+      const auto li = checked_narrow<LocalIndex>(i);
+      for (EntryOffset k = global.row_begin(li); k < global.row_end(li); ++k) {
+        const GlobalIndex c{global.cols()[k].value()};
+        const Real v = global.vals()[k];
         if (c >= col0 && c < col1) {
-          b.diag.cols_vec().push_back(static_cast<LocalIndex>(c - col0));
+          b.diag.cols_vec().push_back(checked_narrow<LocalIndex>(c - col0));
           b.diag.vals_vec().push_back(v);
         } else {
           const auto it =
               std::lower_bound(offd_cols.begin(), offd_cols.end(), c);
           b.offd.cols_vec().push_back(
-              static_cast<LocalIndex>(it - offd_cols.begin()));
+              checked_narrow<LocalIndex>(it - offd_cols.begin()));
           b.offd.vals_vec().push_back(v);
         }
       }
       drp[static_cast<std::size_t>(i - row0) + 1] =
-          static_cast<LocalIndex>(b.diag.cols_vec().size());
+          EntryOffset{b.diag.cols_vec().size()};
       orp[static_cast<std::size_t>(i - row0) + 1] =
-          static_cast<LocalIndex>(b.offd.cols_vec().size());
+          EntryOffset{b.offd.cols_vec().size()};
     }
   }
   return ParCsr(rt, rows, cols, std::move(blocks));
@@ -120,19 +121,20 @@ ParCsr ParCsr::from_serial(par::Runtime& rt, const sparse::Csr& global,
 
 GlobalIndex ParCsr::nnz_of_rank(RankId r) const {
   const auto& b = blocks_[static_cast<std::size_t>(r)];
-  return static_cast<GlobalIndex>(b.diag.nnz() + b.offd.nnz());
+  return checked_narrow<GlobalIndex>(b.diag.nnz() + b.offd.nnz());
 }
 
 GlobalIndex ParCsr::global_nnz() const {
-  GlobalIndex n = 0;
-  for (int r = 0; r < nranks(); ++r) n += nnz_of_rank(r);
+  GlobalIndex n{0};
+  for (RankId r{0}; r.value() < nranks(); ++r) n += nnz_of_rank(r);
   return n;
 }
 
 std::vector<double> ParCsr::nnz_per_rank() const {
   std::vector<double> out(static_cast<std::size_t>(nranks()));
-  for (int r = 0; r < nranks(); ++r) {
-    out[static_cast<std::size_t>(r)] = static_cast<double>(nnz_of_rank(r));
+  for (RankId r{0}; r.value() < nranks(); ++r) {
+    out[static_cast<std::size_t>(r)] =
+        static_cast<double>(nnz_of_rank(r).value());
   }
   return out;
 }
@@ -160,7 +162,7 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
     e.reserve(blocks_[static_cast<std::size_t>(r)].col_map.size());
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
       auto buf = transport.recv<Real>(r, recv.src, kTagHalo);
-      EXW_ASSERT(static_cast<LocalIndex>(buf.size()) == recv.count);
+      EXW_ASSERT(checked_narrow<LocalIndex>(buf.size()) == recv.count);
       e.insert(e.end(), buf.begin(), buf.end());
     }
   });
@@ -246,7 +248,7 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
 
 std::vector<RealVector> ParCsr::diagonals() const {
   std::vector<RealVector> out(static_cast<std::size_t>(nranks()));
-  for (int r = 0; r < nranks(); ++r) {
+  for (RankId r{0}; r.value() < nranks(); ++r) {
     out[static_cast<std::size_t>(r)] =
         blocks_[static_cast<std::size_t>(r)].diag.diagonal();
   }
@@ -256,28 +258,26 @@ std::vector<RealVector> ParCsr::diagonals() const {
 sparse::Csr ParCsr::to_serial() const {
   std::vector<LocalIndex> ti, tj;
   std::vector<Real> tv;
-  for (int r = 0; r < nranks(); ++r) {
+  for (RankId r{0}; r.value() < nranks(); ++r) {
     const auto& b = blocks_[static_cast<std::size_t>(r)];
     const GlobalIndex row0 = rows_.first_row(r);
     const GlobalIndex col0 = cols_.first_row(r);
-    for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
-      for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-        ti.push_back(static_cast<LocalIndex>(row0 + i));
-        tj.push_back(static_cast<LocalIndex>(
-            col0 + b.diag.cols()[static_cast<std::size_t>(k)]));
-        tv.push_back(b.diag.vals()[static_cast<std::size_t>(k)]);
+    for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        ti.push_back(checked_narrow<LocalIndex>(row0 + i.value()));
+        tj.push_back(checked_narrow<LocalIndex>(col0 + b.diag.cols()[k].value()));
+        tv.push_back(b.diag.vals()[k]);
       }
-      for (LocalIndex k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
-        ti.push_back(static_cast<LocalIndex>(row0 + i));
-        tj.push_back(static_cast<LocalIndex>(
-            b.col_map[static_cast<std::size_t>(
-                b.offd.cols()[static_cast<std::size_t>(k)])]));
-        tv.push_back(b.offd.vals()[static_cast<std::size_t>(k)]);
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        ti.push_back(checked_narrow<LocalIndex>(row0 + i.value()));
+        tj.push_back(checked_narrow<LocalIndex>(
+            b.col_map[static_cast<std::size_t>(b.offd.cols()[k])]));
+        tv.push_back(b.offd.vals()[k]);
       }
     }
   }
-  return sparse::Csr::from_triples(static_cast<LocalIndex>(global_rows()),
-                                   static_cast<LocalIndex>(global_cols()),
+  return sparse::Csr::from_triples(checked_narrow<LocalIndex>(global_rows()),
+                                   checked_narrow<LocalIndex>(global_cols()),
                                    std::move(ti), std::move(tj), std::move(tv));
 }
 
@@ -294,7 +294,7 @@ std::vector<ExtRows> fetch_external_rows(
   par::Runtime& rt = m.runtime();
   auto& transport = rt.transport();
   const int nranks = m.nranks();
-  EXW_REQUIRE(static_cast<int>(needed.size()) == nranks,
+  EXW_REQUIRE(checked_narrow<int>(needed.size()) == nranks,
               "one request list per rank");
 
   // 1. Send row-id requests to owners.
@@ -327,7 +327,7 @@ std::vector<ExtRows> fetch_external_rows(
     const auto& b = m.block(owner);
     const GlobalIndex row0 = m.rows().first_row(owner);
     const GlobalIndex col0 = m.cols().first_row(owner);
-    for (int r = 0; r < nranks; ++r) {
+    for (RankId r{0}; r.value() < nranks; ++r) {
       const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
       if (ids.empty()) continue;
       (void)transport.recv<GlobalIndex>(owner, r, kTagRowReq);
@@ -335,18 +335,18 @@ std::vector<ExtRows> fetch_external_rows(
       std::vector<GlobalIndex> cols;
       std::vector<Real> vals;
       for (GlobalIndex g : ids) {
-        const auto li = static_cast<LocalIndex>(g - row0);
-        GlobalIndex len = 0;
-        for (LocalIndex k = b.diag.row_begin(li); k < b.diag.row_end(li); ++k) {
-          cols.push_back(col0 + b.diag.cols()[static_cast<std::size_t>(k)]);
-          vals.push_back(b.diag.vals()[static_cast<std::size_t>(k)]);
+        const auto li = checked_narrow<LocalIndex>(g - row0);
+        GlobalIndex len{0};
+        for (EntryOffset k = b.diag.row_begin(li); k < b.diag.row_end(li); ++k) {
+          cols.push_back(col0 + b.diag.cols()[k].value());
+          vals.push_back(b.diag.vals()[k]);
           ++len;
         }
-        for (LocalIndex k = b.offd.row_begin(li); k < b.offd.row_end(li); ++k) {
+        for (EntryOffset k = b.offd.row_begin(li); k < b.offd.row_end(li); ++k) {
           cols.push_back(
               b.col_map[static_cast<std::size_t>(
-                  b.offd.cols()[static_cast<std::size_t>(k)])]);
-          vals.push_back(b.offd.vals()[static_cast<std::size_t>(k)]);
+                  b.offd.cols()[k])]);
+          vals.push_back(b.offd.vals()[k]);
           ++len;
         }
         hdr.push_back(len);
@@ -362,7 +362,7 @@ std::vector<ExtRows> fetch_external_rows(
   rt.parallel_for_ranks([&](RankId r) {
     ExtRows& e = out[static_cast<std::size_t>(r)];
     e.row_ptr.push_back(0);
-    for (int owner = 0; owner < nranks; ++owner) {
+    for (RankId owner{0}; owner.value() < nranks; ++owner) {
       const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
       if (ids.empty()) continue;
       auto hdr = transport.recv<GlobalIndex>(r, owner, kTagRowHdr);

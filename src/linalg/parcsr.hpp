@@ -31,12 +31,12 @@ struct RankBlock {
 /// hypre-style communication package: who sends which owned values where.
 struct CommPkg {
   struct Send {
-    RankId dst = 0;
+    RankId dst{0};
     std::vector<LocalIndex> idx;  ///< local col indices to pack
   };
   struct Recv {
-    RankId src = 0;
-    LocalIndex count = 0;  ///< contiguous run in col_map order
+    RankId src{0};
+    LocalIndex count{0};  ///< contiguous run in col_map order
   };
   std::vector<std::vector<Send>> sends;  ///< [rank]
   std::vector<std::vector<Recv>> recvs;  ///< [rank], ascending src

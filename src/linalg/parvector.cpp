@@ -16,7 +16,7 @@ ParVector::ParVector(par::Runtime& rt, par::RowPartition rows)
   EXW_REQUIRE(rows_.nranks() == rt.nranks(),
               "vector partition does not match runtime rank count");
   local_.resize(static_cast<std::size_t>(rows_.nranks()));
-  for (int r = 0; r < rows_.nranks(); ++r) {
+  for (RankId r{0}; r.value() < rows_.nranks(); ++r) {
     local_[static_cast<std::size_t>(r)].assign(
         static_cast<std::size_t>(rows_.local_size(r)), 0.0);
   }
@@ -138,7 +138,7 @@ RealVector ParVector::gather() const {
   rt_->parallel_for_ranks([&](RankId r) {
     const auto& x = local_[static_cast<std::size_t>(r)];
     std::copy(x.begin(), x.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)));
+              out.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r).value()));
   });
   return out;
 }
@@ -148,8 +148,9 @@ void ParVector::scatter(const RealVector& global) {
               "vector size mismatch");
   rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
-    std::copy(global.begin() + static_cast<std::ptrdiff_t>(rows_.first_row(r)),
-              global.begin() + static_cast<std::ptrdiff_t>(rows_.end_row(r)),
+    std::copy(global.begin() +
+                  static_cast<std::ptrdiff_t>(rows_.first_row(r).value()),
+              global.begin() + static_cast<std::ptrdiff_t>(rows_.end_row(r).value()),
               x.begin());
   });
 }

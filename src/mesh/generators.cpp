@@ -1,6 +1,7 @@
 #include "mesh/generators.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "common/error.hpp"
@@ -40,9 +41,14 @@ struct RotorGrid {
   GlobalIndex n_k;
 
   GlobalIndex node_id(GlobalIndex it, GlobalIndex j, GlobalIndex k) const {
-    return (k * (n_r + 1) + j) * n_theta + (it % n_theta);
+    return GlobalIndex{(k.value() * (n_r.value() + 1) + j.value()) *
+                           n_theta.value() +
+                       (it.value() % n_theta.value())};
   }
-  GlobalIndex num_nodes() const { return n_theta * (n_r + 1) * (n_k + 1); }
+  GlobalIndex num_nodes() const {
+    return GlobalIndex{n_theta.value() * (n_r.value() + 1) *
+                       (n_k.value() + 1)};
+  }
 };
 
 }  // namespace
@@ -57,28 +63,28 @@ MeshDB make_rotor_mesh(const TurbineParams& turbine, const std::string& name) {
   // boundary-layer aspect ratios (up to ~10^3) of blade-resolved meshes
   // while keeping full annular coverage for the donor search (the
   // substitution vs per-blade O-grids is recorded in DESIGN.md).
-  const RotorGrid g{4 * ((bp.n_wrap * 3) / 4), bp.n_span,
-                    2 * (bp.n_layers / 2)};
+  const RotorGrid g{GlobalIndex{4 * ((bp.n_wrap.value() * 3) / 4)}, bp.n_span,
+                    GlobalIndex{2 * (bp.n_layers.value() / 2)}};
   const Real half_extent = 10.0;  // axial half-thickness of the disc mesh
   const Real beta = 6.0;          // axial clustering strength
 
   db.ref_coords.resize(static_cast<std::size_t>(g.num_nodes()));
-  for (GlobalIndex k = 0; k <= g.n_k; ++k) {
-    const Real u = 2.0 * static_cast<Real>(k) / static_cast<Real>(g.n_k) - 1.0;
+  for (GlobalIndex k{0}; k <= g.n_k; ++k) {
+    const Real u = 2.0 * static_cast<Real>(k.value()) / static_cast<Real>(g.n_k.value()) - 1.0;
     const Real x = turbine.hub_x + half_extent * sinh_cluster(u, beta);
-    for (GlobalIndex j = 0; j <= g.n_r; ++j) {
+    for (GlobalIndex j{0}; j <= g.n_r; ++j) {
       const Real r = lerp(bp.root_radius, bp.tip_radius,
-                          static_cast<Real>(j) / static_cast<Real>(g.n_r));
-      for (GlobalIndex it = 0; it < g.n_theta; ++it) {
-        const Real th = 2.0 * kPi * static_cast<Real>(it) / static_cast<Real>(g.n_theta);
+                          static_cast<Real>(j.value()) / static_cast<Real>(g.n_r.value()));
+      for (GlobalIndex it{0}; it < g.n_theta; ++it) {
+        const Real th = 2.0 * kPi * static_cast<Real>(it.value()) / static_cast<Real>(g.n_theta.value());
         db.ref_coords[static_cast<std::size_t>(g.node_id(it, j, k))] =
             Vec3{x, r * std::cos(th), r * std::sin(th)};
       }
     }
   }
-  for (GlobalIndex k = 0; k < g.n_k; ++k) {
-    for (GlobalIndex j = 0; j < g.n_r; ++j) {
-      for (GlobalIndex it = 0; it < g.n_theta; ++it) {
+  for (GlobalIndex k{0}; k < g.n_k; ++k) {
+    for (GlobalIndex j{0}; j < g.n_r; ++j) {
+      for (GlobalIndex it{0}; it < g.n_theta; ++it) {
         db.hexes.push_back({g.node_id(it, j, k), g.node_id(it + 1, j, k),
                             g.node_id(it + 1, j + 1, k), g.node_id(it, j + 1, k),
                             g.node_id(it, j, k + 1), g.node_id(it + 1, j, k + 1),
@@ -92,24 +98,25 @@ MeshDB make_rotor_mesh(const TurbineParams& turbine, const std::string& name) {
   // background solution); blade-plane nodes inside a blade footprint are
   // no-slip walls.
   db.roles.assign(static_cast<std::size_t>(g.num_nodes()), NodeRole::kInterior);
-  const GlobalIndex kmid = g.n_k / 2;
-  const Real dtheta = 2.0 * kPi / static_cast<Real>(g.n_theta);
-  for (GlobalIndex k = 0; k <= g.n_k; ++k) {
-    for (GlobalIndex j = 0; j <= g.n_r; ++j) {
-      for (GlobalIndex it = 0; it < g.n_theta; ++it) {
+  const GlobalIndex kmid{g.n_k.value() / 2};
+  const Real dtheta = 2.0 * kPi / static_cast<Real>(g.n_theta.value());
+  for (GlobalIndex k{0}; k <= g.n_k; ++k) {
+    for (GlobalIndex j{0}; j <= g.n_r; ++j) {
+      for (GlobalIndex it{0}; it < g.n_theta; ++it) {
         const auto id = static_cast<std::size_t>(g.node_id(it, j, k));
-        if (k == 0 || k == g.n_k || j == 0 || j == g.n_r) {
+        if (k == GlobalIndex{0} || k == g.n_k || j == GlobalIndex{0} ||
+            j == g.n_r) {
           db.roles[id] = NodeRole::kFringe;
           continue;
         }
         if (k != kmid) continue;
-        const Real s = static_cast<Real>(j) / static_cast<Real>(g.n_r);
+        const Real s = static_cast<Real>(j.value()) / static_cast<Real>(g.n_r.value());
         const Real r = lerp(bp.root_radius, bp.tip_radius, s);
         const Real chord = lerp(bp.root_chord, bp.tip_chord, s);
         // Angular half-width of the blade footprint, floored to resolve
         // at least one azimuthal cell near the tip.
         const Real half_w = std::max(0.5 * chord / r, 1.2 * dtheta);
-        const Real th = dtheta * static_cast<Real>(it);
+        const Real th = dtheta * static_cast<Real>(it.value());
         for (int b = 0; b < turbine.n_blades; ++b) {
           const Real blade_th =
               2.0 * kPi * static_cast<Real>(b) / static_cast<Real>(turbine.n_blades);
@@ -136,9 +143,9 @@ MeshDB make_background_mesh(const BackgroundParams& bg,
   // the axis.
   const Real xc = bg.upstream / (bg.upstream + bg.downstream);
   block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    const Real ti = static_cast<Real>(i) / static_cast<Real>(bg.nx);
-    const Real tj = static_cast<Real>(j) / static_cast<Real>(bg.ny);
-    const Real tk = static_cast<Real>(k) / static_cast<Real>(bg.nz);
+    const Real ti = static_cast<Real>(i.value()) / static_cast<Real>(bg.nx.value());
+    const Real tj = static_cast<Real>(j.value()) / static_cast<Real>(bg.ny.value());
+    const Real tk = static_cast<Real>(k.value()) / static_cast<Real>(bg.nz.value());
     const Real x = -bg.upstream +
                    (bg.upstream + bg.downstream) * center_cluster(ti, xc, bg.cluster);
     const Real y = -bg.half_width +
@@ -149,19 +156,20 @@ MeshDB make_background_mesh(const BackgroundParams& bg,
   });
 
   db.roles.assign(db.ref_coords.size(), NodeRole::kInterior);
-  for (GlobalIndex k = 0; k <= bg.nz; ++k) {
-    for (GlobalIndex j = 0; j <= bg.ny; ++j) {
-      for (GlobalIndex i = 0; i <= bg.nx; ++i) {
+  for (GlobalIndex k{0}; k <= bg.nz; ++k) {
+    for (GlobalIndex j{0}; j <= bg.ny; ++j) {
+      for (GlobalIndex i{0}; i <= bg.nx; ++i) {
         const auto id = static_cast<std::size_t>(block.node_id(i, j, k));
         // Inflow/outflow normal to the rotor plane; symmetry elsewhere
         // (paper §5: "inflow and outflow boundary conditions in the
         // directions normal to the blade rotation and symmetry boundary
         // conditions in other directions").
-        if (i == 0) {
+        if (i == GlobalIndex{0}) {
           db.roles[id] = NodeRole::kInflow;
         } else if (i == bg.nx) {
           db.roles[id] = NodeRole::kOutflow;
-        } else if (j == 0 || j == bg.ny || k == 0 || k == bg.nz) {
+        } else if (j == GlobalIndex{0} || j == bg.ny || k == GlobalIndex{0} ||
+                   k == bg.nz) {
           db.roles[id] = NodeRole::kSymmetry;
         }
       }
@@ -186,9 +194,9 @@ OversetSystem make_turbine_case(TurbineCase which, Real refine) {
   EXW_REQUIRE(refine > 0, "refine must be positive");
   const Real extra = which == TurbineCase::kSingleRefined ? 1.6 : 1.0;
   const Real f = refine * extra;
-  auto scaled = [&](GlobalIndex n) {
-    return std::max<GlobalIndex>(4, static_cast<GlobalIndex>(
-                                        std::llround(static_cast<Real>(n) * f)));
+  auto scaled = [&](std::int64_t n) {
+    return GlobalIndex{
+        std::max<std::int64_t>(4, std::llround(static_cast<Real>(n) * f))};
   };
 
   OversetSystem sys;

@@ -18,9 +18,9 @@ namespace exw::mesh {
 
 /// Blade O-grid resolution and geometry (per blade; a rotor has 3).
 struct BladeParams {
-  GlobalIndex n_wrap = 32;    ///< chordwise wrap divisions (periodic)
-  GlobalIndex n_span = 40;    ///< spanwise divisions
-  GlobalIndex n_layers = 16;  ///< wall-normal layers
+  GlobalIndex n_wrap{32};    ///< chordwise wrap divisions (periodic)
+  GlobalIndex n_span{40};    ///< spanwise divisions
+  GlobalIndex n_layers{16};  ///< wall-normal layers
   Real root_radius = 6.0;     ///< blade starts here (m, 5-MW-like scale)
   Real tip_radius = 63.0;     ///< rotor radius
   Real root_chord = 4.6;
@@ -34,7 +34,7 @@ struct BladeParams {
 
 /// Graded background box.
 struct BackgroundParams {
-  GlobalIndex nx = 48, ny = 44, nz = 44;
+  GlobalIndex nx{48}, ny{44}, nz{44};
   Real upstream = 130.0;    ///< domain extends [-upstream, downstream] in x
   Real downstream = 260.0;  ///< (x is the inflow direction / rotor axis)
   Real half_width = 130.0;  ///< [-half_width, half_width] in y and z

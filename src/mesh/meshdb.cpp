@@ -164,7 +164,8 @@ Real MeshDB::total_volume() const {
 
 bool MeshDB::edges_valid() const {
   for (const Edge& e : edges) {
-    if (e.a < 0 || e.a >= num_nodes() || e.b < 0 || e.b >= num_nodes())
+    if (e.a < GlobalIndex{0} || e.a >= num_nodes() ||
+        e.b < GlobalIndex{0} || e.b >= num_nodes())
       return false;
     if (e.a >= e.b) return false;
     if (!(e.coeff >= 0)) return false;

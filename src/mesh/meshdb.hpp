@@ -35,8 +35,8 @@ enum class NodeRole : std::uint8_t {
 /// One edge of the dual FV graph: node pair, median-dual face area
 /// vector (oriented a -> b), and the derived diffusive coupling.
 struct Edge {
-  GlobalIndex a = 0;
-  GlobalIndex b = 0;
+  GlobalIndex a{0};
+  GlobalIndex b{0};
   /// Median-dual face area vector (sum over adjacent hexes of the quad
   /// spanned by edge midpoint, the two face centers, and the centroid).
   /// Oriented so that area.dot(x_b - x_a) >= 0. The dual faces of all
@@ -72,9 +72,9 @@ class MeshDB {
   std::vector<Edge> ref_edges_;
   std::vector<Vec3> ref_boundary_area_;
 
-  GlobalIndex num_nodes() const { return static_cast<GlobalIndex>(coords.size()); }
-  GlobalIndex num_hexes() const { return static_cast<GlobalIndex>(hexes.size()); }
-  GlobalIndex num_edges() const { return static_cast<GlobalIndex>(edges.size()); }
+  GlobalIndex num_nodes() const { return GlobalIndex{coords.size()}; }
+  GlobalIndex num_hexes() const { return GlobalIndex{hexes.size()}; }
+  GlobalIndex num_edges() const { return GlobalIndex{edges.size()}; }
 
   /// Rebuild edges / coefficients / volumes from hexes + current coords.
   /// Called once after generation and after large deformations (rigid
@@ -98,10 +98,19 @@ class StructuredBlockBuilder {
       : ni_(ni), nj_(nj), nk_(nk) {}
 
   GlobalIndex node_id(GlobalIndex i, GlobalIndex j, GlobalIndex k) const {
-    return (k * (nj_ + 1) + j) * (ni_ + 1) + i;
+    // Lattice flattening multiplies extents, which StrongId deliberately
+    // does not define; drop to raw 64-bit values for the arithmetic.
+    return GlobalIndex{(k.value() * (nj_.value() + 1) + j.value()) *
+                           (ni_.value() + 1) +
+                       i.value()};
   }
-  GlobalIndex num_nodes() const { return (ni_ + 1) * (nj_ + 1) * (nk_ + 1); }
-  GlobalIndex num_cells() const { return ni_ * nj_ * nk_; }
+  GlobalIndex num_nodes() const {
+    return GlobalIndex{(ni_.value() + 1) * (nj_.value() + 1) *
+                       (nk_.value() + 1)};
+  }
+  GlobalIndex num_cells() const {
+    return GlobalIndex{ni_.value() * nj_.value() * nk_.value()};
+  }
   GlobalIndex ni() const { return ni_; }
   GlobalIndex nj() const { return nj_; }
   GlobalIndex nk() const { return nk_; }
@@ -112,16 +121,16 @@ class StructuredBlockBuilder {
   GlobalIndex emit(MeshDB& db, PosFn&& pos) const {
     const GlobalIndex offset = db.num_nodes();
     db.ref_coords.reserve(static_cast<std::size_t>(offset + num_nodes()));
-    for (GlobalIndex k = 0; k <= nk_; ++k) {
-      for (GlobalIndex j = 0; j <= nj_; ++j) {
-        for (GlobalIndex i = 0; i <= ni_; ++i) {
+    for (GlobalIndex k{0}; k <= nk_; ++k) {
+      for (GlobalIndex j{0}; j <= nj_; ++j) {
+        for (GlobalIndex i{0}; i <= ni_; ++i) {
           db.ref_coords.push_back(pos(i, j, k));
         }
       }
     }
-    for (GlobalIndex k = 0; k < nk_; ++k) {
-      for (GlobalIndex j = 0; j < nj_; ++j) {
-        for (GlobalIndex i = 0; i < ni_; ++i) {
+    for (GlobalIndex k{0}; k < nk_; ++k) {
+      for (GlobalIndex j{0}; j < nj_; ++j) {
+        for (GlobalIndex i{0}; i < ni_; ++i) {
           db.hexes.push_back({offset + node_id(i, j, k),
                               offset + node_id(i + 1, j, k),
                               offset + node_id(i + 1, j + 1, k),

@@ -3,19 +3,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 
 namespace exw::mesh {
 
 GlobalIndex OversetSystem::total_nodes() const {
-  GlobalIndex n = 0;
+  GlobalIndex n{0};
   for (const auto& m : meshes) n += m.num_nodes();
   return n;
 }
 
 GlobalIndex OversetSystem::total_hexes() const {
-  GlobalIndex n = 0;
+  GlobalIndex n{0};
   for (const auto& m : meshes) n += m.num_hexes();
   return n;
 }
@@ -30,15 +31,20 @@ CellLocator::CellLocator(const MeshDB& db, GlobalIndex target_bins) : db_(db) {
   const Real vol = std::max((hi_.x - lo_.x) * (hi_.y - lo_.y) * (hi_.z - lo_.z),
                             Real{1e-30});
   const Real cells_per_bin = 8.0;
-  const auto want = static_cast<Real>(db.num_hexes()) / cells_per_bin;
+  const auto want = static_cast<Real>(db.num_hexes().value()) / cells_per_bin;
   const Real h = std::cbrt(vol / std::max(want, Real{1.0}));
-  nx_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.x - lo_.x) / h), 1, target_bins);
-  ny_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.y - lo_.y) / h), 1, target_bins);
-  nz_ = std::clamp<GlobalIndex>(static_cast<GlobalIndex>((hi_.z - lo_.z) / h), 1, target_bins);
-  bins_.resize(static_cast<std::size_t>(nx_ * ny_ * nz_));
+  auto bins_along = [&](Real extent) {
+    return GlobalIndex{std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(extent / h), 1, target_bins.value())};
+  };
+  nx_ = bins_along(hi_.x - lo_.x);
+  ny_ = bins_along(hi_.y - lo_.y);
+  nz_ = bins_along(hi_.z - lo_.z);
+  bins_.resize(
+      static_cast<std::size_t>(nx_.value() * ny_.value() * nz_.value()));
   centroids_.resize(static_cast<std::size_t>(db.num_hexes()));
 
-  for (GlobalIndex c = 0; c < db.num_hexes(); ++c) {
+  for (GlobalIndex c{0}; c < db.num_hexes(); ++c) {
     Vec3 clo{1e300, 1e300, 1e300}, chi{-1e300, -1e300, -1e300};
     Vec3 centroid{};
     for (GlobalIndex n : db.hexes[static_cast<std::size_t>(c)]) {
@@ -64,31 +70,38 @@ CellLocator::CellLocator(const MeshDB& db, GlobalIndex target_bins) : db_(db) {
 void CellLocator::bin_coords(const Vec3& p, GlobalIndex& bx, GlobalIndex& by,
                              GlobalIndex& bz) const {
   auto clampi = [](Real t, GlobalIndex n) {
-    return std::clamp<GlobalIndex>(static_cast<GlobalIndex>(t), 0, n - 1);
+    return GlobalIndex{std::clamp<std::int64_t>(static_cast<std::int64_t>(t),
+                                                0, n.value() - 1)};
   };
-  bx = clampi((p.x - lo_.x) / (hi_.x - lo_.x) * static_cast<Real>(nx_), nx_);
-  by = clampi((p.y - lo_.y) / (hi_.y - lo_.y) * static_cast<Real>(ny_), ny_);
-  bz = clampi((p.z - lo_.z) / (hi_.z - lo_.z) * static_cast<Real>(nz_), nz_);
+  bx = clampi((p.x - lo_.x) / (hi_.x - lo_.x) * static_cast<Real>(nx_.value()),
+              nx_);
+  by = clampi((p.y - lo_.y) / (hi_.y - lo_.y) * static_cast<Real>(ny_.value()),
+              ny_);
+  bz = clampi((p.z - lo_.z) / (hi_.z - lo_.z) * static_cast<Real>(nz_.value()),
+              nz_);
 }
 
 GlobalIndex CellLocator::find_cell(const Vec3& p) const {
-  if (db_.num_hexes() == 0) return kInvalidGlobal;
+  if (db_.num_hexes() == GlobalIndex{0}) return kInvalidGlobal;
   GlobalIndex bx, by, bz;
   bin_coords(p, bx, by, bz);
   GlobalIndex best = kInvalidGlobal;
   Real best_d2 = 1e300;
   // Expand ring by ring until a candidate is found (guaranteed to
   // terminate: the whole mesh is binned).
-  const GlobalIndex max_ring = std::max({nx_, ny_, nz_});
-  for (GlobalIndex ring = 0; ring <= max_ring; ++ring) {
-    for (GlobalIndex dz = -ring; dz <= ring; ++dz) {
-      for (GlobalIndex dy = -ring; dy <= ring; ++dy) {
-        for (GlobalIndex dx = -ring; dx <= ring; ++dx) {
+  // Ring offsets are signed displacements, not node ids: raw 64-bit.
+  const std::int64_t max_ring =
+      std::max({nx_.value(), ny_.value(), nz_.value()});
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    for (std::int64_t dz = -ring; dz <= ring; ++dz) {
+      for (std::int64_t dy = -ring; dy <= ring; ++dy) {
+        for (std::int64_t dx = -ring; dx <= ring; ++dx) {
           if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring) {
             continue;  // only the shell of this ring
           }
           const GlobalIndex x = bx + dx, y = by + dy, z = bz + dz;
-          if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_) {
+          if (x < GlobalIndex{0} || x >= nx_ || y < GlobalIndex{0} ||
+              y >= ny_ || z < GlobalIndex{0} || z >= nz_) {
             continue;
           }
           for (GlobalIndex c : bins_[bin_index(x, y, z)].cells) {
@@ -174,10 +187,10 @@ void OversetSystem::update_connectivity() {
   // the nearest rotor mesh; rotor fringe nodes take donors from the
   // background. With several rotors, "nearest" = rotor whose hub is
   // closest (hubs are far apart compared to rotor diameters).
-  const int nmesh = static_cast<int>(meshes.size());
+  const int nmesh = checked_narrow<int>(meshes.size());
   for (int m = 0; m < nmesh; ++m) {
     const MeshDB& rec = meshes[static_cast<std::size_t>(m)];
-    for (GlobalIndex n = 0; n < rec.num_nodes(); ++n) {
+    for (GlobalIndex n{0}; n < rec.num_nodes(); ++n) {
       if (rec.roles[static_cast<std::size_t>(n)] != NodeRole::kFringe) continue;
       const Vec3& p = rec.coords[static_cast<std::size_t>(n)];
       int dm;

@@ -30,7 +30,7 @@ namespace exw::mesh {
 /// 8 donor nodes of mesh `donor_mesh` with the given weights (sum = 1).
 struct OversetConstraint {
   int mesh = 0;
-  GlobalIndex node = 0;
+  GlobalIndex node{0};
   int donor_mesh = 0;
   std::array<GlobalIndex, 8> donors{};
   std::array<Real, 8> weights{};
@@ -66,7 +66,8 @@ struct OversetSystem {
 /// the point.
 class CellLocator {
  public:
-  explicit CellLocator(const MeshDB& db, GlobalIndex target_bins = 64);
+  explicit CellLocator(const MeshDB& db,
+                       GlobalIndex target_bins = GlobalIndex{64});
 
   /// Find the best donor hex for point `p`: the candidate whose centroid
   /// is nearest among cells whose bbox contains p; if none contains p,
@@ -80,14 +81,15 @@ class CellLocator {
   };
 
   std::size_t bin_index(GlobalIndex bx, GlobalIndex by, GlobalIndex bz) const {
-    return static_cast<std::size_t>((bz * ny_ + by) * nx_ + bx);
+    return static_cast<std::size_t>(
+        (bz.value() * ny_.value() + by.value()) * nx_.value() + bx.value());
   }
   void bin_coords(const Vec3& p, GlobalIndex& bx, GlobalIndex& by,
                   GlobalIndex& bz) const;
 
   const MeshDB& db_;
   Vec3 lo_{}, hi_{};
-  GlobalIndex nx_ = 1, ny_ = 1, nz_ = 1;
+  GlobalIndex nx_{1}, ny_{1}, nz_{1};
   std::vector<Bin> bins_;
   std::vector<Vec3> centroids_;
 };
@@ -102,8 +104,8 @@ void donor_weights(const MeshDB& db, GlobalIndex cell, const Vec3& p,
 /// become kHole; hole-adjacent background nodes within the fringe shell
 /// become kFringe. Returns (n_holes, n_fringe).
 struct HoleCutResult {
-  GlobalIndex holes = 0;
-  GlobalIndex fringe = 0;
+  GlobalIndex holes{0};
+  GlobalIndex fringe{0};
 };
 HoleCutResult cut_hole(MeshDB& background, const Vec3& hub, const Vec3& axis,
                        Real inner_radius, Real outer_radius,

@@ -17,24 +17,24 @@ bool write_vtk(const MeshDB& db, const VtkFields& fields,
   std::fprintf(f, "# vtk DataFile Version 3.0\n%s\nASCII\n"
                "DATASET UNSTRUCTURED_GRID\n",
                db.name.empty() ? "exawind-mini" : db.name.c_str());
-  std::fprintf(f, "POINTS %lld double\n", static_cast<long long>(n));
+  std::fprintf(f, "POINTS %lld double\n", static_cast<long long>(n.value()));
   for (const Vec3& p : db.coords) {
     std::fprintf(f, "%.9g %.9g %.9g\n", p.x, p.y, p.z);
   }
-  std::fprintf(f, "CELLS %lld %lld\n", static_cast<long long>(nc),
-               static_cast<long long>(nc * 9));
+  std::fprintf(f, "CELLS %lld %lld\n", static_cast<long long>(nc.value()),
+               static_cast<long long>(nc.value() * 9));
   for (const auto& h : db.hexes) {
     std::fprintf(f, "8 %lld %lld %lld %lld %lld %lld %lld %lld\n",
-                 static_cast<long long>(h[0]), static_cast<long long>(h[1]),
-                 static_cast<long long>(h[2]), static_cast<long long>(h[3]),
-                 static_cast<long long>(h[4]), static_cast<long long>(h[5]),
-                 static_cast<long long>(h[6]), static_cast<long long>(h[7]));
+                 static_cast<long long>(h[0].value()), static_cast<long long>(h[1].value()),
+                 static_cast<long long>(h[2].value()), static_cast<long long>(h[3].value()),
+                 static_cast<long long>(h[4].value()), static_cast<long long>(h[5].value()),
+                 static_cast<long long>(h[6].value()), static_cast<long long>(h[7].value()));
   }
-  std::fprintf(f, "CELL_TYPES %lld\n", static_cast<long long>(nc));
-  for (GlobalIndex c = 0; c < nc; ++c) {
+  std::fprintf(f, "CELL_TYPES %lld\n", static_cast<long long>(nc.value()));
+  for (GlobalIndex c{0}; c < nc; ++c) {
     std::fprintf(f, "12\n");  // VTK_HEXAHEDRON
   }
-  std::fprintf(f, "POINT_DATA %lld\n", static_cast<long long>(n));
+  std::fprintf(f, "POINT_DATA %lld\n", static_cast<long long>(n.value()));
   // Node roles always written (hole/fringe visualization).
   std::fprintf(f, "SCALARS node_role int 1\nLOOKUP_TABLE default\n");
   for (const NodeRole role : db.roles) {
@@ -50,14 +50,14 @@ bool write_vtk(const MeshDB& db, const VtkFields& fields,
     }
   }
   for (const auto& [name, values] : fields.vectors) {
-    EXW_REQUIRE(values.size() == static_cast<std::size_t>(3 * n),
+    EXW_REQUIRE(values.size() == static_cast<std::size_t>(3 * n.value()),
                 "vector field size mismatch: " + name);
     std::fprintf(f, "VECTORS %s double\n", name.c_str());
-    for (GlobalIndex i = 0; i < n; ++i) {
+    for (GlobalIndex i{0}; i < n; ++i) {
       std::fprintf(f, "%.9g %.9g %.9g\n",
-                   values[static_cast<std::size_t>(3 * i)],
-                   values[static_cast<std::size_t>(3 * i + 1)],
-                   values[static_cast<std::size_t>(3 * i + 2)]);
+                   values[static_cast<std::size_t>(3 * i.value())],
+                   values[static_cast<std::size_t>(3 * i.value() + 1)],
+                   values[static_cast<std::size_t>(3 * i.value() + 2)]);
     }
   }
   std::fclose(f);

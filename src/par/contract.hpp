@@ -69,7 +69,7 @@ class ScopedRankContext {
 };
 
 /// Rank body the calling thread is executing, or kNoRank outside regions.
-inline constexpr RankId kNoRank = -1;
+inline constexpr RankId kNoRank{-1};
 RankId current_rank();
 
 /// Region lifecycle, driven by ThreadPool::parallel_for at top level.

@@ -16,18 +16,17 @@ RowPartition::RowPartition(std::vector<GlobalIndex> starts)
 RowPartition RowPartition::even(GlobalIndex n, int nranks) {
   EXW_REQUIRE(nranks >= 1, "need at least one rank");
   std::vector<GlobalIndex> starts(static_cast<std::size_t>(nranks) + 1);
-  const GlobalIndex base = n / nranks;
-  const GlobalIndex rem = n % nranks;
-  starts[0] = 0;
-  for (int r = 0; r < nranks; ++r) {
-    starts[static_cast<std::size_t>(r) + 1] =
-        starts[static_cast<std::size_t>(r)] + base + (r < rem ? 1 : 0);
+  const std::int64_t base = n.value() / nranks;
+  const std::int64_t rem = n.value() % nranks;
+  starts[0] = GlobalIndex{0};
+  for (std::size_t r = 0; r < static_cast<std::size_t>(nranks); ++r) {
+    starts[r + 1] = starts[r] + base + (static_cast<std::int64_t>(r) < rem ? 1 : 0);
   }
   return RowPartition(std::move(starts));
 }
 
 RowPartition RowPartition::from_counts(const std::vector<GlobalIndex>& counts) {
-  std::vector<GlobalIndex> starts(counts.size() + 1, 0);
+  std::vector<GlobalIndex> starts(counts.size() + 1, GlobalIndex{0});
   for (std::size_t r = 0; r < counts.size(); ++r) {
     starts[r + 1] = starts[r] + counts[r];
   }
@@ -35,9 +34,9 @@ RowPartition RowPartition::from_counts(const std::vector<GlobalIndex>& counts) {
 }
 
 RankId RowPartition::rank_of(GlobalIndex g) const {
-  EXW_ASSERT(g >= 0 && g < global_size());
+  EXW_ASSERT(g >= GlobalIndex{0} && g < global_size());
   const auto it = std::upper_bound(starts_.begin(), starts_.end(), g);
-  return static_cast<RankId>(it - starts_.begin()) - 1;
+  return RankId{(it - starts_.begin()) - 1};
 }
 
 }  // namespace exw::par

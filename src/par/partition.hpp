@@ -27,13 +27,13 @@ class RowPartition {
   /// Partition from per-rank row counts.
   static RowPartition from_counts(const std::vector<GlobalIndex>& counts);
 
-  int nranks() const { return static_cast<int>(starts_.size()) - 1; }
+  int nranks() const { return checked_narrow<int>(starts_.size()) - 1; }
   GlobalIndex global_size() const { return starts_.back(); }
 
   GlobalIndex first_row(RankId r) const { return starts_[static_cast<std::size_t>(r)]; }
   GlobalIndex end_row(RankId r) const { return starts_[static_cast<std::size_t>(r) + 1]; }
   LocalIndex local_size(RankId r) const {
-    return static_cast<LocalIndex>(end_row(r) - first_row(r));
+    return checked_narrow<LocalIndex>(end_row(r) - first_row(r));
   }
 
   /// Owning rank of global row `g` (binary search).
@@ -44,9 +44,9 @@ class RowPartition {
     return g >= first_row(r) && g < end_row(r);
   }
 
-  /// Local index of `g` on its owner.
+  /// Local index of `g` on its owner — the audited global->local gateway.
   LocalIndex to_local(RankId r, GlobalIndex g) const {
-    return static_cast<LocalIndex>(g - first_row(r));
+    return checked_narrow<LocalIndex>(g - first_row(r));
   }
 
   const std::vector<GlobalIndex>& starts() const { return starts_; }

@@ -5,7 +5,7 @@
 namespace exw::par {
 
 double Runtime::allreduce_sum(const std::vector<double>& per_rank_values) {
-  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+  EXW_REQUIRE(checked_narrow<int>(per_rank_values.size()) == nranks_,
               "allreduce needs one value per rank");
   tracer_.collective(sizeof(double));
   double sum = 0;
@@ -17,7 +17,7 @@ double Runtime::allreduce_sum(const std::vector<double>& per_rank_values) {
 
 std::vector<double> Runtime::allreduce_sum_vec(
     const std::vector<std::vector<double>>& per_rank_values) {
-  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+  EXW_REQUIRE(checked_narrow<int>(per_rank_values.size()) == nranks_,
               "allreduce needs one vector per rank");
   const std::size_t n = per_rank_values.front().size();
   tracer_.collective(static_cast<double>(n * sizeof(double)));
@@ -33,10 +33,10 @@ std::vector<double> Runtime::allreduce_sum_vec(
 
 GlobalIndex Runtime::allreduce_sum(
     const std::vector<GlobalIndex>& per_rank_values) {
-  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+  EXW_REQUIRE(checked_narrow<int>(per_rank_values.size()) == nranks_,
               "allreduce needs one value per rank");
   tracer_.collective(sizeof(GlobalIndex));
-  GlobalIndex sum = 0;
+  GlobalIndex sum{0};
   for (GlobalIndex v : per_rank_values) {
     sum += v;
   }
@@ -45,7 +45,7 @@ GlobalIndex Runtime::allreduce_sum(
 
 GlobalIndex Runtime::allreduce_max(
     const std::vector<GlobalIndex>& per_rank_values) {
-  EXW_REQUIRE(static_cast<int>(per_rank_values.size()) == nranks_,
+  EXW_REQUIRE(checked_narrow<int>(per_rank_values.size()) == nranks_,
               "allreduce needs one value per rank");
   tracer_.collective(sizeof(GlobalIndex));
   // Seed from the first element, not 0: a zero seed silently clamps the

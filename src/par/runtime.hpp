@@ -121,7 +121,7 @@ class Transport {
   /// must throw, not silently alias another rank's shard via modulo
   /// wrap-around and corrupt its mailboxes.
   void require_rank(RankId r, const char* what) const {
-    EXW_REQUIRE(r >= 0 && r < nranks_,
+    EXW_REQUIRE(r.value() >= 0 && r.value() < nranks_,
                 std::string(what) + " rank out of range [0, nranks)");
   }
 
@@ -171,7 +171,7 @@ class Runtime {
   /// rank body, blocking until all return). Rank bodies stay internally
   /// sequential, so results are bitwise-identical to the serial loop.
   void parallel_for_ranks(const std::function<void(RankId)>& fn) const {
-    parallel_for(nranks_, fn);
+    parallel_for(nranks_, [&fn](int i) { fn(RankId{i}); });
   }
 
   /// Sum a per-rank contribution into one global value, charging one

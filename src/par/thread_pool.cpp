@@ -26,7 +26,7 @@ int configured_threads() {
     if (n >= 1) return n;
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  return hw >= 1 ? checked_narrow<int>(hw) : 1;
 }
 
 }  // namespace
@@ -80,7 +80,7 @@ void ThreadPool::run_bodies() {
     if (i >= impl_->n) break;
     try {
 #if EXW_CONTRACT_CHECKS_ENABLED
-      contract::ScopedRankContext ctx(i);
+      contract::ScopedRankContext ctx(RankId{i});
 #endif
       (*impl_->fn)(i);
     } catch (...) {
@@ -107,7 +107,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lk(impl_->mutex);
       impl_->finished += 1;
-      if (impl_->finished == static_cast<int>(impl_->workers.size())) {
+      if (impl_->finished == checked_narrow<int>(impl_->workers.size())) {
         impl_->cv_done.notify_one();
       }
     }
@@ -135,7 +135,7 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
       try {
 #if EXW_CONTRACT_CHECKS_ENABLED
         if (top_level) {
-          contract::ScopedRankContext ctx(i);
+          contract::ScopedRankContext ctx(RankId{i});
           fn(i);
           continue;
         }
@@ -168,7 +168,7 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   run_bodies();
   std::unique_lock<std::mutex> lk(impl_->mutex);
   impl_->cv_done.wait(lk, [&] {
-    return impl_->finished == static_cast<int>(impl_->workers.size());
+    return impl_->finished == checked_narrow<int>(impl_->workers.size());
   });
   impl_->fn = nullptr;
   if (impl_->error) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <queue>
 
@@ -15,14 +16,14 @@ double Graph::total_vweight() const {
 }
 
 bool Graph::valid() const {
-  if (static_cast<LocalIndex>(xadj.size()) != nv + 1) return false;
+  if (xadj.size() != static_cast<std::size_t>(nv) + 1) return false;
   if (adj.size() != ewgt.size()) return false;
-  if (static_cast<LocalIndex>(vwgt.size()) != nv) return false;
-  for (LocalIndex v = 0; v < nv; ++v) {
+  if (vwgt.size() != static_cast<std::size_t>(nv)) return false;
+  for (LocalIndex v{0}; v < nv; ++v) {
     for (LocalIndex k = xadj[static_cast<std::size_t>(v)];
          k < xadj[static_cast<std::size_t>(v) + 1]; ++k) {
       const LocalIndex u = adj[static_cast<std::size_t>(k)];
-      if (u < 0 || u >= nv || u == v) return false;
+      if (u < LocalIndex{0} || u >= nv || u == v) return false;
     }
   }
   return true;
@@ -45,8 +46,8 @@ Graph graph_from_edges(LocalIndex nv, const std::vector<LocalIndex>& ei,
     nbrs[static_cast<std::size_t>(a)].emplace_back(b, 1.0);
     nbrs[static_cast<std::size_t>(b)].emplace_back(a, 1.0);
   }
-  g.xadj.assign(static_cast<std::size_t>(nv) + 1, 0);
-  for (LocalIndex v = 0; v < nv; ++v) {
+  g.xadj.assign(static_cast<std::size_t>(nv) + 1, LocalIndex{0});
+  for (LocalIndex v{0}; v < nv; ++v) {
     auto& list = nbrs[static_cast<std::size_t>(v)];
     std::sort(list.begin(), list.end());
     std::size_t out = 0;
@@ -62,11 +63,11 @@ Graph graph_from_edges(LocalIndex nv, const std::vector<LocalIndex>& ei,
     }
     list.resize(out);
     g.xadj[static_cast<std::size_t>(v) + 1] =
-        g.xadj[static_cast<std::size_t>(v)] + static_cast<LocalIndex>(out);
+        g.xadj[static_cast<std::size_t>(v)] + checked_narrow<LocalIndex>(out);
   }
   g.adj.reserve(static_cast<std::size_t>(g.xadj.back()));
   g.ewgt.reserve(static_cast<std::size_t>(g.xadj.back()));
-  for (LocalIndex v = 0; v < nv; ++v) {
+  for (LocalIndex v{0}; v < nv; ++v) {
     for (const auto& [u, w] : nbrs[static_cast<std::size_t>(v)]) {
       g.adj.push_back(u);
       g.ewgt.push_back(w);
@@ -118,8 +119,8 @@ CoarseLevel coarsen(const Graph& g, std::uint64_t seed) {
 
   CoarseLevel lvl;
   lvl.fine_to_coarse.assign(nv, kInvalidLocal);
-  LocalIndex nc = 0;
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  LocalIndex nc{0};
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     if (lvl.fine_to_coarse[static_cast<std::size_t>(v)] != kInvalidLocal)
       continue;
     const LocalIndex m = match[static_cast<std::size_t>(v)];
@@ -131,14 +132,14 @@ CoarseLevel coarsen(const Graph& g, std::uint64_t seed) {
   Graph& cg = lvl.graph;
   cg.nv = nc;
   cg.vwgt.assign(static_cast<std::size_t>(nc), 0.0);
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     cg.vwgt[static_cast<std::size_t>(lvl.fine_to_coarse[static_cast<std::size_t>(v)])] +=
         g.vwgt[static_cast<std::size_t>(v)];
   }
   // Aggregate edges between coarse vertices.
   std::vector<std::vector<std::pair<LocalIndex, double>>> nbrs(
       static_cast<std::size_t>(nc));
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     const LocalIndex cv = lvl.fine_to_coarse[static_cast<std::size_t>(v)];
     for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
          k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
@@ -150,8 +151,8 @@ CoarseLevel coarsen(const Graph& g, std::uint64_t seed) {
       }
     }
   }
-  cg.xadj.assign(static_cast<std::size_t>(nc) + 1, 0);
-  for (LocalIndex v = 0; v < nc; ++v) {
+  cg.xadj.assign(static_cast<std::size_t>(nc) + 1, LocalIndex{0});
+  for (LocalIndex v{0}; v < nc; ++v) {
     auto& list = nbrs[static_cast<std::size_t>(v)];
     std::sort(list.begin(), list.end());
     std::size_t out = 0;
@@ -167,9 +168,9 @@ CoarseLevel coarsen(const Graph& g, std::uint64_t seed) {
     }
     list.resize(out);
     cg.xadj[static_cast<std::size_t>(v) + 1] =
-        cg.xadj[static_cast<std::size_t>(v)] + static_cast<LocalIndex>(out);
+        cg.xadj[static_cast<std::size_t>(v)] + checked_narrow<LocalIndex>(out);
   }
-  for (LocalIndex v = 0; v < nc; ++v) {
+  for (LocalIndex v{0}; v < nc; ++v) {
     for (const auto& [u, w] : nbrs[static_cast<std::size_t>(v)]) {
       cg.adj.push_back(u);
       cg.ewgt.push_back(w);
@@ -188,14 +189,14 @@ std::vector<std::uint8_t> grow_bisection(const Graph& g, double target_frac,
   double grown = 0;
   std::vector<std::uint8_t> seen(nv, 0);
   std::queue<LocalIndex> queue;
-  const auto start = static_cast<LocalIndex>(hash64(seed) % nv);
+  const auto start = checked_narrow<LocalIndex>(hash64(seed) % nv);
   queue.push(start);
   seen[static_cast<std::size_t>(start)] = 1;
   while (grown < target) {
     if (queue.empty()) {
       // Disconnected graph: seed a new component.
       LocalIndex next = kInvalidLocal;
-      for (LocalIndex v = 0; v < g.nv; ++v) {
+      for (LocalIndex v{0}; v < g.nv; ++v) {
         if (!seen[static_cast<std::size_t>(v)]) {
           next = v;
           break;
@@ -235,7 +236,7 @@ void fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
 
   auto side_weight0 = [&] {
     double w = 0;
-    for (LocalIndex v = 0; v < g.nv; ++v) {
+    for (LocalIndex v{0}; v < g.nv; ++v) {
       if (side[static_cast<std::size_t>(v)] == 0) {
         w += g.vwgt[static_cast<std::size_t>(v)];
       }
@@ -265,11 +266,11 @@ void fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
   {
     const double target_w = total * target_frac;
     int guard = 0;
-    while ((w0 < lo || w0 > hi) && guard++ < g.nv) {
+    while ((w0 < lo || w0 > hi) && guard++ < g.nv.value()) {
       const bool heavy0 = w0 > target_w;
       LocalIndex best = kInvalidLocal;
       double best_gain = -1e300;
-      for (LocalIndex v = 0; v < g.nv; ++v) {
+      for (LocalIndex v{0}; v < g.nv; ++v) {
         if ((side[static_cast<std::size_t>(v)] == 0) != heavy0) continue;
         const double gn = compute_gain(v);
         if (gn > best_gain) {
@@ -287,7 +288,7 @@ void fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
     // Max-heap of (gain, vertex) with lazy invalidation.
     using Entry = std::pair<double, LocalIndex>;
     std::priority_queue<Entry> heap;
-    for (LocalIndex v = 0; v < g.nv; ++v) {
+    for (LocalIndex v{0}; v < g.nv; ++v) {
       gain[static_cast<std::size_t>(v)] = compute_gain(v);
       heap.emplace(gain[static_cast<std::size_t>(v)], v);
     }
@@ -333,7 +334,8 @@ std::vector<std::uint8_t> multilevel_bisect(const Graph& g, double target_frac,
     return side;
   }
   CoarseLevel lvl = coarsen(g, seed);
-  if (lvl.graph.nv >= g.nv * 95 / 100) {
+  if (lvl.graph.nv.value() >=
+      static_cast<std::int64_t>(g.nv.value()) * 95 / 100) {
     // Matching stalled (e.g. star graphs): fall back to direct bisection.
     auto side = grow_bisection(g, target_frac, seed);
     fm_refine(g, side, target_frac, opts.balance_tol, opts.fm_passes);
@@ -342,7 +344,7 @@ std::vector<std::uint8_t> multilevel_bisect(const Graph& g, double target_frac,
   const auto coarse_side =
       multilevel_bisect(lvl.graph, target_frac, opts, hash64(seed));
   std::vector<std::uint8_t> side(static_cast<std::size_t>(g.nv));
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     side[static_cast<std::size_t>(v)] =
         coarse_side[static_cast<std::size_t>(
             lvl.fine_to_coarse[static_cast<std::size_t>(v)])];
@@ -356,15 +358,15 @@ Graph induced_subgraph(const Graph& g, const std::vector<std::uint8_t>& keep,
                        std::vector<LocalIndex>& to_sub) {
   to_sub.assign(static_cast<std::size_t>(g.nv), kInvalidLocal);
   std::vector<LocalIndex> verts;
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     if (keep[static_cast<std::size_t>(v)]) {
-      to_sub[static_cast<std::size_t>(v)] = static_cast<LocalIndex>(verts.size());
+      to_sub[static_cast<std::size_t>(v)] = checked_narrow<LocalIndex>(verts.size());
       verts.push_back(v);
     }
   }
   Graph s;
-  s.nv = static_cast<LocalIndex>(verts.size());
-  s.xadj.assign(static_cast<std::size_t>(s.nv) + 1, 0);
+  s.nv = checked_narrow<LocalIndex>(verts.size());
+  s.xadj.assign(static_cast<std::size_t>(s.nv) + 1, LocalIndex{0});
   s.vwgt.resize(static_cast<std::size_t>(s.nv));
   for (std::size_t i = 0; i < verts.size(); ++i) {
     s.vwgt[i] = g.vwgt[static_cast<std::size_t>(verts[i])];
@@ -376,7 +378,7 @@ Graph induced_subgraph(const Graph& g, const std::vector<std::uint8_t>& keep,
         s.ewgt.push_back(g.ewgt[static_cast<std::size_t>(k)]);
       }
     }
-    s.xadj[i + 1] = static_cast<LocalIndex>(s.adj.size());
+    s.xadj[i + 1] = checked_narrow<LocalIndex>(s.adj.size());
   }
   return s;
 }
@@ -385,9 +387,9 @@ void kway_recurse(const Graph& g, const std::vector<GlobalIndex>& to_parent,
                   std::vector<RankId>& parts, int first_part, int nparts,
                   const GraphPartOptions& opts, std::uint64_t seed) {
   if (nparts == 1) {
-    for (LocalIndex v = 0; v < g.nv; ++v) {
+    for (LocalIndex v{0}; v < g.nv; ++v) {
       parts[static_cast<std::size_t>(to_parent[static_cast<std::size_t>(v)])] =
-          first_part;
+          RankId{first_part};
     }
     return;
   }
@@ -406,7 +408,7 @@ void kway_recurse(const Graph& g, const std::vector<GlobalIndex>& to_parent,
   std::vector<GlobalIndex> parent0, parent1;
   parent0.reserve(static_cast<std::size_t>(g0.nv));
   parent1.reserve(static_cast<std::size_t>(g1.nv));
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     if (side[static_cast<std::size_t>(v)] == 0) {
       parent0.push_back(to_parent[static_cast<std::size_t>(v)]);
     } else {
@@ -423,8 +425,8 @@ void kway_recurse(const Graph& g, const std::vector<GlobalIndex>& to_parent,
 std::vector<RankId> graph_partition(const Graph& g, int nparts,
                                     const GraphPartOptions& opts) {
   EXW_REQUIRE(nparts >= 1, "need at least one part");
-  EXW_REQUIRE(g.nv >= nparts, "fewer vertices than parts");
-  std::vector<RankId> parts(static_cast<std::size_t>(g.nv), 0);
+  EXW_REQUIRE(g.nv.value() >= nparts, "fewer vertices than parts");
+  std::vector<RankId> parts(static_cast<std::size_t>(g.nv), RankId{0});
   std::vector<GlobalIndex> ids(static_cast<std::size_t>(g.nv));
   std::iota(ids.begin(), ids.end(), GlobalIndex{0});
   kway_recurse(g, ids, parts, 0, nparts, opts, opts.seed);
@@ -433,7 +435,7 @@ std::vector<RankId> graph_partition(const Graph& g, int nparts,
 
 double edge_cut(const Graph& g, const std::vector<RankId>& parts) {
   double cut = 0;
-  for (LocalIndex v = 0; v < g.nv; ++v) {
+  for (LocalIndex v{0}; v < g.nv; ++v) {
     for (LocalIndex k = g.xadj[static_cast<std::size_t>(v)];
          k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
       const LocalIndex u = g.adj[static_cast<std::size_t>(k)];

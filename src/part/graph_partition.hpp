@@ -18,7 +18,7 @@ namespace exw::part {
 
 /// Undirected weighted graph in CSR adjacency form.
 struct Graph {
-  LocalIndex nv = 0;
+  LocalIndex nv{0};
   std::vector<LocalIndex> xadj{0};  ///< size nv+1
   std::vector<LocalIndex> adj;      ///< neighbor lists (no self loops)
   std::vector<double> ewgt;         ///< per-edge weights (parallel to adj)
@@ -38,7 +38,7 @@ Graph graph_from_edges(LocalIndex nv, const std::vector<LocalIndex>& ei,
 struct GraphPartOptions {
   double balance_tol = 1.015;  ///< max part weight / average part weight
   int fm_passes = 4;          ///< FM refinement passes per level
-  LocalIndex coarsen_to = 160;  ///< stop coarsening below this many vertices
+  LocalIndex coarsen_to{160};  ///< stop coarsening below this many vertices
   std::uint64_t seed = 12345;
 };
 

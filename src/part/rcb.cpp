@@ -30,7 +30,7 @@ struct RcbWorker {
   void split(std::vector<GlobalIndex>& ids, int first_part, int nparts) {
     if (nparts == 1) {
       for (GlobalIndex v : ids) {
-        parts[static_cast<std::size_t>(v)] = first_part;
+        parts[static_cast<std::size_t>(v)] = RankId{first_part};
       }
       return;
     }
@@ -85,7 +85,7 @@ std::vector<RankId> rcb_partition(const std::vector<Vec3>& coords,
               "weights/coords size mismatch");
   EXW_REQUIRE(coords.size() >= static_cast<std::size_t>(nparts),
               "fewer vertices than parts");
-  std::vector<RankId> parts(coords.size(), 0);
+  std::vector<RankId> parts(coords.size(), RankId{0});
   std::vector<GlobalIndex> ids(coords.size());
   std::iota(ids.begin(), ids.end(), GlobalIndex{0});
   RcbWorker worker{coords, weights, parts};

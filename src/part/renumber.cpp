@@ -6,16 +6,17 @@ namespace exw::part {
 
 Numbering make_numbering(const std::vector<RankId>& parts, int nparts) {
   Numbering num;
-  std::vector<GlobalIndex> counts(static_cast<std::size_t>(nparts), 0);
+  std::vector<GlobalIndex> counts(static_cast<std::size_t>(nparts),
+                                  GlobalIndex{0});
   for (RankId p : parts) {
-    EXW_REQUIRE(p >= 0 && p < nparts, "part id out of range");
+    EXW_REQUIRE(p.value() >= 0 && p.value() < nparts, "part id out of range");
     counts[static_cast<std::size_t>(p)] += 1;
   }
   num.rows = par::RowPartition::from_counts(counts);
 
   std::vector<GlobalIndex> cursor(static_cast<std::size_t>(nparts));
   for (int p = 0; p < nparts; ++p) {
-    cursor[static_cast<std::size_t>(p)] = num.rows.first_row(p);
+    cursor[static_cast<std::size_t>(p)] = num.rows.first_row(RankId{p});
   }
   num.old_to_new.resize(parts.size());
   num.new_to_old.resize(parts.size());
@@ -23,7 +24,7 @@ Numbering make_numbering(const std::vector<RankId>& parts, int nparts) {
     const GlobalIndex fresh = cursor[static_cast<std::size_t>(parts[old])]++;
     num.old_to_new[old] = fresh;
     num.new_to_old[static_cast<std::size_t>(fresh)] =
-        static_cast<GlobalIndex>(old);
+        GlobalIndex{old};
   }
   return num;
 }

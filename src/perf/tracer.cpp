@@ -19,7 +19,7 @@ double PhaseStats::modeled_time(const MachineModel& m) const {
                         w.msg_bytes / m.msg_bytes_per_s;
     worst = std::max(worst, compute + comm);
   }
-  const int nranks = static_cast<int>(rank.size());
+  const int nranks = checked_narrow<int>(rank.size());
   const double avg_coll_bytes =
       collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
   return worst + static_cast<double>(collectives) *
@@ -43,7 +43,7 @@ double PhaseStats::comm_time(const MachineModel& m) const {
     worst = std::max(worst, static_cast<double>(w.msgs) * m.msg_latency_s +
                                 w.msg_bytes / m.msg_bytes_per_s);
   }
-  const int nranks = static_cast<int>(rank.size());
+  const int nranks = checked_narrow<int>(rank.size());
   const double avg_coll_bytes =
       collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
   return worst + static_cast<double>(collectives) *

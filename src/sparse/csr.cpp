@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "sparse/prim.hpp"
@@ -21,7 +22,7 @@ Csr Csr::from_triples(LocalIndex nrows, LocalIndex ncols,
   out.cols_ = std::move(cols);
   out.vals_ = std::move(vals);
   for (LocalIndex r : rows) {
-    EXW_ASSERT(r >= 0 && r < nrows);
+    EXW_ASSERT(r >= LocalIndex{0} && r < nrows);
     out.row_ptr_[static_cast<std::size_t>(r) + 1] += 1;
   }
   for (std::size_t i = 1; i < out.row_ptr_.size(); ++i) {
@@ -34,23 +35,26 @@ Csr Csr::identity(LocalIndex n) {
   Csr out(n, n);
   out.cols_.resize(static_cast<std::size_t>(n));
   out.vals_.assign(static_cast<std::size_t>(n), 1.0);
-  for (LocalIndex i = 0; i < n; ++i) {
-    out.cols_[static_cast<std::size_t>(i)] = i;
-    out.row_ptr_[static_cast<std::size_t>(i) + 1] = i + 1;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    out.cols_[i] = LocalIndex{i};
+    out.row_ptr_[i + 1] = EntryOffset{i + 1};
   }
   return out;
 }
 
 void Csr::spmv(std::span<const Real> x, std::span<Real> y, Real alpha,
                Real beta) const {
-  EXW_ASSERT(static_cast<LocalIndex>(x.size()) >= ncols_);
-  EXW_ASSERT(static_cast<LocalIndex>(y.size()) >= nrows_);
+  EXW_ASSERT(x.size() >= static_cast<std::size_t>(ncols_));
+  EXW_ASSERT(y.size() >= static_cast<std::size_t>(nrows_));
+  // Raw 64-bit loop variable: OpenMP requires an integral canonical form.
+  const std::int64_t n = nrows_.value();
 #ifdef EXW_HAVE_OPENMP
 #pragma omp parallel for schedule(static)
 #endif
-  for (LocalIndex i = 0; i < nrows_; ++i) {
+  for (std::int64_t ii = 0; ii < n; ++ii) {
+    const LocalIndex i{ii};
     Real acc = 0.0;
-    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
       acc += vals_[static_cast<std::size_t>(k)] *
              x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
     }
@@ -61,19 +65,19 @@ void Csr::spmv(std::span<const Real> x, std::span<Real> y, Real alpha,
 
 void Csr::spmv_transpose(std::span<const Real> x, std::span<Real> y,
                          Real alpha, Real beta) const {
-  EXW_ASSERT(static_cast<LocalIndex>(x.size()) >= nrows_);
-  EXW_ASSERT(static_cast<LocalIndex>(y.size()) >= ncols_);
+  EXW_ASSERT(x.size() >= static_cast<std::size_t>(nrows_));
+  EXW_ASSERT(y.size() >= static_cast<std::size_t>(ncols_));
   if (beta == 0.0) {
-    std::fill(y.begin(), y.begin() + ncols_, 0.0);
+    std::fill(y.begin(), y.begin() + ncols_.value(), 0.0);
   } else if (beta != 1.0) {
-    for (LocalIndex j = 0; j < ncols_; ++j) {
+    for (LocalIndex j{0}; j < ncols_; ++j) {
       y[static_cast<std::size_t>(j)] *= beta;
     }
   }
-  for (LocalIndex i = 0; i < nrows_; ++i) {
+  for (LocalIndex i{0}; i < nrows_; ++i) {
     const Real xi = alpha * x[static_cast<std::size_t>(i)];
     if (xi == 0.0) continue;
-    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
       y[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])] +=
           vals_[static_cast<std::size_t>(k)] * xi;
     }
@@ -82,9 +86,10 @@ void Csr::spmv_transpose(std::span<const Real> x, std::span<Real> y,
 
 std::vector<Real> Csr::diagonal() const {
   std::vector<Real> d(static_cast<std::size_t>(nrows_), 0.0);
-  for (LocalIndex i = 0; i < nrows_ && i < ncols_; ++i) {
-    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
-      if (cols_[static_cast<std::size_t>(k)] == i) {
+  const LocalIndex bound{std::min(nrows_.value(), ncols_.value())};
+  for (LocalIndex i{0}; i < bound; ++i) {
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
+      if (cols_[static_cast<std::size_t>(k)].value() == i.value()) {
         d[static_cast<std::size_t>(i)] = vals_[static_cast<std::size_t>(k)];
         break;
       }
@@ -98,7 +103,8 @@ Csr Csr::transpose() const {
   out.cols_.resize(nnz());
   out.vals_.resize(nnz());
   // Counting sort by column.
-  std::vector<LocalIndex> count(static_cast<std::size_t>(ncols_) + 1, 0);
+  std::vector<EntryOffset> count(static_cast<std::size_t>(ncols_) + 1,
+                                 EntryOffset{0});
   for (LocalIndex c : cols_) {
     count[static_cast<std::size_t>(c) + 1] += 1;
   }
@@ -106,13 +112,14 @@ Csr Csr::transpose() const {
     count[i] += count[i - 1];
   }
   out.row_ptr_ = count;
-  std::vector<LocalIndex> cursor(count.begin(), count.end() - 1);
-  for (LocalIndex i = 0; i < nrows_; ++i) {
-    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+  std::vector<EntryOffset> cursor(count.begin(), count.end() - 1);
+  for (LocalIndex i{0}; i < nrows_; ++i) {
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
       const LocalIndex c = cols_[static_cast<std::size_t>(k)];
-      const LocalIndex slot = cursor[static_cast<std::size_t>(c)]++;
+      const EntryOffset slot = cursor[static_cast<std::size_t>(c)]++;
       out.cols_[static_cast<std::size_t>(slot)] = i;
-      out.vals_[static_cast<std::size_t>(slot)] = vals_[static_cast<std::size_t>(k)];
+      out.vals_[static_cast<std::size_t>(slot)] =
+          vals_[static_cast<std::size_t>(k)];
     }
   }
   return out;
@@ -120,7 +127,7 @@ Csr Csr::transpose() const {
 
 void Csr::sort_rows() {
   std::vector<std::pair<LocalIndex, Real>> tmp;
-  for (LocalIndex i = 0; i < nrows_; ++i) {
+  for (LocalIndex i{0}; i < nrows_; ++i) {
     const auto b = static_cast<std::size_t>(row_begin(i));
     const auto e = static_cast<std::size_t>(row_end(i));
     tmp.clear();
@@ -137,16 +144,16 @@ void Csr::sort_rows() {
 }
 
 void Csr::scale_rows(std::span<const Real> s) {
-  EXW_ASSERT(static_cast<LocalIndex>(s.size()) >= nrows_);
-  for (LocalIndex i = 0; i < nrows_; ++i) {
-    for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+  EXW_ASSERT(s.size() >= static_cast<std::size_t>(nrows_));
+  for (LocalIndex i{0}; i < nrows_; ++i) {
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
       vals_[static_cast<std::size_t>(k)] *= s[static_cast<std::size_t>(i)];
     }
   }
 }
 
 Real Csr::at(LocalIndex i, LocalIndex j) const {
-  for (LocalIndex k = row_begin(i); k < row_end(i); ++k) {
+  for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
     if (cols_[static_cast<std::size_t>(k)] == j) {
       return vals_[static_cast<std::size_t>(k)];
     }
@@ -173,18 +180,17 @@ Csr add(const Csr& a, const Csr& b) {
   std::vector<LocalIndex> marker(static_cast<std::size_t>(a.ncols()),
                                  kInvalidLocal);
   std::vector<LocalIndex> live;
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
     live.clear();
     auto absorb = [&](const Csr& m) {
-      for (LocalIndex k = m.row_begin(i); k < m.row_end(i); ++k) {
-        const LocalIndex c = m.cols()[static_cast<std::size_t>(k)];
+      for (EntryOffset k = m.row_begin(i); k < m.row_end(i); ++k) {
+        const LocalIndex c = m.cols()[k];
         if (marker[static_cast<std::size_t>(c)] != i) {
           marker[static_cast<std::size_t>(c)] = i;
           accum[static_cast<std::size_t>(c)] = 0.0;
           live.push_back(c);
         }
-        accum[static_cast<std::size_t>(c)] +=
-            m.vals()[static_cast<std::size_t>(k)];
+        accum[static_cast<std::size_t>(c)] += m.vals()[k];
       }
     };
     absorb(a);
@@ -194,28 +200,28 @@ Csr add(const Csr& a, const Csr& b) {
       cols.push_back(c);
       vals.push_back(accum[static_cast<std::size_t>(c)]);
     }
-    rp[static_cast<std::size_t>(i) + 1] = static_cast<LocalIndex>(cols.size());
+    rp[static_cast<std::size_t>(i) + 1] = EntryOffset{cols.size()};
   }
   return out;
 }
 
 Csr extract(const Csr& a, std::span<const LocalIndex> rows,
             std::span<const LocalIndex> col_map, LocalIndex ncols_out) {
-  Csr out(static_cast<LocalIndex>(rows.size()), ncols_out);
+  Csr out(checked_narrow<LocalIndex>(rows.size()), ncols_out);
   auto& rp = out.row_ptr_mut();
   auto& cols = out.cols_vec();
   auto& vals = out.vals_vec();
   for (std::size_t oi = 0; oi < rows.size(); ++oi) {
     const LocalIndex i = rows[oi];
-    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
-      const LocalIndex c = a.cols()[static_cast<std::size_t>(k)];
+    for (EntryOffset k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const LocalIndex c = a.cols()[k];
       const LocalIndex nc = col_map[static_cast<std::size_t>(c)];
       if (nc != kInvalidLocal) {
         cols.push_back(nc);
-        vals.push_back(a.vals()[static_cast<std::size_t>(k)]);
+        vals.push_back(a.vals()[k]);
       }
     }
-    rp[oi + 1] = static_cast<LocalIndex>(cols.size());
+    rp[oi + 1] = EntryOffset{cols.size()};
   }
   return out;
 }

@@ -7,6 +7,13 @@
 /// submatrix extraction (for the FF/FC blocks of the MM-ext interpolation
 /// operators, §4.1). Indices here are rank-local; the distributed layer
 /// (linalg/ParCsr) pairs a local CSR "diag" block with an "offd" block.
+///
+/// Index spaces: rows/columns are LocalIndex (32-bit), but positions in
+/// the entry storage — row_ptr values and subscripts of cols()/vals() —
+/// are 64-bit EntryOffset: a rank's nonzero *count* overflows 32 bits
+/// long before its row count does. The accessors return IndexedSpan, so
+/// subscripting entry storage with a row index (or vice versa) does not
+/// compile.
 
 #include <span>
 #include <vector>
@@ -20,7 +27,7 @@ class Csr {
   Csr() = default;
   Csr(LocalIndex nrows, LocalIndex ncols)
       : nrows_(nrows), ncols_(ncols),
-        row_ptr_(static_cast<std::size_t>(nrows) + 1, 0) {}
+        row_ptr_(static_cast<std::size_t>(nrows) + 1, EntryOffset{0}) {}
 
   /// Build from local-index triples (need not be sorted; duplicates summed).
   static Csr from_triples(LocalIndex nrows, LocalIndex ncols,
@@ -35,22 +42,28 @@ class Csr {
   LocalIndex ncols() const { return ncols_; }
   std::size_t nnz() const { return cols_.size(); }
 
-  std::span<const LocalIndex> row_ptr() const { return row_ptr_; }
-  std::span<const LocalIndex> cols() const { return cols_; }
-  std::span<const Real> vals() const { return vals_; }
-  std::span<LocalIndex> cols_mut() { return cols_; }
-  std::span<Real> vals_mut() { return vals_; }
+  IndexedSpan<LocalIndex, const EntryOffset> row_ptr() const {
+    return {row_ptr_};
+  }
+  IndexedSpan<EntryOffset, const LocalIndex> cols() const { return {cols_}; }
+  IndexedSpan<EntryOffset, const Real> vals() const { return {vals_}; }
+  IndexedSpan<EntryOffset, LocalIndex> cols_mut() { return {cols_}; }
+  IndexedSpan<EntryOffset, Real> vals_mut() { return {vals_}; }
 
-  LocalIndex row_begin(LocalIndex i) const {
+  EntryOffset row_begin(LocalIndex i) const {
     return row_ptr_[static_cast<std::size_t>(i)];
   }
-  LocalIndex row_end(LocalIndex i) const {
+  EntryOffset row_end(LocalIndex i) const {
     return row_ptr_[static_cast<std::size_t>(i) + 1];
   }
-  LocalIndex row_nnz(LocalIndex i) const { return row_end(i) - row_begin(i); }
+  /// Entries in row i. A single row is bounded by ncols, so this narrows
+  /// back to LocalIndex through the audited gateway.
+  LocalIndex row_nnz(LocalIndex i) const {
+    return checked_narrow<LocalIndex>(row_end(i) - row_begin(i));
+  }
 
   /// Direct access used by builders; row_ptr invariants are the caller's.
-  std::vector<LocalIndex>& row_ptr_mut() { return row_ptr_; }
+  std::vector<EntryOffset>& row_ptr_mut() { return row_ptr_; }
   std::vector<LocalIndex>& cols_vec() { return cols_; }
   std::vector<Real>& vals_vec() { return vals_; }
 
@@ -81,9 +94,9 @@ class Csr {
   Real max_abs() const;
 
  private:
-  LocalIndex nrows_ = 0;
-  LocalIndex ncols_ = 0;
-  std::vector<LocalIndex> row_ptr_{0};
+  LocalIndex nrows_{0};
+  LocalIndex ncols_{0};
+  std::vector<EntryOffset> row_ptr_{EntryOffset{0}};
   std::vector<LocalIndex> cols_;
   std::vector<Real> vals_;
 };

@@ -7,14 +7,22 @@
 
 namespace exw::sparse {
 
+namespace {
+
+/// Flattened row-major position of (i, j) in an n x n dense matrix.
+std::size_t dense_at(LocalIndex n, LocalIndex i, LocalIndex j) {
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(j);
+}
+
+}  // namespace
+
 DenseLu::DenseLu(const Csr& a) : n_(a.nrows()) {
   EXW_REQUIRE(a.nrows() == a.ncols(), "dense LU needs a square matrix");
   lu_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0.0);
-  for (LocalIndex i = 0; i < n_; ++i) {
-    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
-      lu_[static_cast<std::size_t>(i) * n_ +
-          static_cast<std::size_t>(a.cols()[static_cast<std::size_t>(k)])] =
-          a.vals()[static_cast<std::size_t>(k)];
+  for (LocalIndex i{0}; i < n_; ++i) {
+    for (EntryOffset k = a.row_begin(i); k < a.row_end(i); ++k) {
+      lu_[dense_at(n_, i, a.cols()[k])] = a.vals()[k];
     }
   }
   factor();
@@ -29,12 +37,12 @@ DenseLu::DenseLu(LocalIndex n, std::vector<Real> a) : n_(n), lu_(std::move(a)) {
 
 void DenseLu::factor() {
   piv_.resize(static_cast<std::size_t>(n_));
-  for (LocalIndex k = 0; k < n_; ++k) {
+  for (LocalIndex k{0}; k < n_; ++k) {
     // Partial pivot.
     LocalIndex p = k;
-    Real best = std::abs(lu_[static_cast<std::size_t>(k) * n_ + k]);
+    Real best = std::abs(lu_[dense_at(n_, k, k)]);
     for (LocalIndex i = k + 1; i < n_; ++i) {
-      const Real v = std::abs(lu_[static_cast<std::size_t>(i) * n_ + k]);
+      const Real v = std::abs(lu_[dense_at(n_, i, k)]);
       if (v > best) {
         best = v;
         p = i;
@@ -43,54 +51,50 @@ void DenseLu::factor() {
     EXW_REQUIRE(best > 0.0, "singular matrix in dense LU");
     piv_[static_cast<std::size_t>(k)] = p;
     if (p != k) {
-      for (LocalIndex j = 0; j < n_; ++j) {
-        std::swap(lu_[static_cast<std::size_t>(k) * n_ + j],
-                  lu_[static_cast<std::size_t>(p) * n_ + j]);
+      for (LocalIndex j{0}; j < n_; ++j) {
+        std::swap(lu_[dense_at(n_, k, j)], lu_[dense_at(n_, p, j)]);
       }
     }
-    const Real pivot = lu_[static_cast<std::size_t>(k) * n_ + k];
+    const Real pivot = lu_[dense_at(n_, k, k)];
     for (LocalIndex i = k + 1; i < n_; ++i) {
-      Real& lik = lu_[static_cast<std::size_t>(i) * n_ + k];
+      Real& lik = lu_[dense_at(n_, i, k)];
       lik /= pivot;
       const Real f = lik;
       if (f == 0.0) continue;
       for (LocalIndex j = k + 1; j < n_; ++j) {
-        lu_[static_cast<std::size_t>(i) * n_ + j] -=
-            f * lu_[static_cast<std::size_t>(k) * n_ + j];
+        lu_[dense_at(n_, i, j)] -= f * lu_[dense_at(n_, k, j)];
       }
     }
   }
 }
 
 std::vector<Real> DenseLu::solve(std::span<const Real> b) const {
-  std::vector<Real> x(b.begin(), b.begin() + n_);
+  std::vector<Real> x(b.begin(), b.begin() + n_.value());
   solve_in_place(x);
   return x;
 }
 
 void DenseLu::solve_in_place(std::span<Real> x) const {
   // Apply pivots, forward substitution with unit L, back substitution with U.
-  for (LocalIndex k = 0; k < n_; ++k) {
+  for (LocalIndex k{0}; k < n_; ++k) {
     const LocalIndex p = piv_[static_cast<std::size_t>(k)];
     if (p != k) {
       std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(p)]);
     }
   }
-  for (LocalIndex i = 1; i < n_; ++i) {
+  for (LocalIndex i{1}; i < n_; ++i) {
     Real acc = x[static_cast<std::size_t>(i)];
-    for (LocalIndex j = 0; j < i; ++j) {
-      acc -= lu_[static_cast<std::size_t>(i) * n_ + j] *
-             x[static_cast<std::size_t>(j)];
+    for (LocalIndex j{0}; j < i; ++j) {
+      acc -= lu_[dense_at(n_, i, j)] * x[static_cast<std::size_t>(j)];
     }
     x[static_cast<std::size_t>(i)] = acc;
   }
-  for (LocalIndex i = n_ - 1; i >= 0; --i) {
+  for (LocalIndex i = n_ - 1; i >= LocalIndex{0}; --i) {
     Real acc = x[static_cast<std::size_t>(i)];
     for (LocalIndex j = i + 1; j < n_; ++j) {
-      acc -= lu_[static_cast<std::size_t>(i) * n_ + j] *
-             x[static_cast<std::size_t>(j)];
+      acc -= lu_[dense_at(n_, i, j)] * x[static_cast<std::size_t>(j)];
     }
-    x[static_cast<std::size_t>(i)] = acc / lu_[static_cast<std::size_t>(i) * n_ + i];
+    x[static_cast<std::size_t>(i)] = acc / lu_[dense_at(n_, i, i)];
   }
 }
 

@@ -25,7 +25,7 @@ class DenseLu {
   DenseLu(LocalIndex n, std::vector<Real> a);
 
   LocalIndex size() const { return n_; }
-  bool empty() const { return n_ == 0; }
+  bool empty() const { return n_ == LocalIndex{0}; }
 
   /// Solve A x = b.
   std::vector<Real> solve(std::span<const Real> b) const;
@@ -34,7 +34,7 @@ class DenseLu {
  private:
   void factor();
 
-  LocalIndex n_ = 0;
+  LocalIndex n_{0};
   std::vector<Real> lu_;        ///< packed LU factors
   std::vector<LocalIndex> piv_; ///< row pivots
 };

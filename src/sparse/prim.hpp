@@ -123,7 +123,7 @@ std::size_t reduce_by_key(std::vector<K1>& k1, std::vector<K2>& k2,
 /// Exclusive prefix sum; returns the total.
 template <typename T>
 T exclusive_scan(std::vector<T>& v) {
-  T sum = 0;
+  T sum{};
   for (auto& x : v) {
     const T next = sum + x;
     x = sum;

@@ -65,7 +65,7 @@ class RowHash {
   std::size_t count() const { return count_; }
 
  private:
-  static constexpr LocalIndex kEmpty = -1;
+  static constexpr LocalIndex kEmpty{-1};
 
   std::size_t hash(LocalIndex key) const {
     return (static_cast<std::size_t>(key) * 0x9e3779b9u) & (keys_.size() - 1);
@@ -99,25 +99,25 @@ Csr spgemm_hash(const Csr& a, const Csr& b) {
   auto& vals = out.vals_vec();
   RowHash table;
   std::vector<std::pair<LocalIndex, Real>> scratch;
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
     // Upper bound on this row's products sizes the hash table.
     std::size_t upper = 0;
-    for (LocalIndex ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
+    for (EntryOffset ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
       upper += static_cast<std::size_t>(
-          b.row_nnz(a.cols()[static_cast<std::size_t>(ka)]));
+          b.row_nnz(a.cols()[ka]));
     }
     table.reset(upper);
-    for (LocalIndex ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
-      const LocalIndex j = a.cols()[static_cast<std::size_t>(ka)];
-      const Real av = a.vals()[static_cast<std::size_t>(ka)];
+    for (EntryOffset ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
+      const LocalIndex j = a.cols()[ka];
+      const Real av = a.vals()[ka];
       if (av == 0.0) continue;
-      for (LocalIndex kb = b.row_begin(j); kb < b.row_end(j); ++kb) {
-        table.insert(b.cols()[static_cast<std::size_t>(kb)],
-                     av * b.vals()[static_cast<std::size_t>(kb)]);
+      for (EntryOffset kb = b.row_begin(j); kb < b.row_end(j); ++kb) {
+        table.insert(b.cols()[kb],
+                     av * b.vals()[kb]);
       }
     }
     table.emit(cols, vals, scratch);
-    rp[static_cast<std::size_t>(i) + 1] = static_cast<LocalIndex>(cols.size());
+    rp[static_cast<std::size_t>(i) + 1] = EntryOffset{cols.size()};
   }
   return out;
 }
@@ -131,14 +131,14 @@ Csr spgemm_sort(const Csr& a, const Csr& b) {
   ti.reserve(upper);
   tj.reserve(upper);
   tv.reserve(upper);
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
-    for (LocalIndex ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
-      const LocalIndex j = a.cols()[static_cast<std::size_t>(ka)];
-      const Real av = a.vals()[static_cast<std::size_t>(ka)];
-      for (LocalIndex kb = b.row_begin(j); kb < b.row_end(j); ++kb) {
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
+    for (EntryOffset ka = a.row_begin(i); ka < a.row_end(i); ++ka) {
+      const LocalIndex j = a.cols()[ka];
+      const Real av = a.vals()[ka];
+      for (EntryOffset kb = b.row_begin(j); kb < b.row_end(j); ++kb) {
         ti.push_back(i);
-        tj.push_back(b.cols()[static_cast<std::size_t>(kb)]);
-        tv.push_back(av * b.vals()[static_cast<std::size_t>(kb)]);
+        tj.push_back(b.cols()[kb]);
+        tv.push_back(av * b.vals()[kb]);
       }
     }
   }
@@ -165,9 +165,9 @@ Csr rap(const Csr& a, const Csr& p, SpGemmAlgo algo) {
 
 double spgemm_flops(const Csr& a, const Csr& b) {
   double flops = 0;
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
-    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
-      flops += 2.0 * b.row_nnz(a.cols()[static_cast<std::size_t>(k)]);
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
+    for (EntryOffset k = a.row_begin(i); k < a.row_end(i); ++k) {
+      flops += 2.0 * b.row_nnz(a.cols()[k]).value();
     }
   }
   return flops;

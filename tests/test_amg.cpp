@@ -20,7 +20,7 @@ using testutil::random_rect;
 using testutil::random_vector;
 
 linalg::ParCsr distribute(par::Runtime& rt, const sparse::Csr& a) {
-  const auto rows = par::RowPartition::even(a.nrows(), rt.nranks());
+  const auto rows = par::RowPartition::even(GlobalIndex{a.nrows().value()}, rt.nranks());
   return linalg::ParCsr::from_serial(rt, a, rows, rows);
 }
 
@@ -41,11 +41,11 @@ TEST(Strength, DiagonalNeverStrong) {
   par::Runtime rt(1);
   const auto a = distribute(rt, laplace3d(4));
   const Strength s = compute_strength(a, 0.0);
-  const auto& b = a.block(0);
-  for (LocalIndex i = 0; i < b.diag.nrows(); ++i) {
-    for (LocalIndex k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
-      if (b.diag.cols()[static_cast<std::size_t>(k)] == i) {
-        EXPECT_FALSE(s.strong_diag(0, static_cast<std::size_t>(k)));
+  const auto& b = a.block(RankId{0});
+  for (LocalIndex i{0}; i < b.diag.nrows(); ++i) {
+    for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+      if (b.diag.cols()[k] == i) {
+        EXPECT_FALSE(s.strong_diag(RankId{0}, static_cast<std::size_t>(k)));
       }
     }
   }
@@ -60,10 +60,10 @@ TEST_P(AmgRankSweep, PmisProducesValidSplitting) {
   const Strength s = compute_strength(a, 0.25);
   const Coarsening c = pmis(a, s, 7);
   // Nontrivial coarsening.
-  EXPECT_GT(c.coarse_size(), 0);
+  EXPECT_GT(c.coarse_size(), GlobalIndex{0});
   EXPECT_LT(c.coarse_size(), a.global_rows());
   // Every point decided; coarse ids contiguous per rank.
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     GlobalIndex expect = c.coarse_rows.first_row(r);
     for (std::size_t i = 0; i < c.cf[static_cast<std::size_t>(r)].size(); ++i) {
       EXPECT_NE(c.cf[static_cast<std::size_t>(r)][i], CF::kUndecided);
@@ -87,7 +87,7 @@ TEST_P(AmgRankSweep, PmisIndependentOfRankCount) {
   const Coarsening c1 = pmis(a1, compute_strength(a1, 0.25), 3);
   const Coarsening cn = pmis(an, compute_strength(an, 0.25), 3);
   ASSERT_EQ(c1.coarse_size(), cn.coarse_size());
-  for (GlobalIndex g = 0; g < a1.global_rows(); ++g) {
+  for (GlobalIndex g{0}; g < a1.global_rows(); ++g) {
     EXPECT_EQ(static_cast<int>(c1.cf_of(a1.rows(), g)),
               static_cast<int>(cn.cf_of(an.rows(), g)));
   }
@@ -116,11 +116,11 @@ TEST_P(AmgRankSweep, InterpolationPreservesConstants) {
     ones_c.fill(1.0);
     p.matvec(ones_c, result);
     const auto res = result.gather();
-    for (int r = 0; r < nranks; ++r) {
-      for (LocalIndex i = 0; i < a.rows().local_size(r); ++i) {
-        const auto g = static_cast<std::size_t>(a.rows().first_row(r) + i);
+    for (RankId r{0}; r.value() < nranks; ++r) {
+      for (LocalIndex i{0}; i < a.rows().local_size(r); ++i) {
+        const auto g = static_cast<std::size_t>(a.rows().first_row(r) + i.value());
         const bool empty_row =
-            p.block(r).diag.row_nnz(i) + p.block(r).offd.row_nnz(i) == 0;
+            p.block(r).diag.row_nnz(i).value() + p.block(r).offd.row_nnz(i).value() == 0;
         if (!empty_row) {
           EXPECT_NEAR(res[g], 1.0, 1e-10)
               << "interp " << static_cast<int>(interp) << " row " << g;
@@ -150,10 +150,10 @@ TEST_P(AmgRankSweep, RapMatchesSerialTripleProduct) {
 TEST_P(AmgRankSweep, ParMatmatMatchesSerial) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const sparse::Csr as = testutil::random_spd_ish(60, 4, 31);
-  const sparse::Csr bs = random_rect(60, 25, 3, 32);
-  const auto rows = par::RowPartition::even(60, nranks);
-  const auto cols = par::RowPartition::even(25, nranks);
+  const sparse::Csr as = testutil::random_spd_ish(LocalIndex{60}, 4, 31);
+  const sparse::Csr bs = random_rect(LocalIndex{60}, LocalIndex{25}, 3, 32);
+  const auto rows = par::RowPartition::even(GlobalIndex{60}, nranks);
+  const auto cols = par::RowPartition::even(GlobalIndex{25}, nranks);
   const auto a = linalg::ParCsr::from_serial(rt, as, rows, rows);
   const auto b = linalg::ParCsr::from_serial(rt, bs, rows, cols);
   const auto c = par_matmat(a, b);
@@ -191,16 +191,16 @@ TEST(Interp, CoarseRowsAreIdentity) {
   AmgConfig cfg;
   const auto p = build_interpolation(a, s, c, cfg);
   const auto ps = p.to_serial();
-  for (int r = 0; r < 3; ++r) {
-    for (LocalIndex i = 0; i < a.rows().local_size(r); ++i) {
+  for (RankId r{0}; r.value() < 3; ++r) {
+    for (LocalIndex i{0}; i < a.rows().local_size(r); ++i) {
       if (c.cf[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] !=
           CF::kCoarse) {
         continue;
       }
-      const auto g = static_cast<LocalIndex>(a.rows().first_row(r) + i);
-      EXPECT_EQ(ps.row_nnz(g), 1);
+      const auto g = checked_narrow<LocalIndex>(a.rows().first_row(r) + i.value());
+      EXPECT_EQ(ps.row_nnz(g), LocalIndex{1});
       EXPECT_DOUBLE_EQ(
-          ps.at(g, static_cast<LocalIndex>(
+          ps.at(g, checked_narrow<LocalIndex>(
                        c.coarse_id[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)])),
           1.0);
     }
@@ -220,16 +220,16 @@ TEST(Interp, TruncationRespectsPmaxAndRowSum) {
   const auto before = p.to_serial();
   truncate_interpolation(p, 3, 0.0);
   const auto after = p.to_serial();
-  for (LocalIndex i = 0; i < after.nrows(); ++i) {
-    EXPECT_LE(after.row_nnz(i), 3);
+  for (LocalIndex i{0}; i < after.nrows(); ++i) {
+    EXPECT_LE(after.row_nnz(i), LocalIndex{3});
     Real sb = 0, sa = 0;
-    for (LocalIndex k = before.row_begin(i); k < before.row_end(i); ++k) {
-      sb += before.vals()[static_cast<std::size_t>(k)];
+    for (EntryOffset k = before.row_begin(i); k < before.row_end(i); ++k) {
+      sb += before.vals()[k];
     }
-    for (LocalIndex k = after.row_begin(i); k < after.row_end(i); ++k) {
-      sa += after.vals()[static_cast<std::size_t>(k)];
+    for (EntryOffset k = after.row_begin(i); k < after.row_end(i); ++k) {
+      sa += after.vals()[k];
     }
-    if (before.row_nnz(i) > 0) {
+    if (before.row_nnz(i) > LocalIndex{0}) {
       EXPECT_NEAR(sa, sb, 1e-9 * std::max<Real>(1.0, std::abs(sb)));
     }
   }

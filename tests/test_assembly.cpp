@@ -2,6 +2,8 @@
 // fill (ordered vs atomic), global Algorithms 1-2, IJ interface.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "assembly/global.hpp"
 #include "assembly/graph.hpp"
 #include "assembly/ij.hpp"
@@ -22,16 +24,17 @@ struct BoxFixture {
   explicit BoxFixture(GlobalIndex n) {
     mesh::StructuredBlockBuilder block(n, n, n);
     block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-      return Vec3{static_cast<Real>(i), static_cast<Real>(j),
-                  static_cast<Real>(k)};
+      return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
+                  static_cast<Real>(k.value())};
     });
     db.coords = db.ref_coords;
     db.compute_dual_quantities();
     dirichlet.assign(static_cast<std::size_t>(db.num_nodes()), 0);
-    for (GlobalIndex k = 0; k <= n; ++k) {
-      for (GlobalIndex j = 0; j <= n; ++j) {
-        for (GlobalIndex i = 0; i <= n; ++i) {
-          if (i == 0 || i == n || j == 0 || j == n || k == 0 || k == n) {
+    for (GlobalIndex k{0}; k <= n; ++k) {
+      for (GlobalIndex j{0}; j <= n; ++j) {
+        for (GlobalIndex i{0}; i <= n; ++i) {
+          if (i == GlobalIndex{0} || i == n || j == GlobalIndex{0} || j == n ||
+              k == GlobalIndex{0} || k == n) {
             dirichlet[static_cast<std::size_t>(block.node_id(i, j, k))] = 1;
           }
         }
@@ -46,15 +49,15 @@ sparse::Csr serial_reference(const BoxFixture& fx,
   std::vector<LocalIndex> ti, tj;
   std::vector<Real> tv;
   const auto& db = fx.db;
-  for (GlobalIndex node = 0; node < db.num_nodes(); ++node) {
-    const auto row = static_cast<LocalIndex>(layout.row_of(node));
+  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
+    const auto row = checked_narrow<LocalIndex>(layout.row_of(node));
     ti.push_back(row);
     tj.push_back(row);
     tv.push_back(fx.dirichlet[static_cast<std::size_t>(node)] ? 1.0 : 0.0);
   }
   for (const auto& e : db.edges) {
-    const auto ra = static_cast<LocalIndex>(layout.row_of(e.a));
-    const auto rb = static_cast<LocalIndex>(layout.row_of(e.b));
+    const auto ra = checked_narrow<LocalIndex>(layout.row_of(e.a));
+    const auto rb = checked_narrow<LocalIndex>(layout.row_of(e.b));
     if (!fx.dirichlet[static_cast<std::size_t>(e.a)]) {
       ti.push_back(ra);
       tj.push_back(ra);
@@ -72,7 +75,7 @@ sparse::Csr serial_reference(const BoxFixture& fx,
       tv.push_back(-e.coeff);
     }
   }
-  const auto n = static_cast<LocalIndex>(db.num_nodes());
+  const auto n = checked_narrow<LocalIndex>(db.num_nodes());
   return sparse::Csr::from_triples(n, n, std::move(ti), std::move(tj),
                                    std::move(tv));
 }
@@ -83,7 +86,7 @@ void fill_laplacian(EquationGraph& graph, const BoxFixture& fx, bool atomic) {
     const Real g = fx.db.edges[e].coeff;
     graph.add_edge(e, {g, -g, -g, g}, {0.1, -0.2}, atomic);
   }
-  for (GlobalIndex node = 0; node < fx.db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < fx.db.num_nodes(); ++node) {
     graph.add_node(node,
                    fx.dirichlet[static_cast<std::size_t>(node)] ? 1.0 : 0.0,
                    0.5, atomic);
@@ -95,14 +98,14 @@ class AssemblyRankSweep : public ::testing::TestWithParam<int> {};
 TEST_P(AssemblyRankSweep, GlobalAssemblyMatchesSerialReference) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  BoxFixture fx(6);
+  BoxFixture fx(GlobalIndex{6});
   const MeshLayout layout =
       make_layout(fx.db, nranks, PartitionMethod::kGraph);
   EquationGraph graph(fx.db, layout, fx.dirichlet);
   fill_laplacian(graph, fx, false);
 
   std::vector<sparse::Coo> owned, shared;
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     owned.push_back(graph.rank(r).owned);
     shared.push_back(graph.rank(r).shared);
   }
@@ -120,14 +123,14 @@ TEST_P(AssemblyRankSweep, GlobalAssemblyMatchesSerialReference) {
 TEST_P(AssemblyRankSweep, VectorAssemblyMatchesSerialReference) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  BoxFixture fx(5);
+  BoxFixture fx(GlobalIndex{5});
   const MeshLayout layout = make_layout(fx.db, nranks, PartitionMethod::kRcb);
   EquationGraph graph(fx.db, layout, fx.dirichlet);
   fill_laplacian(graph, fx, false);
 
   std::vector<RealVector> rhs_owned;
   std::vector<sparse::CooVector> rhs_shared;
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     rhs_owned.push_back(graph.rank(r).rhs_owned);
     rhs_shared.push_back(graph.rank(r).rhs_shared);
   }
@@ -145,7 +148,7 @@ TEST_P(AssemblyRankSweep, VectorAssemblyMatchesSerialReference) {
       ref[static_cast<std::size_t>(layout.row_of(edge.b))] += -0.2;
     }
   }
-  for (GlobalIndex node = 0; node < fx.db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < fx.db.num_nodes(); ++node) {
     ref[static_cast<std::size_t>(layout.row_of(node))] += 0.5;
   }
   EXPECT_LT(max_diff(rhs.gather(), ref), 1e-12);
@@ -155,14 +158,14 @@ TEST_P(AssemblyRankSweep, VectorAssemblyMatchesSerialReference) {
 TEST_P(AssemblyRankSweep, AtomicFillMatchesOrderedFill) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  BoxFixture fx(5);
+  BoxFixture fx(GlobalIndex{5});
   const MeshLayout layout =
       make_layout(fx.db, nranks, PartitionMethod::kGraph);
   EquationGraph ordered(fx.db, layout, fx.dirichlet);
   EquationGraph atomic(fx.db, layout, fx.dirichlet);
   fill_laplacian(ordered, fx, false);
   fill_laplacian(atomic, fx, true);
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     EXPECT_LT(max_diff(ordered.rank(r).owned.vals, atomic.rank(r).owned.vals),
               1e-12);
     EXPECT_LT(max_diff(ordered.rank(r).rhs_owned, atomic.rank(r).rhs_owned),
@@ -173,23 +176,23 @@ TEST_P(AssemblyRankSweep, AtomicFillMatchesOrderedFill) {
 TEST_P(AssemblyRankSweep, DirichletRowsAreIdentityOnly) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  BoxFixture fx(5);
+  BoxFixture fx(GlobalIndex{5});
   const MeshLayout layout =
       make_layout(fx.db, nranks, PartitionMethod::kGraph);
   EquationGraph graph(fx.db, layout, fx.dirichlet);
   fill_laplacian(graph, fx, false);
   std::vector<sparse::Coo> owned, shared;
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     owned.push_back(graph.rank(r).owned);
     shared.push_back(graph.rank(r).shared);
   }
   const auto& rows = layout.numbering.rows;
   const auto a =
       assemble_matrix(rt, rows, rows, owned, shared).to_serial();
-  for (GlobalIndex node = 0; node < fx.db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < fx.db.num_nodes(); ++node) {
     if (!fx.dirichlet[static_cast<std::size_t>(node)]) continue;
-    const auto row = static_cast<LocalIndex>(layout.row_of(node));
-    EXPECT_EQ(a.row_nnz(row), 1);
+    const auto row = checked_narrow<LocalIndex>(layout.row_of(node));
+    EXPECT_EQ(a.row_nnz(row), LocalIndex{1});
     EXPECT_DOUBLE_EQ(a.at(row, row), 1.0);
   }
   EXPECT_TRUE(rt.transport().drained());
@@ -198,26 +201,26 @@ TEST_P(AssemblyRankSweep, DirichletRowsAreIdentityOnly) {
 TEST_P(AssemblyRankSweep, RhsOnlyRefillMatchesFullFill) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  BoxFixture fx(4);
+  BoxFixture fx(GlobalIndex{4});
   const MeshLayout layout =
       make_layout(fx.db, nranks, PartitionMethod::kGraph);
   EquationGraph graph(fx.db, layout, fx.dirichlet);
   fill_laplacian(graph, fx, false);
   std::vector<RealVector> ref_owned;
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     ref_owned.push_back(graph.rank(r).rhs_owned);
   }
   // Refill only the RHS; matrix values must be untouched, RHS identical.
-  const auto mat_vals = graph.rank(0).owned.vals;
+  const auto mat_vals = graph.rank(RankId{0}).owned.vals;
   graph.zero_rhs();
   for (std::size_t e = 0; e < fx.db.edges.size(); ++e) {
     graph.add_edge_rhs(e, {0.1, -0.2});
   }
-  for (GlobalIndex node = 0; node < fx.db.num_nodes(); ++node) {
+  for (GlobalIndex node{0}; node < fx.db.num_nodes(); ++node) {
     graph.add_node_rhs(node, 0.5);
   }
-  EXPECT_LT(max_diff(graph.rank(0).owned.vals, mat_vals), 0.0 + 1e-300);
-  for (int r = 0; r < nranks; ++r) {
+  EXPECT_LT(max_diff(graph.rank(RankId{0}).owned.vals, mat_vals), 0.0 + 1e-300);
+  for (RankId r{0}; r.value() < nranks; ++r) {
     EXPECT_LT(max_diff(graph.rank(r).rhs_owned, ref_owned[static_cast<std::size_t>(r)]),
               1e-13);
   }
@@ -229,47 +232,47 @@ INSTANTIATE_TEST_SUITE_P(Ranks, AssemblyRankSweep,
 TEST(IjInterface, SixCallPatternAssembles) {
   // The paper's six-call hypre pattern on a tiny 2-rank system.
   par::Runtime rt(2);
-  const auto rows = par::RowPartition::even(4, 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{4}, 2);
   IJMatrix mat(rt, rows, rows);
   IJVector vec(rt, rows);
 
   // Rank 0 owns rows {0,1}: sets its rows, adds into rank 1's row 2.
-  const std::vector<GlobalIndex> r0{0, 0, 1};
-  const std::vector<GlobalIndex> c0{0, 1, 1};
+  const std::vector<GlobalIndex> r0{GlobalIndex{0}, GlobalIndex{0}, GlobalIndex{1}};
+  const std::vector<GlobalIndex> c0{GlobalIndex{0}, GlobalIndex{1}, GlobalIndex{1}};
   const std::vector<Real> v0{2.0, -1.0, 2.0};
-  mat.SetValues2(0, r0, c0, v0);
-  const std::vector<GlobalIndex> r0s{2};
-  const std::vector<GlobalIndex> c0s{0};
+  mat.SetValues2(RankId{0}, r0, c0, v0);
+  const std::vector<GlobalIndex> r0s{GlobalIndex{2}};
+  const std::vector<GlobalIndex> c0s{GlobalIndex{0}};
   const std::vector<Real> v0s{-0.5};
-  mat.AddToValues2(0, r0s, c0s, v0s);
+  mat.AddToValues2(RankId{0}, r0s, c0s, v0s);
   // Rank 1 owns rows {2,3}.
-  const std::vector<GlobalIndex> r1{2, 3};
-  const std::vector<GlobalIndex> c1{2, 3};
+  const std::vector<GlobalIndex> r1{GlobalIndex{2}, GlobalIndex{3}};
+  const std::vector<GlobalIndex> c1{GlobalIndex{2}, GlobalIndex{3}};
   const std::vector<Real> v1{2.0, 2.0};
-  mat.SetValues2(1, r1, c1, v1);
+  mat.SetValues2(RankId{1}, r1, c1, v1);
   // Duplicate contribution to (2,0) from rank 1 itself.
-  const std::vector<GlobalIndex> r1o{2};
+  const std::vector<GlobalIndex> r1o{GlobalIndex{2}};
   const std::vector<Real> v1o{-0.5};
-  mat.SetValues2(1, r1o, r0s /*col 2? no: cols*/, v1o);
+  mat.SetValues2(RankId{1}, r1o, r0s /*col 2? no: cols*/, v1o);
 
   const auto a = mat.Assemble().to_serial();
-  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
-  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{0}, LocalIndex{0}), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{0}, LocalIndex{1}), -1.0);
   // (2,2) got 2.0 from SetValues2 and -0.5 from rank 1's own SetValues2
   // at (2,2)? — rank 1 used cols {2}: entry (2,2) = 2.0 - 0.5.
-  EXPECT_DOUBLE_EQ(a.at(2, 2), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{2}, LocalIndex{2}), 1.5);
   // Off-rank AddToValues2 landed at (2,0).
-  EXPECT_DOUBLE_EQ(a.at(2, 0), -0.5);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{2}, LocalIndex{0}), -0.5);
 
-  const std::vector<GlobalIndex> vr0{0, 1};
+  const std::vector<GlobalIndex> vr0{GlobalIndex{0}, GlobalIndex{1}};
   const std::vector<Real> vv0{1.0, 2.0};
-  vec.SetValues2(0, vr0, vv0);
-  const std::vector<GlobalIndex> vr0s{3};
+  vec.SetValues2(RankId{0}, vr0, vv0);
+  const std::vector<GlobalIndex> vr0s{GlobalIndex{3}};
   const std::vector<Real> vv0s{10.0};
-  vec.AddToValues2(0, vr0s, vv0s);
-  const std::vector<GlobalIndex> vr1{3};
+  vec.AddToValues2(RankId{0}, vr0s, vv0s);
+  const std::vector<GlobalIndex> vr1{GlobalIndex{3}};
   const std::vector<Real> vv1{0.5};
-  vec.SetValues2(1, vr1, vv1);
+  vec.SetValues2(RankId{1}, vr1, vv1);
   const auto b = vec.Assemble().gather();
   EXPECT_DOUBLE_EQ(b[0], 1.0);
   EXPECT_DOUBLE_EQ(b[1], 2.0);
@@ -280,14 +283,35 @@ TEST(IjInterface, SixCallPatternAssembles) {
 
 TEST(IjInterface, RejectsWrongOwnership) {
   par::Runtime rt(2);
-  const auto rows = par::RowPartition::even(4, 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{4}, 2);
   IJMatrix mat(rt, rows, rows);
-  const std::vector<GlobalIndex> r{3};
-  const std::vector<GlobalIndex> c{0};
+  const std::vector<GlobalIndex> r{GlobalIndex{3}};
+  const std::vector<GlobalIndex> c{GlobalIndex{0}};
   const std::vector<Real> v{1.0};
-  EXPECT_THROW(mat.SetValues2(0, r, c, v), Error);
-  const std::vector<GlobalIndex> r2{0};
-  EXPECT_THROW(mat.AddToValues2(0, r2, c, v), Error);
+  EXPECT_THROW(mat.SetValues2(RankId{0}, r, c, v), Error);
+  const std::vector<GlobalIndex> r2{GlobalIndex{0}};
+  EXPECT_THROW(mat.AddToValues2(RankId{0}, r2, c, v), Error);
+}
+
+TEST(Exchange, StrongIdCooRoundTripIsBitwise) {
+  // Algorithm 1's A_send exchange ships COO triples through the byte
+  // transport; GlobalIndex columns past 2^32 and sentinel values must
+  // round-trip bit-for-bit.
+  par::Runtime rt(2);
+  auto& t = rt.transport();
+  const std::vector<GlobalIndex> rows{
+      GlobalIndex{0}, GlobalIndex{(std::int64_t{1} << 40) + 3}, kInvalidGlobal};
+  const std::vector<Real> vals{1.5, -2.25, 0.0};
+  t.send<GlobalIndex>(RankId{0}, RankId{1}, /*tag=*/91, rows);
+  t.send<Real>(RankId{0}, RankId{1}, /*tag=*/92, vals);
+  const auto got_rows = t.recv<GlobalIndex>(RankId{1}, RankId{0}, 91);
+  const auto got_vals = t.recv<Real>(RankId{1}, RankId{0}, 92);
+  ASSERT_EQ(got_rows.size(), rows.size());
+  EXPECT_EQ(std::memcmp(got_rows.data(), rows.data(),
+                        rows.size() * sizeof(GlobalIndex)),
+            0);
+  EXPECT_EQ(got_vals, vals);
+  EXPECT_TRUE(t.drained());
 }
 
 }  // namespace

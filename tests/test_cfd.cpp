@@ -22,7 +22,7 @@ mesh::OversetSystem box_only_system(GlobalIndex n) {
 }
 
 TEST(Cfd, UniformInflowIsSteadyState) {
-  auto sys = box_only_system(8);
+  auto sys = box_only_system(GlobalIndex{8});
   par::Runtime rt(3);
   SimConfig cfg;
   cfg.picard_iters = 2;
@@ -136,7 +136,7 @@ TEST(Cfd, BaselineConfigDiffersAndRuns) {
   EXPECT_EQ(cfg.partition, assembly::PartitionMethod::kRcb);
   EXPECT_EQ(cfg.assembly_algo, assembly::GlobalAssemblyAlgo::kGeneral);
   EXPECT_EQ(cfg.sgs_inner_sweeps, 1);
-  auto sys = box_only_system(6);
+  auto sys = box_only_system(GlobalIndex{6});
   par::Runtime rt(2);
   cfg.picard_iters = 1;
   Simulation sim(sys, cfg, rt);

@@ -40,13 +40,13 @@ TEST(TransportRanks, OutOfRangeRankThrowsInsteadOfAliasing) {
   // Regression: shard() used to wrap out-of-range ids via modulo, so an
   // invalid dst silently landed in another rank's mailbox.
   par::Runtime rt(4);
-  EXPECT_THROW(rt.transport().send<int>(0, 4, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().send<int>(-1, 2, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().send<int>(0, 7, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().recv<int>(4, 0, 1), Error);
-  EXPECT_THROW(rt.transport().recv<int>(0, -2, 1), Error);
-  EXPECT_THROW(rt.transport().has_message(5, 0, 1), Error);
-  EXPECT_THROW(rt.transport().has_message(0, 4, 1), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{4}, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{-1}, RankId{2}, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{7}, 1, {1}), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{4}, RankId{0}, 1), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{0}, RankId{-2}, 1), Error);
+  EXPECT_THROW(rt.transport().has_message(RankId{5}, RankId{0}, 1), Error);
+  EXPECT_THROW(rt.transport().has_message(RankId{0}, RankId{4}, 1), Error);
   // Nothing was delivered anywhere.
   EXPECT_TRUE(rt.transport().drained());
 }
@@ -59,9 +59,9 @@ TEST(Contract, WrongRankSendThrowsNamingBothRanks) {
   par::Runtime rt(4);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      if (r == 1) {
+      if (r == RankId{1}) {
         // Rank body 1 impersonates rank 0 as the sender.
-        rt.transport().send<int>(0, 2, 7, {42});
+        rt.transport().send<int>(RankId{0}, RankId{2}, 7, {42});
       }
     });
   });
@@ -72,28 +72,28 @@ TEST(Contract, WrongRankSendThrowsNamingBothRanks) {
 
 TEST(Contract, WrongRankRecvThrowsNamingBothRanks) {
   par::Runtime rt(4);
-  rt.transport().send<int>(0, 2, 7, {42});
+  rt.transport().send<int>(RankId{0}, RankId{2}, 7, {42});
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      if (r == 3) {
+      if (r == RankId{3}) {
         // Rank body 3 drains rank 2's mailbox.
-        rt.transport().recv<int>(2, 0, 7);
+        rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
       }
     });
   });
   EXPECT_NE(msg.find("rank body 3"), std::string::npos) << msg;
   EXPECT_NE(msg.find("dst 2"), std::string::npos) << msg;
   // Drain the message on the orchestrator so nothing leaks into the next test.
-  (void)rt.transport().recv<int>(2, 0, 7);
+  (void)rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
 }
 
 TEST(Contract, CrossRankParVectorWriteThrows) {
   par::Runtime rt(4);
-  linalg::ParVector v(rt, par::RowPartition::even(64, rt.nranks()));
+  linalg::ParVector v(rt, par::RowPartition::even(GlobalIndex{64}, rt.nranks()));
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
       // Every body writes its right neighbor's slice — cross-rank.
-      v.local((r + 1) % rt.nranks())[0] = 1.0;
+      v.local(RankId{(r.value() + 1) % rt.nranks()})[0] = 1.0;
     });
   });
   EXPECT_NE(msg.find("ParVector::local"), std::string::npos) << msg;
@@ -103,11 +103,11 @@ TEST(Contract, CrossRankParVectorWriteThrows) {
 
 TEST(Contract, CrossRankParCsrBlockMutThrows) {
   par::Runtime rt(2);
-  const auto rows = par::RowPartition::even(8, 2);
-  auto a = linalg::ParCsr::from_serial(rt, sparse::Csr::identity(8), rows, rows);
+  const auto rows = par::RowPartition::even(GlobalIndex{8}, 2);
+  auto a = linalg::ParCsr::from_serial(rt, sparse::Csr::identity(LocalIndex{8}), rows, rows);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      a.block_mut(1 - r);
+      a.block_mut(RankId{1 - r.value()});
     });
   });
   EXPECT_NE(msg.find("ParCsr::block_mut"), std::string::npos) << msg;
@@ -117,7 +117,7 @@ TEST(Contract, PhasePushInsideRegionThrows) {
   par::Runtime rt(4);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      if (r == 2) {
+      if (r == RankId{2}) {
         rt.tracer().push_phase("illegal");
       }
     });
@@ -141,7 +141,7 @@ TEST(Contract, WrongRankKernelChargeThrows) {
   par::Runtime rt(4);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      rt.tracer().kernel((r + 1) % rt.nranks(), 1.0, 1.0);
+      rt.tracer().kernel(RankId{(r.value() + 1) % rt.nranks()}, 1.0, 1.0);
     });
   });
   EXPECT_NE(msg.find("Tracer::kernel"), std::string::npos) << msg;
@@ -151,8 +151,8 @@ TEST(Contract, WrongRankMessageChargeThrows) {
   par::Runtime rt(4);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
-      if (r == 0) {
-        rt.tracer().message(3, 0, 8.0);
+      if (r == RankId{0}) {
+        rt.tracer().message(RankId{3}, RankId{0}, 8.0);
       }
     });
   });
@@ -162,12 +162,12 @@ TEST(Contract, WrongRankMessageChargeThrows) {
 
 TEST(Contract, CrossRankIJAssemblyWriteThrows) {
   par::Runtime rt(2);
-  const auto rows = par::RowPartition::even(8, 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{8}, 2);
   assembly::IJMatrix ij(rt, rows, rows);
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
       // Body r stages entries into the *other* rank's buffers.
-      const RankId other = 1 - r;
+      const RankId other{1 - r.value()};
       const std::vector<GlobalIndex> row{rows.first_row(other)};
       const std::vector<Real> val{1.0};
       ij.SetValues2(other, row, row, val);
@@ -186,8 +186,8 @@ TEST(Contract, TwoThreadsOnOneChannelThrows) {
   std::atomic<bool> first_sent{false};
   std::atomic<bool> release_first{false};
   std::thread first([&] {
-    ScopedRankContext ctx(0);
-    par::contract::check_send(0, 1, 7, "test");
+    ScopedRankContext ctx(RankId{0});
+    par::contract::check_send(RankId{0}, RankId{1}, 7, "test");
     first_sent.store(true);
     while (!release_first.load()) {
       std::this_thread::yield();
@@ -198,9 +198,9 @@ TEST(Contract, TwoThreadsOnOneChannelThrows) {
   }
   std::string msg;
   std::thread second([&msg] {
-    ScopedRankContext ctx(0);
+    ScopedRankContext ctx(RankId{0});
     try {
-      par::contract::check_send(0, 1, 7, "test");
+      par::contract::check_send(RankId{0}, RankId{1}, 7, "test");
     } catch (const Error& e) {
       msg = e.what();
     }
@@ -218,25 +218,25 @@ TEST(Contract, SameThreadMaySendTwiceOnOneChannel) {
   // promises — repeated sends from one body must stay legal.
   par::Runtime rt(2);
   rt.parallel_for_ranks([&](RankId r) {
-    if (r == 0) {
-      rt.transport().send<int>(0, 1, 7, {1});
-      rt.transport().send<int>(0, 1, 7, {2});
+    if (r == RankId{0}) {
+      rt.transport().send<int>(RankId{0}, RankId{1}, 7, {1});
+      rt.transport().send<int>(RankId{0}, RankId{1}, 7, {2});
     }
   });
-  EXPECT_EQ(rt.transport().recv<int>(1, 0, 7)[0], 1);
-  EXPECT_EQ(rt.transport().recv<int>(1, 0, 7)[0], 2);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 7)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 7)[0], 2);
 }
 
 TEST(Contract, OrchestratorIsUnrestrictedBetweenRegions) {
   // Outside parallel regions there is no rank context: the orchestrator
   // may touch any rank's state, send as anyone, and manage phases.
   par::Runtime rt(3);
-  linalg::ParVector v(rt, par::RowPartition::even(30, 3));
-  v.local(2)[0] = 4.0;
-  rt.transport().send<int>(1, 2, 5, {9});
-  EXPECT_EQ(rt.transport().recv<int>(2, 1, 5)[0], 9);
+  linalg::ParVector v(rt, par::RowPartition::even(GlobalIndex{30}, 3));
+  v.local(RankId{2})[0] = 4.0;
+  rt.transport().send<int>(RankId{1}, RankId{2}, 5, {9});
+  EXPECT_EQ(rt.transport().recv<int>(RankId{2}, RankId{1}, 5)[0], 9);
   rt.tracer().push_phase("ok");
-  rt.tracer().kernel(1, 1.0, 1.0);
+  rt.tracer().kernel(RankId{1}, 1.0, 1.0);
   rt.tracer().pop_phase();
   EXPECT_EQ(par::contract::current_rank(), par::contract::kNoRank);
 }
@@ -244,17 +244,17 @@ TEST(Contract, OrchestratorIsUnrestrictedBetweenRegions) {
 TEST(Contract, ReportCountsCheckedRegionsAndCalls) {
   par::contract::reset();
   par::Runtime rt(4);
-  linalg::ParVector x(rt, par::RowPartition::even(64, 4));
-  linalg::ParVector y(rt, par::RowPartition::even(64, 4));
+  linalg::ParVector x(rt, par::RowPartition::even(GlobalIndex{64}, 4));
+  linalg::ParVector y(rt, par::RowPartition::even(GlobalIndex{64}, 4));
   x.fill(1.0);
   y.fill(2.0);
   (void)x.dot(y);
   rt.parallel_for_ranks([&](RankId r) { x.local(r)[0] += 1.0; });
   rt.parallel_for_ranks([&](RankId r) {
-    rt.transport().send<int>(r, (r + 1) % 4, 3, {1});
+    rt.transport().send<int>(r, RankId{(r.value() + 1) % 4}, 3, {1});
   });
   rt.parallel_for_ranks(
-      [&](RankId r) { (void)rt.transport().recv<int>(r, (r + 3) % 4, 3); });
+      [&](RankId r) { (void)rt.transport().recv<int>(r, RankId{(r.value() + 3) % 4}, 3); });
   const auto rep = par::contract::report();
   EXPECT_GE(rep.regions, 6);         // fill x2, dot, write, send, recv
   EXPECT_GE(rep.sends, 4);
@@ -270,9 +270,9 @@ TEST(Contract, ReportCountsCheckedRegionsAndCalls) {
 TEST(Contract, ViolationsAreCountedInReport) {
   par::contract::reset();
   par::Runtime rt(2);
-  linalg::ParVector v(rt, par::RowPartition::even(8, 2));
+  linalg::ParVector v(rt, par::RowPartition::even(GlobalIndex{8}, 2));
   EXPECT_THROW(
-      rt.parallel_for_ranks([&](RankId r) { v.local(1 - r)[0] = 1.0; }),
+      rt.parallel_for_ranks([&](RankId r) { v.local(RankId{1 - r.value()})[0] = 1.0; }),
       Error);
   EXPECT_GE(par::contract::report().violations, 1);
 }
@@ -309,12 +309,12 @@ TEST(Contract, ViolationsPassSilentlyWhenOff) {
   // not observed (the races it would catch are the user's problem —
   // this configuration exists for release-mode performance).
   par::Runtime rt(2);
-  linalg::ParVector v(rt, par::RowPartition::even(8, 2));
+  linalg::ParVector v(rt, par::RowPartition::even(GlobalIndex{8}, 2));
   // The same cross-rank write that throws in checked builds. The two
   // bodies touch disjoint slots, so it is well-defined — just contract-
   // breaking — and must pass silently here.
   EXPECT_NO_THROW(rt.parallel_for_ranks(
-      [&](RankId r) { v.local(1 - r)[0] = 1.0; }));
+      [&](RankId r) { v.local(RankId{1 - r.value()})[0] = 1.0; }));
   EXPECT_EQ(par::contract::report().regions, 0);
 }
 

@@ -28,8 +28,8 @@ struct Problem {
   Problem(int nranks, const sparse::Csr& mat)
       : rt(nranks),
         a(linalg::ParCsr::from_serial(
-            rt, mat, par::RowPartition::even(mat.nrows(), nranks),
-            par::RowPartition::even(mat.nrows(), nranks))),
+            rt, mat, par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks),
+            par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks))),
         b(rt, a.rows()),
         x(rt, a.rows()) {
     b.scatter(random_vector(static_cast<std::size_t>(mat.nrows()), 77));
@@ -71,7 +71,7 @@ TEST_P(KrylovRankSweep, CgWithAmgPrecondIsFast) {
 }
 
 TEST_P(KrylovRankSweep, BicgstabSolvesNonsymmetricSystem) {
-  Problem prob(GetParam(), random_spd_ish(200, 6, 41));
+  Problem prob(GetParam(), random_spd_ish(LocalIndex{200}, 6, 41));
   solver::SmootherPrecond m(prob.a, amg::SmootherType::kSgs2, 1, 1);
   solver::KrylovOptions opts;
   opts.rel_tol = 1e-8;
@@ -123,7 +123,7 @@ TEST(Chebyshev, GershgorinBoundsSpectrum) {
   // Gershgorin must bound it and stay of the same order.
   par::Runtime rt(2);
   const auto mat = laplace3d(6, 0.5);
-  const auto rows = par::RowPartition::even(mat.nrows(), 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, 2);
   const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
   const Real bound = amg::estimate_eig_max(a);
   EXPECT_GT(bound, 1.0);
@@ -132,7 +132,7 @@ TEST(Chebyshev, GershgorinBoundsSpectrum) {
 
 TEST(Kahan, CompensatedDotMatchesPlainOnBenignData) {
   par::Runtime rt(3);
-  const auto rows = par::RowPartition::even(1000, 3);
+  const auto rows = par::RowPartition::even(GlobalIndex{1000}, 3);
   linalg::ParVector x(rt, rows), y(rt, rows);
   x.scatter(random_vector(1000, 1));
   y.scatter(random_vector(1000, 2));
@@ -166,10 +166,10 @@ TEST(Kahan, CompensatedDotSurvivesCancellation) {
 
 TEST(Vtk, WritesReadableFile) {
   mesh::MeshDB db;
-  mesh::StructuredBlockBuilder block(2, 2, 2);
+  mesh::StructuredBlockBuilder block(GlobalIndex{2}, GlobalIndex{2}, GlobalIndex{2});
   block.emit(db, [](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
-                static_cast<Real>(k)};
+    return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
+                static_cast<Real>(k.value())};
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();
@@ -178,7 +178,7 @@ TEST(Vtk, WritesReadableFile) {
   fields.scalars["pressure"] =
       RealVector(static_cast<std::size_t>(db.num_nodes()), 1.5);
   fields.vectors["velocity"] =
-      RealVector(static_cast<std::size_t>(3 * db.num_nodes()), 0.25);
+      RealVector(static_cast<std::size_t>(3 * db.num_nodes().value()), 0.25);
   const std::string path = "/tmp/exw_vtk_test.vtk";
   ASSERT_TRUE(mesh::write_vtk(db, fields, path));
   std::ifstream in(path);
@@ -194,10 +194,10 @@ TEST(Vtk, WritesReadableFile) {
 
 TEST(Vtk, RejectsWrongFieldSizes) {
   mesh::MeshDB db;
-  mesh::StructuredBlockBuilder block(1, 1, 1);
+  mesh::StructuredBlockBuilder block(GlobalIndex{1}, GlobalIndex{1}, GlobalIndex{1});
   block.emit(db, [](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
-                static_cast<Real>(k)};
+    return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
+                static_cast<Real>(k.value())};
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();
@@ -220,10 +220,10 @@ TEST(Quality, TurbineMeshesAreChallenging) {
 
 TEST(Quality, UniformBoxIsBenign) {
   mesh::MeshDB db;
-  mesh::StructuredBlockBuilder block(4, 4, 4);
+  mesh::StructuredBlockBuilder block(GlobalIndex{4}, GlobalIndex{4}, GlobalIndex{4});
   block.emit(db, [](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
-                static_cast<Real>(k)};
+    return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
+                static_cast<Real>(k.value())};
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();

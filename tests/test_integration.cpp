@@ -91,8 +91,8 @@ TEST(Integration, ModeledTimesReflectMachineModels) {
   // Above the crossover: one huge streaming kernel per rank — the GPU's
   // bandwidth advantage (~70x per rank) must dominate all overheads.
   perf::Tracer big(2);
-  big.kernel(0, 1e12, 5e11);
-  big.kernel(1, 1e12, 5e11);
+  big.kernel(RankId{0}, 1e12, 5e11);
+  big.kernel(RankId{1}, 1e12, 5e11);
   EXPECT_LT(big.phase("").modeled_time(perf::MachineModel::summit_gpu()),
             big.phase("").modeled_time(perf::MachineModel::summit_cpu()));
 }
@@ -105,7 +105,7 @@ TEST(Integration, CommunicationShareGrowsUnderStrongScaling) {
   const auto mat = testutil::laplace3d(16, 0.01);
   auto comm_share = [&](int nranks) {
     par::Runtime rt(nranks);
-    const auto rows = par::RowPartition::even(mat.nrows(), nranks);
+    const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks);
     const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
     linalg::ParVector x(rt, rows), y(rt, rows);
     x.fill(1.0);

@@ -21,7 +21,7 @@ class RankSweep : public ::testing::TestWithParam<int> {};
 TEST_P(RankSweep, VectorOpsMatchSerial) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const auto rows = par::RowPartition::even(101, nranks);
+  const auto rows = par::RowPartition::even(GlobalIndex{101}, nranks);
   ParVector x(rt, rows), y(rt, rows);
   const RealVector xs = random_vector(101, 1);
   const RealVector ys = random_vector(101, 2);
@@ -49,18 +49,18 @@ TEST_P(RankSweep, VectorOpsMatchSerial) {
 TEST_P(RankSweep, SerialRoundtrip) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const sparse::Csr a = random_spd_ish(97, 6, 5);
-  const auto rows = par::RowPartition::even(97, nranks);
+  const sparse::Csr a = random_spd_ish(LocalIndex{97}, 6, 5);
+  const auto rows = par::RowPartition::even(GlobalIndex{97}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
   EXPECT_LT(matrix_diff(pa.to_serial(), a), 1e-15);
-  EXPECT_EQ(pa.global_nnz(), static_cast<GlobalIndex>(a.nnz()));
+  EXPECT_EQ(pa.global_nnz(), GlobalIndex{a.nnz()});
 }
 
 TEST_P(RankSweep, MatvecMatchesSerial) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const sparse::Csr a = random_spd_ish(120, 7, 6);
-  const auto rows = par::RowPartition::even(120, nranks);
+  const sparse::Csr a = random_spd_ish(LocalIndex{120}, 7, 6);
+  const auto rows = par::RowPartition::even(GlobalIndex{120}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
 
   ParVector x(rt, rows), y(rt, rows);
@@ -77,9 +77,9 @@ TEST_P(RankSweep, MatvecMatchesSerial) {
 TEST_P(RankSweep, RectangularMatvecAndTranspose) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const sparse::Csr a = random_rect(90, 40, 5, 8);
-  const auto rows = par::RowPartition::even(90, nranks);
-  const auto cols = par::RowPartition::even(40, nranks);
+  const sparse::Csr a = random_rect(LocalIndex{90}, LocalIndex{40}, 5, 8);
+  const auto rows = par::RowPartition::even(GlobalIndex{90}, nranks);
+  const auto cols = par::RowPartition::even(GlobalIndex{40}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, cols);
 
   ParVector x(rt, cols), y(rt, rows);
@@ -105,7 +105,7 @@ TEST_P(RankSweep, ResidualIsExact) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
   const sparse::Csr a = laplace3d(5, 0.3);
-  const auto rows = par::RowPartition::even(125, nranks);
+  const auto rows = par::RowPartition::even(GlobalIndex{125}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
   ParVector x(rt, rows), b(rt, rows), r(rt, rows);
   x.scatter(random_vector(125, 11));
@@ -122,31 +122,31 @@ TEST_P(RankSweep, ResidualIsExact) {
 TEST_P(RankSweep, FetchExternalRows) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
-  const sparse::Csr a = random_spd_ish(64, 5, 13);
-  const auto rows = par::RowPartition::even(64, nranks);
+  const sparse::Csr a = random_spd_ish(LocalIndex{64}, 5, 13);
+  const auto rows = par::RowPartition::even(GlobalIndex{64}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
 
   // Each rank requests three rows owned by other ranks.
   std::vector<std::vector<GlobalIndex>> needed(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    for (GlobalIndex g = 0; g < 64; g += 23) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
+    for (GlobalIndex g{0}; g < GlobalIndex{64}; g += 23) {
       if (!rows.owns(r, g)) {
         needed[static_cast<std::size_t>(r)].push_back(g);
       }
     }
   }
   const auto ext = fetch_external_rows(pa, needed);
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     for (GlobalIndex g : needed[static_cast<std::size_t>(r)]) {
       const auto idx = ext[static_cast<std::size_t>(r)].find(g);
       ASSERT_NE(idx, static_cast<std::size_t>(-1));
       const auto& e = ext[static_cast<std::size_t>(r)];
       // Row content matches the serial matrix.
-      const auto gi = static_cast<LocalIndex>(g);
+      const auto gi = checked_narrow<LocalIndex>(g);
       const auto len = e.row_ptr[idx + 1] - e.row_ptr[idx];
-      EXPECT_EQ(static_cast<LocalIndex>(len), a.row_nnz(gi));
+      EXPECT_EQ(checked_narrow<LocalIndex>(len), a.row_nnz(gi));
       for (std::size_t k = e.row_ptr[idx]; k < e.row_ptr[idx + 1]; ++k) {
-        EXPECT_NEAR(e.vals[k], a.at(gi, static_cast<LocalIndex>(e.cols[k])), 1e-15);
+        EXPECT_NEAR(e.vals[k], a.at(gi, checked_narrow<LocalIndex>(e.cols[k])), 1e-15);
       }
     }
   }
@@ -157,7 +157,7 @@ TEST_P(RankSweep, NnzPerRankSumsToGlobal) {
   const int nranks = GetParam();
   par::Runtime rt(nranks);
   const sparse::Csr a = laplace3d(5);
-  const auto rows = par::RowPartition::even(125, nranks);
+  const auto rows = par::RowPartition::even(GlobalIndex{125}, nranks);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
   double total = 0;
   for (double v : pa.nnz_per_rank()) total += v;
@@ -169,7 +169,7 @@ INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(1, 2, 3, 5, 8));
 TEST(ParCsr, MatvecChargesHaloMessages) {
   par::Runtime rt(4);
   const sparse::Csr a = laplace3d(6, 0.1);
-  const auto rows = par::RowPartition::even(216, 4);
+  const auto rows = par::RowPartition::even(GlobalIndex{216}, 4);
   const ParCsr pa = ParCsr::from_serial(rt, a, rows, rows);
   ParVector x(rt, rows), y(rt, rows);
   x.fill(1.0);

@@ -16,9 +16,9 @@ MeshDB unit_box(GlobalIndex n) {
   MeshDB db;
   StructuredBlockBuilder block(n, n, n);
   block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    const Real h = 1.0 / static_cast<Real>(n);
-    return Vec3{static_cast<Real>(i) * h, static_cast<Real>(j) * h,
-                static_cast<Real>(k) * h};
+    const Real h = 1.0 / static_cast<Real>(n.value());
+    return Vec3{static_cast<Real>(i.value()) * h, static_cast<Real>(j.value()) * h,
+                static_cast<Real>(k.value()) * h};
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();
@@ -40,9 +40,9 @@ TEST(HexVolume, StretchedHex) {
 }
 
 TEST(MeshDB, BoxDualQuantities) {
-  const MeshDB db = unit_box(4);
-  EXPECT_EQ(db.num_nodes(), 125);
-  EXPECT_EQ(db.num_hexes(), 64);
+  const MeshDB db = unit_box(GlobalIndex{4});
+  EXPECT_EQ(db.num_nodes(), GlobalIndex{125});
+  EXPECT_EQ(db.num_hexes(), GlobalIndex{64});
   EXPECT_TRUE(db.edges_valid());
   EXPECT_NEAR(db.total_volume(), 1.0, 1e-12);
   // Node volumes sum to the total volume.
@@ -50,16 +50,16 @@ TEST(MeshDB, BoxDualQuantities) {
   for (Real v : db.node_volume) nodal += v;
   EXPECT_NEAR(nodal, 1.0, 1e-12);
   // Structured box: 3 * n * (n+1)^2 unique axis-aligned grid edges.
-  EXPECT_EQ(db.num_edges(), 3 * 4 * 5 * 5);
+  EXPECT_EQ(db.num_edges(), GlobalIndex{3 * 4 * 5 * 5});
 }
 
 TEST(MeshDB, EdgeCoefficientsReflectAnisotropy) {
   // Flatten the box in z: z-edges get shorter -> much larger coefficients.
   MeshDB db;
-  StructuredBlockBuilder block(4, 4, 4);
+  StructuredBlockBuilder block(GlobalIndex{4}, GlobalIndex{4}, GlobalIndex{4});
   block.emit(db, [&](GlobalIndex i, GlobalIndex j, GlobalIndex k) {
-    return Vec3{static_cast<Real>(i), static_cast<Real>(j),
-                static_cast<Real>(k) * 0.01};
+    return Vec3{static_cast<Real>(i.value()), static_cast<Real>(j.value()),
+                static_cast<Real>(k.value()) * 0.01};
   });
   db.coords = db.ref_coords;
   db.compute_dual_quantities();
@@ -75,21 +75,21 @@ TEST(MeshDB, EdgeCoefficientsReflectAnisotropy) {
 
 TEST(Generators, RotorMeshShape) {
   TurbineParams tp;
-  tp.blade.n_wrap = 16;
-  tp.blade.n_span = 10;
-  tp.blade.n_layers = 8;
+  tp.blade.n_wrap = GlobalIndex{16};
+  tp.blade.n_span = GlobalIndex{10};
+  tp.blade.n_layers = GlobalIndex{8};
   const MeshDB rotor = make_rotor_mesh(tp, "rotor");
-  EXPECT_GT(rotor.num_nodes(), 0);
+  EXPECT_GT(rotor.num_nodes(), GlobalIndex{0});
   EXPECT_TRUE(rotor.edges_valid());
   // Annular disc: has fringe boundary, wall footprint, interior.
-  GlobalIndex walls = 0, fringe = 0, interior = 0;
+  GlobalIndex walls{0}, fringe{0}, interior{0};
   for (auto r : rotor.roles) {
     if (r == NodeRole::kWall) ++walls;
     if (r == NodeRole::kFringe) ++fringe;
     if (r == NodeRole::kInterior) ++interior;
   }
-  EXPECT_GT(walls, 0);
-  EXPECT_GT(fringe, 0);
+  EXPECT_GT(walls, GlobalIndex{0});
+  EXPECT_GT(fringe, GlobalIndex{0});
   EXPECT_GT(interior, walls);
   // All nodes inside the annulus bounding box.
   Vec3 lo, hi;
@@ -100,19 +100,19 @@ TEST(Generators, RotorMeshShape) {
 
 TEST(Generators, BackgroundRolesOnFaces) {
   BackgroundParams bg;
-  bg.nx = 8;
-  bg.ny = 8;
-  bg.nz = 8;
+  bg.nx = GlobalIndex{8};
+  bg.ny = GlobalIndex{8};
+  bg.nz = GlobalIndex{8};
   const MeshDB db = make_background_mesh(bg, "bg");
-  GlobalIndex inflow = 0, outflow = 0, symm = 0;
+  GlobalIndex inflow{0}, outflow{0}, symm{0};
   for (auto r : db.roles) {
     if (r == NodeRole::kInflow) ++inflow;
     if (r == NodeRole::kOutflow) ++outflow;
     if (r == NodeRole::kSymmetry) ++symm;
   }
-  EXPECT_EQ(inflow, 9 * 9);
-  EXPECT_EQ(outflow, 9 * 9);
-  EXPECT_GT(symm, 0);
+  EXPECT_EQ(inflow, GlobalIndex{9 * 9});
+  EXPECT_EQ(outflow, GlobalIndex{9 * 9});
+  EXPECT_GT(symm, GlobalIndex{0});
 }
 
 TEST(Generators, TurbineCaseSizesMatchTable1Ordering) {
@@ -144,7 +144,7 @@ TEST(Overset, EveryFringeHasNormalizedDonorWeights) {
 
 TEST(Overset, EveryFringeNodeHasConstraint) {
   const auto sys = make_turbine_case(TurbineCase::kSingle, 0.35);
-  GlobalIndex fringe = 0;
+  GlobalIndex fringe{0};
   for (const auto& m : sys.meshes) {
     for (auto r : m.roles) {
       if (r == NodeRole::kFringe) ++fringe;
@@ -155,13 +155,13 @@ TEST(Overset, EveryFringeNodeHasConstraint) {
 
 TEST(Overset, HoleCutProducesHolesAndFringe) {
   BackgroundParams bg;
-  bg.nx = 24;
-  bg.ny = 24;
-  bg.nz = 24;
+  bg.nx = GlobalIndex{24};
+  bg.ny = GlobalIndex{24};
+  bg.nz = GlobalIndex{24};
   MeshDB db = make_background_mesh(bg, "bg");
   const auto res = cut_hole(db, Vec3{0, 0, 0}, Vec3{1, 0, 0}, 10.0, 52.0, 6.0, 8.0);
-  EXPECT_GT(res.holes, 0);
-  EXPECT_GT(res.fringe, 0);
+  EXPECT_GT(res.holes, GlobalIndex{0});
+  EXPECT_GT(res.fringe, GlobalIndex{0});
 }
 
 TEST(Motion, RotationPreservesGeometry) {
@@ -205,7 +205,7 @@ TEST(Motion, AdvanceRebuildsConnectivity) {
 }
 
 TEST(CellLocator, FindsContainingCellInBox) {
-  const MeshDB db = unit_box(5);
+  const MeshDB db = unit_box(GlobalIndex{5});
   const CellLocator locator(db);
   const GlobalIndex c = locator.find_cell(Vec3{0.5, 0.5, 0.5});
   ASSERT_NE(c, kInvalidGlobal);
@@ -218,7 +218,7 @@ TEST(CellLocator, FindsContainingCellInBox) {
 }
 
 TEST(CellLocator, FallsBackForExteriorPoint) {
-  const MeshDB db = unit_box(4);
+  const MeshDB db = unit_box(GlobalIndex{4});
   const CellLocator locator(db);
   EXPECT_NE(locator.find_cell(Vec3{5, 5, 5}), kInvalidGlobal);
 }

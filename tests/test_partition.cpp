@@ -15,25 +15,26 @@ namespace exw::part {
 namespace {
 
 TEST(RowPartition, EvenSplit) {
-  const auto p = par::RowPartition::even(10, 3);
+  const auto p = par::RowPartition::even(GlobalIndex{10}, 3);
   EXPECT_EQ(p.nranks(), 3);
-  EXPECT_EQ(p.global_size(), 10);
-  EXPECT_EQ(p.local_size(0), 4);
-  EXPECT_EQ(p.local_size(1), 3);
-  EXPECT_EQ(p.local_size(2), 3);
-  EXPECT_EQ(p.rank_of(0), 0);
-  EXPECT_EQ(p.rank_of(3), 0);
-  EXPECT_EQ(p.rank_of(4), 1);
-  EXPECT_EQ(p.rank_of(9), 2);
-  EXPECT_TRUE(p.owns(1, 5));
-  EXPECT_FALSE(p.owns(1, 7));
-  EXPECT_EQ(p.to_local(2, 8), 1);
+  EXPECT_EQ(p.global_size(), GlobalIndex{10});
+  EXPECT_EQ(p.local_size(RankId{0}), LocalIndex{4});
+  EXPECT_EQ(p.local_size(RankId{1}), LocalIndex{3});
+  EXPECT_EQ(p.local_size(RankId{2}), LocalIndex{3});
+  EXPECT_EQ(p.rank_of(GlobalIndex{0}), RankId{0});
+  EXPECT_EQ(p.rank_of(GlobalIndex{3}), RankId{0});
+  EXPECT_EQ(p.rank_of(GlobalIndex{4}), RankId{1});
+  EXPECT_EQ(p.rank_of(GlobalIndex{9}), RankId{2});
+  EXPECT_TRUE(p.owns(RankId{1}, GlobalIndex{5}));
+  EXPECT_FALSE(p.owns(RankId{1}, GlobalIndex{7}));
+  EXPECT_EQ(p.to_local(RankId{2}, GlobalIndex{8}), LocalIndex{1});
 }
 
 TEST(RowPartition, FromCountsAllowsEmptyRanks) {
-  const auto p = par::RowPartition::from_counts({3, 0, 2});
-  EXPECT_EQ(p.local_size(1), 0);
-  EXPECT_EQ(p.rank_of(3), 2);
+  const auto p = par::RowPartition::from_counts(
+      {GlobalIndex{3}, GlobalIndex{0}, GlobalIndex{2}});
+  EXPECT_EQ(p.local_size(RankId{1}), LocalIndex{0});
+  EXPECT_EQ(p.rank_of(GlobalIndex{3}), RankId{2});
 }
 
 TEST(Rcb, BalancesUnitWeights) {
@@ -45,8 +46,8 @@ TEST(Rcb, BalancesUnitWeights) {
   const auto parts = rcb_partition(coords, {}, 8);
   std::vector<int> counts(8, 0);
   for (RankId p : parts) {
-    ASSERT_GE(p, 0);
-    ASSERT_LT(p, 8);
+    ASSERT_GE(p, RankId{0});
+    ASSERT_LT(p, RankId{8});
     counts[static_cast<std::size_t>(p)] += 1;
   }
   for (int c : counts) {
@@ -76,16 +77,16 @@ TEST(Rcb, RespectsWeights) {
   const auto parts = rcb_partition(coords, w, 2);
   double w0 = 0, w1 = 0;
   for (std::size_t i = 0; i < w.size(); ++i) {
-    (parts[i] == 0 ? w0 : w1) += w[i];
+    (parts[i] == RankId{0} ? w0 : w1) += w[i];
   }
   EXPECT_NEAR(w0 / (w0 + w1), 0.5, 0.05);
 }
 
 Graph ring_graph(LocalIndex n) {
   std::vector<LocalIndex> ei, ej;
-  for (LocalIndex i = 0; i < n; ++i) {
+  for (LocalIndex i{0}; i < n; ++i) {
     ei.push_back(i);
-    ej.push_back((i + 1) % n);
+    ej.push_back(LocalIndex{(i.value() + 1) % n.value()});
   }
   return graph_from_edges(n, ei, ej, {});
 }
@@ -105,20 +106,22 @@ Graph grid_graph(int nx, int ny) {
       }
     }
   }
-  return graph_from_edges(static_cast<LocalIndex>(nx) * ny, ei, ej, {});
+  return graph_from_edges(LocalIndex{nx * ny}, ei, ej, {});
 }
 
 TEST(GraphFromEdges, SymmetricAndDeduplicated) {
   // Duplicate edge (0,1) twice: weights should merge.
-  const Graph g = graph_from_edges(3, {0, 1, 0}, {1, 0, 2}, {});
+  const Graph g = graph_from_edges(LocalIndex{3},
+                                   {LocalIndex{0}, LocalIndex{1}, LocalIndex{0}},
+                                   {LocalIndex{1}, LocalIndex{0}, LocalIndex{2}}, {});
   EXPECT_TRUE(g.valid());
-  EXPECT_EQ(g.xadj[1] - g.xadj[0], 2);  // vertex 0: neighbors {1, 2}
+  EXPECT_EQ((g.xadj[1] - g.xadj[0]).value(), 2);  // vertex 0: neighbors {1, 2}
   // Edge (0,1) was given twice (once per direction) -> weight 2.
   EXPECT_DOUBLE_EQ(g.ewgt[0], 2.0);
 }
 
 TEST(GraphPartition, RingBisectionIsContiguous) {
-  const Graph g = ring_graph(64);
+  const Graph g = ring_graph(LocalIndex{64});
   const auto parts = graph_partition(g, 2);
   // A ring's optimal bisection cuts exactly 2 edges.
   EXPECT_LE(edge_cut(g, parts), 4.0);
@@ -140,7 +143,8 @@ TEST_P(GraphPartitionProperty, GridKwayBalancedAndBetterThanRandom) {
   // The multilevel cut must beat a hashed random assignment by far.
   std::vector<RankId> random_parts(parts.size());
   for (std::size_t v = 0; v < parts.size(); ++v) {
-    random_parts[v] = static_cast<RankId>(hash64(v) % static_cast<std::uint64_t>(nparts));
+    random_parts[v] = RankId{static_cast<int>(
+        hash64(v) % static_cast<std::uint64_t>(nparts))};
   }
   EXPECT_LT(edge_cut(g, parts), 0.5 * edge_cut(g, random_parts));
 }
@@ -157,7 +161,7 @@ TEST(GraphPartition, Deterministic) {
 
 TEST(BalanceStats, ComputesSpread) {
   const std::vector<double> w{1, 1, 1, 1, 1, 1};
-  const std::vector<RankId> parts{0, 0, 0, 1, 1, 2};
+  const std::vector<RankId> parts{RankId{0}, RankId{0}, RankId{0}, RankId{1}, RankId{1}, RankId{2}};
   const auto s = balance_stats(w, parts, 3);
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 3.0);
@@ -166,24 +170,24 @@ TEST(BalanceStats, ComputesSpread) {
 }
 
 TEST(Renumber, BijectionAndContiguity) {
-  const std::vector<RankId> parts{2, 0, 1, 0, 2, 1, 0};
+  const std::vector<RankId> parts{RankId{2}, RankId{0}, RankId{1}, RankId{0}, RankId{2}, RankId{1}, RankId{0}};
   const auto num = make_numbering(parts, 3);
   // Bijection.
   std::set<GlobalIndex> seen(num.old_to_new.begin(), num.old_to_new.end());
   EXPECT_EQ(seen.size(), parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
     EXPECT_EQ(num.new_to_old[static_cast<std::size_t>(num.old_to_new[i])],
-              static_cast<GlobalIndex>(i));
+              GlobalIndex{i});
     // Each old id maps into its part's contiguous range.
     EXPECT_TRUE(num.rows.owns(parts[i], num.old_to_new[i]));
   }
-  EXPECT_EQ(num.rows.local_size(0), 3);
-  EXPECT_EQ(num.rows.local_size(1), 2);
-  EXPECT_EQ(num.rows.local_size(2), 2);
+  EXPECT_EQ(num.rows.local_size(RankId{0}), LocalIndex{3});
+  EXPECT_EQ(num.rows.local_size(RankId{1}), LocalIndex{2});
+  EXPECT_EQ(num.rows.local_size(RankId{2}), LocalIndex{2});
 }
 
 TEST(Renumber, StableWithinPart) {
-  const std::vector<RankId> parts{0, 1, 0, 1, 0};
+  const std::vector<RankId> parts{RankId{0}, RankId{1}, RankId{0}, RankId{1}, RankId{0}};
   const auto num = make_numbering(parts, 2);
   // Old ids 0 < 2 < 4 (part 0) keep relative order.
   EXPECT_LT(num.old_to_new[0], num.old_to_new[2]);

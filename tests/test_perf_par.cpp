@@ -57,10 +57,10 @@ TEST(Tracer, PhaseNestingChargesAllOpenPhases) {
   perf::Tracer t(2);
   {
     perf::PhaseScope outer(t, "eq");
-    t.kernel(0, 100, 10);
+    t.kernel(RankId{0}, 100, 10);
     {
       perf::PhaseScope inner(t, "solve");
-      t.kernel(1, 200, 20);
+      t.kernel(RankId{1}, 200, 20);
     }
   }
   EXPECT_DOUBLE_EQ(t.phase("eq").total_flops(), 300);
@@ -74,14 +74,14 @@ TEST(Tracer, ModeledTimeIsMaxOverRanks) {
   m.flops_per_s = 1.0;
   m.bytes_per_s = 1e30;
   m.kernel_launch_s = 0.0;
-  t.kernel(0, 5, 0);
-  t.kernel(1, 9, 0);
+  t.kernel(RankId{0}, 5, 0);
+  t.kernel(RankId{1}, 9, 0);
   EXPECT_DOUBLE_EQ(t.phase("").modeled_time(m), 9.0);
 }
 
 TEST(Tracer, MessageChargedToBothEndpoints) {
   perf::Tracer t(3);
-  t.message(0, 2, 100);
+  t.message(RankId{0}, RankId{2}, 100);
   const auto& s = t.phase("");
   EXPECT_EQ(s.rank[0].msgs, 1);
   EXPECT_EQ(s.rank[2].msgs, 1);
@@ -94,8 +94,8 @@ TEST(Tracer, SelfMessageCountedOnce) {
   // undercounts when a rank routes shared COO triples to itself
   // (assembly charges dst == src only once).
   perf::Tracer t(2);
-  t.message(0, 1, 8);  // charged to both endpoints
-  t.message(1, 1, 8);  // self-message: charged once
+  t.message(RankId{0}, RankId{1}, 8);  // charged to both endpoints
+  t.message(RankId{1}, RankId{1}, 8);  // self-message: charged once
   const auto& s = t.phase("");
   EXPECT_EQ(s.rank[0].msgs, 1);
   EXPECT_EQ(s.rank[1].msgs, 2);
@@ -104,7 +104,7 @@ TEST(Tracer, SelfMessageCountedOnce) {
 
 TEST(Tracer, ResetClearsMessageCount) {
   perf::Tracer t(2);
-  t.message(0, 1, 8);
+  t.message(RankId{0}, RankId{1}, 8);
   t.reset();
   EXPECT_EQ(t.phase("").total_messages(), 0);
 }
@@ -122,7 +122,7 @@ TEST(Tracer, CollectiveScalesWithRanks) {
 TEST(Tracer, ResetClearsWorkKeepsPhases) {
   perf::Tracer t(1);
   t.push_phase("a");
-  t.kernel(0, 10, 10);
+  t.kernel(RankId{0}, 10, 10);
   t.pop_phase();
   t.reset();
   EXPECT_TRUE(t.has_phase("a"));
@@ -131,30 +131,30 @@ TEST(Tracer, ResetClearsWorkKeepsPhases) {
 
 TEST(Transport, SendRecvRoundtrip) {
   par::Runtime rt(3);
-  rt.transport().send<int>(0, 2, 7, {1, 2, 3});
-  EXPECT_TRUE(rt.transport().has_message(2, 0, 7));
-  const auto msg = rt.transport().recv<int>(2, 0, 7);
+  rt.transport().send<int>(RankId{0}, RankId{2}, 7, {1, 2, 3});
+  EXPECT_TRUE(rt.transport().has_message(RankId{2}, RankId{0}, 7));
+  const auto msg = rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
   EXPECT_EQ(msg, (std::vector<int>{1, 2, 3}));
   EXPECT_TRUE(rt.transport().drained());
 }
 
 TEST(Transport, FifoPerChannel) {
   par::Runtime rt(2);
-  rt.transport().send<int>(0, 1, 1, {1});
-  rt.transport().send<int>(0, 1, 1, {2});
-  EXPECT_EQ(rt.transport().recv<int>(1, 0, 1)[0], 1);
-  EXPECT_EQ(rt.transport().recv<int>(1, 0, 1)[0], 2);
+  rt.transport().send<int>(RankId{0}, RankId{1}, 1, {1});
+  rt.transport().send<int>(RankId{0}, RankId{1}, 1, {2});
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 1)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 1)[0], 2);
 }
 
 TEST(Transport, RecvWithoutMessageThrows) {
   par::Runtime rt(2);
-  EXPECT_THROW(rt.transport().recv<int>(1, 0, 9), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{1}, RankId{0}, 9), Error);
 }
 
 TEST(Runtime, AllreduceSumAndMax) {
   par::Runtime rt(4);
   EXPECT_DOUBLE_EQ(rt.allreduce_sum(std::vector<double>{1, 2, 3, 4}), 10.0);
-  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{5, 9, 2, 7}), 9);
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{GlobalIndex{5}, GlobalIndex{9}, GlobalIndex{2}, GlobalIndex{7}}), GlobalIndex{9});
   const auto v = rt.allreduce_sum_vec({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
   EXPECT_DOUBLE_EQ(v[0], 16);
   EXPECT_DOUBLE_EQ(v[1], 20);
@@ -166,8 +166,8 @@ TEST(Runtime, AllreduceMaxAllNegative) {
   // Regression: the accumulator used to start at 0, so an all-negative
   // reduction wrongly returned 0.
   par::Runtime rt(3);
-  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{-5, -9, -2}), -2);
-  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{-7, -7, -7}), -7);
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{GlobalIndex{-5}, GlobalIndex{-9}, GlobalIndex{-2}}), GlobalIndex{-2});
+  EXPECT_EQ(rt.allreduce_max(std::vector<GlobalIndex>{GlobalIndex{-7}, GlobalIndex{-7}, GlobalIndex{-7}}), GlobalIndex{-7});
 }
 
 TEST(ThreadPool, ParallelForRanksRunsEveryBodyExactlyOnce) {
@@ -182,7 +182,7 @@ TEST(ThreadPool, ParallelForRanksRunsEveryBodyExactlyOnce) {
 TEST(ThreadPool, PropagatesBodyException) {
   par::Runtime rt(8);
   EXPECT_THROW(rt.parallel_for_ranks([&](RankId r) {
-    EXW_REQUIRE(r != 5, "boom");
+    EXW_REQUIRE(r != RankId{5}, "boom");
   }),
                Error);
 }
@@ -215,18 +215,18 @@ TEST(Transport, ConcurrentSendsFromRankBodiesAreSafe) {
   const int nranks = 16;
   par::Runtime rt(nranks);
   rt.parallel_for_ranks([&](RankId src) {
-    for (int dst = 0; dst < nranks; ++dst) {
-      rt.transport().send<int>(src, dst, 7, {src, dst, 1});
-      rt.transport().send<int>(src, dst, 7, {src, dst, 2});
+    for (RankId dst{0}; dst.value() < nranks; ++dst) {
+      rt.transport().send<int>(src, dst, 7, {src.value(), dst.value(), 1});
+      rt.transport().send<int>(src, dst, 7, {src.value(), dst.value(), 2});
     }
   });
   std::atomic<int> received{0};
   rt.parallel_for_ranks([&](RankId dst) {
-    for (int src = 0; src < nranks; ++src) {
+    for (RankId src{0}; src.value() < nranks; ++src) {
       const auto first = rt.transport().recv<int>(dst, src, 7);
       const auto second = rt.transport().recv<int>(dst, src, 7);
-      if (first == std::vector<int>{src, dst, 1} &&
-          second == std::vector<int>{src, dst, 2}) {
+      if (first == std::vector<int>{src.value(), dst.value(), 1} &&
+          second == std::vector<int>{src.value(), dst.value(), 2}) {
         received.fetch_add(2);
       }
     }
@@ -242,7 +242,7 @@ TEST(Transport, ConcurrentSendsFromRankBodiesAreSafe) {
   // atomic dst-side charge, losing updates). Each rank: 2*nranks sends
   // (self-messages charged once) + 2*(nranks-1) receives from others.
   const auto& root = rt.tracer().phase("");
-  for (int r = 0; r < nranks; ++r) {
+  for (RankId r{0}; r.value() < nranks; ++r) {
     const auto& w = root.rank[static_cast<std::size_t>(r)];
     EXPECT_EQ(w.msgs, 4 * nranks - 2) << "rank " << r;
     EXPECT_DOUBLE_EQ(w.msg_bytes,

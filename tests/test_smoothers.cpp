@@ -18,8 +18,8 @@ struct Problem {
   Problem(int nranks, const sparse::Csr& mat)
       : rt(nranks),
         a(linalg::ParCsr::from_serial(
-            rt, mat, par::RowPartition::even(mat.nrows(), nranks),
-            par::RowPartition::even(mat.nrows(), nranks))),
+            rt, mat, par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks),
+            par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks))),
         b(rt, a.rows()),
         x(rt, a.rows()),
         r(rt, a.rows()) {
@@ -95,7 +95,7 @@ TEST(Smoother, Sgs2ActsSymmetric) {
   // <M^-1 u, v> == <u, M^-1 v>.
   const auto mat = laplace3d(5, 0.4);
   par::Runtime rt(1);
-  const auto rows = par::RowPartition::even(mat.nrows(), 1);
+  const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, 1);
   const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
   Smoother sgs(a, SmootherType::kSgs2, 200, 1.0);
   linalg::ParVector u(rt, rows), v(rt, rows), mu(rt, rows), mv(rt, rows);
@@ -107,9 +107,11 @@ TEST(Smoother, Sgs2ActsSymmetric) {
 }
 
 TEST(Smoother, ThrowsOnZeroDiagonal) {
-  sparse::Csr bad = sparse::Csr::from_triples(2, 2, {0, 1}, {1, 0}, {1.0, 1.0});
+  sparse::Csr bad = sparse::Csr::from_triples(LocalIndex{2}, LocalIndex{2},
+                                        {LocalIndex{0}, LocalIndex{1}},
+                                        {LocalIndex{1}, LocalIndex{0}}, {1.0, 1.0});
   par::Runtime rt(1);
-  const auto rows = par::RowPartition::even(2, 1);
+  const auto rows = par::RowPartition::even(GlobalIndex{2}, 1);
   const auto a = linalg::ParCsr::from_serial(rt, bad, rows, rows);
   EXPECT_THROW(Smoother(a, SmootherType::kJacobi, 1, 1.0), Error);
 }
@@ -122,7 +124,7 @@ TEST(Smoother, EigEstimateHandlesNegativeDiagonal) {
   auto mat = testutil::laplace3d(4, 0.2);
   for (auto& v : mat.vals_vec()) v = -v;
   par::Runtime rt(2);
-  const auto rows = par::RowPartition::even(mat.nrows(), 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, 2);
   const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
   const Real bound = estimate_eig_max(a);
   EXPECT_GT(bound, 1.0);  // 1 + row/|d| >= 1 with equality only if no off-diag
@@ -134,9 +136,11 @@ TEST(Smoother, EigEstimateHandlesNegativeDiagonal) {
 }
 
 TEST(Smoother, EigEstimateThrowsOnZeroDiagonal) {
-  sparse::Csr bad = sparse::Csr::from_triples(2, 2, {0, 1}, {1, 0}, {1.0, 1.0});
+  sparse::Csr bad = sparse::Csr::from_triples(LocalIndex{2}, LocalIndex{2},
+                                        {LocalIndex{0}, LocalIndex{1}},
+                                        {LocalIndex{1}, LocalIndex{0}}, {1.0, 1.0});
   par::Runtime rt(1);
-  const auto rows = par::RowPartition::even(2, 1);
+  const auto rows = par::RowPartition::even(GlobalIndex{2}, 1);
   const auto a = linalg::ParCsr::from_serial(rt, bad, rows, rows);
   EXPECT_THROW(estimate_eig_max(a), Error);
 }
@@ -144,18 +148,18 @@ TEST(Smoother, EigEstimateThrowsOnZeroDiagonal) {
 TEST(LduSplit, SplitsDiagBlock) {
   par::Runtime rt(2);
   const auto mat = laplace3d(4, 0.5);
-  const auto rows = par::RowPartition::even(mat.nrows(), 2);
+  const auto rows = par::RowPartition::even(GlobalIndex{mat.nrows().value()}, 2);
   const auto a = linalg::ParCsr::from_serial(rt, mat, rows, rows);
   const auto ldu = LduSplit::build(a);
-  for (int r = 0; r < 2; ++r) {
+  for (RankId r{0}; r.value() < 2; ++r) {
     const auto& lo = ldu.lower[static_cast<std::size_t>(r)];
     const auto& up = ldu.upper[static_cast<std::size_t>(r)];
-    for (LocalIndex i = 0; i < lo.nrows(); ++i) {
-      for (LocalIndex k = lo.row_begin(i); k < lo.row_end(i); ++k) {
-        EXPECT_LT(lo.cols()[static_cast<std::size_t>(k)], i);
+    for (LocalIndex i{0}; i < lo.nrows(); ++i) {
+      for (EntryOffset k = lo.row_begin(i); k < lo.row_end(i); ++k) {
+        EXPECT_LT(lo.cols()[k], i);
       }
-      for (LocalIndex k = up.row_begin(i); k < up.row_end(i); ++k) {
-        EXPECT_GT(up.cols()[static_cast<std::size_t>(k)], i);
+      for (EntryOffset k = up.row_begin(i); k < up.row_end(i); ++k) {
+        EXPECT_GT(up.cols()[k], i);
       }
     }
     // L + D + U accounts for every diag-block entry.

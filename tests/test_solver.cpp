@@ -19,8 +19,8 @@ struct Problem {
   Problem(int nranks, const sparse::Csr& mat)
       : rt(nranks),
         a(linalg::ParCsr::from_serial(
-            rt, mat, par::RowPartition::even(mat.nrows(), nranks),
-            par::RowPartition::even(mat.nrows(), nranks))),
+            rt, mat, par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks),
+            par::RowPartition::even(GlobalIndex{mat.nrows().value()}, nranks))),
         b(rt, a.rows()),
         x(rt, a.rows()) {
     b.scatter(random_vector(static_cast<std::size_t>(mat.nrows()), 17));
@@ -48,7 +48,7 @@ TEST_P(GmresSweep, SolvesSpdSystem) {
 
 TEST_P(GmresSweep, SolvesNonsymmetricSystem) {
   const auto [ortho, nranks] = GetParam();
-  Problem prob(nranks, random_spd_ish(150, 6, 23));  // nonsymmetric pattern
+  Problem prob(nranks, random_spd_ish(LocalIndex{150}, 6, 23));  // nonsymmetric pattern
   IdentityPrecond m;
   GmresOptions opts;
   opts.ortho = ortho;
@@ -107,7 +107,7 @@ TEST(Gmres, Sgs2PreconditionerConvergesFast) {
   // Paper §4.2: "two outer and two inner iterations often leads to rapid
   // convergence in less than five preconditioned GMRES iterations" for
   // the diagonally dominant momentum systems.
-  Problem prob(3, random_spd_ish(400, 6, 29));
+  Problem prob(3, random_spd_ish(LocalIndex{400}, 6, 29));
   SmootherPrecond m(prob.a, amg::SmootherType::kSgs2, 2, 2);
   GmresOptions opts;
   opts.rel_tol = 1e-6;

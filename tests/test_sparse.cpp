@@ -17,17 +17,19 @@ using testutil::random_spd_ish;
 using testutil::random_vector;
 
 TEST(Csr, FromTriplesSumsDuplicates) {
-  const Csr a = Csr::from_triples(2, 2, {0, 0, 1, 0}, {1, 1, 0, 0},
+  const Csr a = Csr::from_triples(LocalIndex{2}, LocalIndex{2},
+                                  {LocalIndex{0}, LocalIndex{0}, LocalIndex{1}, LocalIndex{0}},
+                                  {LocalIndex{1}, LocalIndex{1}, LocalIndex{0}, LocalIndex{0}},
                                   {1.0, 2.0, 5.0, 4.0});
   EXPECT_EQ(a.nnz(), 3u);
-  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.0);
-  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
-  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
-  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{0}, LocalIndex{1}), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{0}, LocalIndex{0}), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{1}, LocalIndex{0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{1}, LocalIndex{1}), 0.0);
 }
 
 TEST(Csr, IdentitySpmv) {
-  const Csr eye = Csr::identity(5);
+  const Csr eye = Csr::identity(LocalIndex{5});
   const RealVector x = random_vector(5, 3);
   RealVector y(5, 0.0);
   eye.spmv(x, y);
@@ -35,7 +37,7 @@ TEST(Csr, IdentitySpmv) {
 }
 
 TEST(Csr, SpmvAlphaBeta) {
-  const Csr a = random_spd_ish(40, 5, 11);
+  const Csr a = random_spd_ish(LocalIndex{40}, 5, 11);
   const RealVector x = random_vector(40, 4);
   RealVector y = random_vector(40, 5);
   RealVector y2 = y;
@@ -50,13 +52,13 @@ TEST(Csr, SpmvAlphaBeta) {
 }
 
 TEST(Csr, TransposeTwiceIsIdentity) {
-  const Csr a = random_rect(30, 17, 4, 7);
+  const Csr a = random_rect(LocalIndex{30}, LocalIndex{17}, 4, 7);
   const Csr att = a.transpose().transpose();
   EXPECT_LT(matrix_diff(a, att), 1e-15);
 }
 
 TEST(Csr, TransposeMatchesSpmvTranspose) {
-  const Csr a = random_rect(25, 33, 5, 9);
+  const Csr a = random_rect(LocalIndex{25}, LocalIndex{33}, 5, 9);
   const Csr at = a.transpose();
   const RealVector x = random_vector(25, 10);
   RealVector y1(33, 0.0), y2(33, 0.0);
@@ -66,11 +68,11 @@ TEST(Csr, TransposeMatchesSpmvTranspose) {
 }
 
 TEST(Csr, AddMatchesEntrywise) {
-  const Csr a = random_rect(20, 20, 4, 1);
-  const Csr b = random_rect(20, 20, 4, 2);
+  const Csr a = random_rect(LocalIndex{20}, LocalIndex{20}, 4, 1);
+  const Csr b = random_rect(LocalIndex{20}, LocalIndex{20}, 4, 2);
   const Csr c = add(a, b);
-  for (LocalIndex i = 0; i < 20; ++i) {
-    for (LocalIndex j = 0; j < 20; ++j) {
+  for (LocalIndex i{0}; i < LocalIndex{20}; ++i) {
+    for (LocalIndex j{0}; j < LocalIndex{20}; ++j) {
       EXPECT_NEAR(c.at(i, j), a.at(i, j) + b.at(i, j), 1e-14);
     }
   }
@@ -82,31 +84,31 @@ TEST(Csr, ExtractSubmatrix) {
   std::vector<LocalIndex> rows;
   std::vector<LocalIndex> col_map(static_cast<std::size_t>(a.ncols()),
                                   kInvalidLocal);
-  LocalIndex nc = 0;
-  for (LocalIndex i = 0; i < a.nrows(); i += 2) {
+  LocalIndex nc{0};
+  for (LocalIndex i{0}; i < a.nrows(); i += 2) {
     rows.push_back(i);
     col_map[static_cast<std::size_t>(i)] = nc++;
   }
   const Csr sub = extract(a, rows, col_map, nc);
-  EXPECT_EQ(sub.nrows(), static_cast<LocalIndex>(rows.size()));
+  EXPECT_EQ(sub.nrows(), checked_narrow<LocalIndex>(rows.size()));
   for (std::size_t oi = 0; oi < rows.size(); ++oi) {
-    for (LocalIndex oj = 0; oj < nc; ++oj) {
+    for (LocalIndex oj{0}; oj < nc; ++oj) {
       EXPECT_NEAR(sub.at(static_cast<LocalIndex>(oi), oj),
-                  a.at(rows[oi], oj * 2), 1e-15);
+                  a.at(rows[oi], LocalIndex{oj.value() * 2}), 1e-15);
     }
   }
 }
 
 TEST(Csr, DiagonalAndScaleRows) {
-  Csr a = random_spd_ish(15, 4, 21);
+  Csr a = random_spd_ish(LocalIndex{15}, 4, 21);
   const auto d = a.diagonal();
-  for (LocalIndex i = 0; i < 15; ++i) {
+  for (LocalIndex i{0}; i < LocalIndex{15}; ++i) {
     EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], a.at(i, i));
   }
   RealVector s(15, 2.0);
-  const Real before = a.at(3, 3);
+  const Real before = a.at(LocalIndex{3}, LocalIndex{3});
   a.scale_rows(s);
-  EXPECT_DOUBLE_EQ(a.at(3, 3), 2.0 * before);
+  EXPECT_DOUBLE_EQ(a.at(LocalIndex{3}, LocalIndex{3}), 2.0 * before);
 }
 
 // --- SpGEMM -------------------------------------------------------------
@@ -127,7 +129,7 @@ TEST_P(SpGemmProperty, HashEqualsSortEqualsDense) {
     const auto i = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(m)));
     const auto j = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(m)));
     Real ref = 0;
-    for (LocalIndex k = 0; k < static_cast<LocalIndex>(n); ++k) {
+    for (LocalIndex k{0}; k < LocalIndex{n}; ++k) {
       ref += a.at(i, k) * b.at(k, j);
     }
     EXPECT_NEAR(ch.at(i, j), ref, 1e-10);
@@ -141,27 +143,27 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{128, 128, 5ull}));
 
 TEST(SpGemm, IdentityIsNeutral) {
-  const Csr a = random_rect(30, 30, 5, 42);
-  const Csr eye = Csr::identity(30);
+  const Csr a = random_rect(LocalIndex{30}, LocalIndex{30}, 5, 42);
+  const Csr eye = Csr::identity(LocalIndex{30});
   EXPECT_LT(matrix_diff(spgemm(a, eye), a), 1e-15);
   EXPECT_LT(matrix_diff(spgemm(eye, a), a), 1e-15);
 }
 
 TEST(SpGemm, RapEqualsTripleProduct) {
   const Csr a = laplace3d(4);
-  const Csr p = random_rect(64, 20, 3, 17);
+  const Csr p = random_rect(LocalIndex{64}, LocalIndex{20}, 3, 17);
   const Csr c1 = rap(a, p);
   const Csr c2 = triple_product(p.transpose(), a, p);
   EXPECT_LT(matrix_diff(c1, c2), 1e-11);
 }
 
 TEST(SpGemm, FlopCountMatchesExpansionSize) {
-  const Csr a = random_rect(25, 25, 3, 8);
-  const Csr b = random_rect(25, 25, 3, 9);
+  const Csr a = random_rect(LocalIndex{25}, LocalIndex{25}, 3, 8);
+  const Csr b = random_rect(LocalIndex{25}, LocalIndex{25}, 3, 9);
   double expansion = 0;
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
-    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
-      expansion += b.row_nnz(a.cols()[static_cast<std::size_t>(k)]);
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
+    for (EntryOffset k = a.row_begin(i); k < a.row_end(i); ++k) {
+      expansion += static_cast<double>(b.row_nnz(a.cols()[k]).value());
     }
   }
   EXPECT_DOUBLE_EQ(spgemm_flops(a, b), 2.0 * expansion);
@@ -179,7 +181,7 @@ TEST(DenseLu, SolvesLaplacian) {
 
 TEST(DenseLu, PivotingHandlesZeroLeadingDiag) {
   // [[0 1],[1 0]] requires a pivot swap.
-  const DenseLu lu(2, {0.0, 1.0, 1.0, 0.0});
+  const DenseLu lu(LocalIndex{2}, {0.0, 1.0, 1.0, 0.0});
   const auto x = lu.solve(RealVector{3.0, 7.0});
   EXPECT_NEAR(x[0], 7.0, 1e-14);
   EXPECT_NEAR(x[1], 3.0, 1e-14);
@@ -187,7 +189,27 @@ TEST(DenseLu, PivotingHandlesZeroLeadingDiag) {
 
 TEST(DenseLu, ThrowsOnSingular) {
   const std::vector<Real> singular{1.0, 2.0, 2.0, 4.0};
-  EXPECT_THROW(DenseLu lu(2, singular), Error);
+  EXPECT_THROW(DenseLu lu(LocalIndex{2}, singular), Error);
+}
+
+TEST(Csr, EntryOffsetsSurvivePast32Bits) {
+  // Regression for 32-bit nnz overflow: row offsets are 64-bit EntryOffset,
+  // so a rank whose entry count passes 2^31 keeps exact row bounds. The
+  // probe plants synthetic >32-bit offsets directly in row_ptr instead of
+  // allocating 2^31 entries.
+  Csr m(LocalIndex{2}, LocalIndex{4});
+  auto& rp = m.row_ptr_mut();
+  const std::int64_t base = (std::int64_t{1} << 35) + 7;
+  rp[0] = EntryOffset{base};
+  rp[1] = EntryOffset{base + 3};
+  rp[2] = EntryOffset{base + 5};
+  EXPECT_EQ(m.row_begin(LocalIndex{0}), EntryOffset{base});
+  EXPECT_EQ(m.row_end(LocalIndex{1}), EntryOffset{base + 5});
+  // Differences stay in 64-bit space; the per-row count narrows safely.
+  EXPECT_EQ(m.row_nnz(LocalIndex{0}), LocalIndex{3});
+  EXPECT_EQ(m.row_nnz(LocalIndex{1}), LocalIndex{2});
+  EXPECT_EQ((m.row_end(LocalIndex{1}) - m.row_begin(LocalIndex{0})).value(),
+            std::int64_t{5});
 }
 
 }  // namespace

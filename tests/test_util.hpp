@@ -42,7 +42,7 @@ inline sparse::Csr laplace3d(int n, Real shift = 0.0) {
       }
     }
   }
-  const auto nn = static_cast<LocalIndex>(n) * n * n;
+  const LocalIndex nn{n * n * n};
   return sparse::Csr::from_triples(nn, nn, std::move(ti), std::move(tj),
                                    std::move(tv));
 }
@@ -73,7 +73,7 @@ inline sparse::Csr aniso2d(int n, Real eps) {
       tv.push_back(diag);
     }
   }
-  const auto nn = static_cast<LocalIndex>(n) * n;
+  const LocalIndex nn{n * n};
   return sparse::Csr::from_triples(nn, nn, std::move(ti), std::move(tj),
                                    std::move(tv));
 }
@@ -84,7 +84,7 @@ inline sparse::Csr random_spd_ish(LocalIndex n, int nnz_per_row,
   Rng rng(seed);
   std::vector<LocalIndex> ti, tj;
   std::vector<Real> tv;
-  for (LocalIndex i = 0; i < n; ++i) {
+  for (LocalIndex i{0}; i < n; ++i) {
     Real diag = 1.0;
     for (int k = 0; k < nnz_per_row; ++k) {
       const auto j = static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(n)));
@@ -109,7 +109,7 @@ inline sparse::Csr random_rect(LocalIndex nrows, LocalIndex ncols,
   Rng rng(seed);
   std::vector<LocalIndex> ti, tj;
   std::vector<Real> tv;
-  for (LocalIndex i = 0; i < nrows; ++i) {
+  for (LocalIndex i{0}; i < nrows; ++i) {
     for (int k = 0; k < nnz_per_row; ++k) {
       ti.push_back(i);
       tj.push_back(static_cast<LocalIndex>(rng.index(static_cast<std::uint64_t>(ncols))));
@@ -142,14 +142,14 @@ inline Real matrix_diff(const sparse::Csr& a, const sparse::Csr& b) {
     return 1e300;
   }
   Real m = 0;
-  for (LocalIndex i = 0; i < a.nrows(); ++i) {
-    for (LocalIndex k = a.row_begin(i); k < a.row_end(i); ++k) {
-      const LocalIndex c = a.cols()[static_cast<std::size_t>(k)];
-      m = std::max(m, std::abs(a.vals()[static_cast<std::size_t>(k)] - b.at(i, c)));
+  for (LocalIndex i{0}; i < a.nrows(); ++i) {
+    for (EntryOffset k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const LocalIndex c = a.cols()[k];
+      m = std::max(m, std::abs(a.vals()[k] - b.at(i, c)));
     }
-    for (LocalIndex k = b.row_begin(i); k < b.row_end(i); ++k) {
-      const LocalIndex c = b.cols()[static_cast<std::size_t>(k)];
-      m = std::max(m, std::abs(b.vals()[static_cast<std::size_t>(k)] - a.at(i, c)));
+    for (EntryOffset k = b.row_begin(i); k < b.row_end(i); ++k) {
+      const LocalIndex c = b.cols()[k];
+      m = std::max(m, std::abs(b.vals()[k] - a.at(i, c)));
     }
   }
   return m;
