@@ -30,6 +30,9 @@ int main() {
       cfd::SimConfig cfg = cfd::SimConfig::optimized();
       cfg.picard_iters = 1;
       cfg.assembly_algo = algo;
+      // This ablation times the *cold* variants; keep the plan cache out
+      // so every Picard iteration pays the full algorithm under test.
+      cfg.use_assembly_plan = false;
       cfd::Simulation sim(sys, cfg, rt);
       rt.tracer().reset();
       const auto t0 = std::chrono::steady_clock::now();

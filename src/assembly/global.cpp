@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "assembly/charges.hpp"
 #include "common/error.hpp"
 #include "sparse/prim.hpp"
 
@@ -16,22 +17,10 @@ constexpr int kTagCooVal = 203;
 constexpr int kTagRhsRow = 204;
 constexpr int kTagRhsVal = 205;
 
-/// Charge a device stable_sort_by_key of n keys with `width` payload
-/// bytes. Modeled after a radix sort on 2x64-bit keys: 8 digit passes,
-/// each a counting kernel + scatter kernel over the full payload, i.e.
-/// far from a single streaming pass (matching the measured cost of
-/// device tuple sorts, which the paper's assembly time is dominated by).
-void charge_sort(perf::Tracer& tracer, RankId r, std::size_t n, double width) {
-  const auto dn = static_cast<double>(n);
-  for (int pass = 0; pass < 8; ++pass) {
-    tracer.kernel(r, 2.0 * dn, 2.0 * width * dn);
-  }
-}
-
-void charge_stream(perf::Tracer& tracer, RankId r, std::size_t n, double width) {
-  const auto dn = static_cast<double>(n);
-  tracer.kernel(r, 2.0 * dn, 2.0 * width * dn);
-}
+using detail::charge_sort;
+using detail::charge_stream;
+using detail::kPairBytes;
+using detail::kTripleBytes;
 
 }  // namespace
 
@@ -44,13 +33,17 @@ linalg::RankBlock split_diag_offd(const sparse::Coo& coo,
   const GlobalIndex col1 = cols.end_row(r);
   const auto nlocal = rows.local_size(r);
 
-  // Gather distinct off-diagonal columns (ascending).
+  // Gather distinct off-diagonal columns (ascending). Reserving nnz up
+  // front keeps the gather a single allocation even when most entries
+  // are off-diagonal (worst case for halo-heavy partitions).
+  block.col_map.reserve(coo.nnz());
   for (std::size_t k = 0; k < coo.nnz(); ++k) {
     const GlobalIndex c = coo.cols[k];
     if (c < col0 || c >= col1) {
       block.col_map.push_back(c);
     }
   }
+  const std::size_t n_offd = block.col_map.size();
   std::sort(block.col_map.begin(), block.col_map.end());
   block.col_map.erase(std::unique(block.col_map.begin(), block.col_map.end()),
                       block.col_map.end());
@@ -60,6 +53,11 @@ linalg::RankBlock split_diag_offd(const sparse::Coo& coo,
       sparse::Csr(nlocal, checked_narrow<LocalIndex>(block.col_map.size()));
   auto& drp = block.diag.row_ptr_mut();
   auto& orp = block.offd.row_ptr_mut();
+  // Entry counts are known exactly: n_offd off-diagonal, the rest diag.
+  block.diag.cols_vec().reserve(coo.nnz() - n_offd);
+  block.diag.vals_vec().reserve(coo.nnz() - n_offd);
+  block.offd.cols_vec().reserve(n_offd);
+  block.offd.vals_vec().reserve(n_offd);
   std::size_t k = 0;
   for (LocalIndex i{0}; i < nlocal; ++i) {
     const GlobalIndex grow = row0 + i.value();
@@ -88,17 +86,13 @@ linalg::RankBlock split_diag_offd(const sparse::Coo& coo,
 
 linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
                                const par::RowPartition& cols,
-                               const std::vector<sparse::Coo>& owned,
-                               const std::vector<sparse::Coo>& shared,
+                               std::span<const SystemView> systems,
                                GlobalAssemblyAlgo algo) {
   const int nranks = rt.nranks();
-  EXW_REQUIRE(checked_narrow<int>(owned.size()) == nranks &&
-                  checked_narrow<int>(shared.size()) == nranks,
-              "one COO pair per rank");
+  EXW_REQUIRE(checked_narrow<int>(systems.size()) == nranks,
+              "one system view per rank");
   auto& transport = rt.transport();
   auto& tracer = rt.tracer();
-  constexpr double kTripleBytes =
-      sizeof(GlobalIndex) * 2.0 + sizeof(Real);
 
   // Pre-compute nnz_recv (paper: "easily computed using MPI_Allreduce API
   // calls after the graph-computation step") so receive buffers can be
@@ -107,14 +101,14 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
                                        GlobalIndex{0});
   for (RankId r{0}; r.value() < nranks; ++r) {
     send_counts[static_cast<std::size_t>(r)] =
-        GlobalIndex{shared[static_cast<std::size_t>(r)].nnz()};
+        GlobalIndex{systems[static_cast<std::size_t>(r)].shared->nnz()};
   }
   (void)rt.allreduce_sum(send_counts);
 
   // Step 2: route each rank's shared triples to the owning ranks.
   // shared[r] is sorted by row, so owner runs are contiguous.
   rt.parallel_for_ranks([&](RankId r) {
-    const auto& sh = shared[static_cast<std::size_t>(r)];
+    const auto& sh = *systems[static_cast<std::size_t>(r)].shared;
     std::size_t i = 0;
     while (i < sh.nnz()) {
       const RankId owner = rows.rank_of(sh.rows[i]);
@@ -149,11 +143,12 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
       recv.vals.insert(recv.vals.end(), rv.begin(), rv.end());
     }
 
+    const auto& own = *systems[static_cast<std::size_t>(r)].owned;
     sparse::Coo all;
     if (algo == GlobalAssemblyAlgo::kSortReduce ||
         algo == GlobalAssemblyAlgo::kGeneral) {
       // Algorithm 1 lines 4-6: stack, stable_sort_by_key, reduce_by_key.
-      all = owned[static_cast<std::size_t>(r)];
+      all = own;
       all.append(recv);
       charge_sort(tracer, r, all.nnz(), kTripleBytes);
       all.normalize();
@@ -174,7 +169,6 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
       // merge pass against the (already normalized) owned set.
       charge_sort(tracer, r, recv.nnz(), kTripleBytes);
       recv.normalize();
-      const auto& own = owned[static_cast<std::size_t>(r)];
       all.reserve(own.nnz() + recv.nnz());
       std::size_t a = 0, b = 0;
       while (a < own.nnz() || b < recv.nnz()) {
@@ -210,27 +204,24 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
 
 linalg::ParVector assemble_vector(par::Runtime& rt,
                                   const par::RowPartition& rows,
-                                  const std::vector<RealVector>& owned,
-                                  const std::vector<sparse::CooVector>& shared,
+                                  std::span<const SystemView> systems,
                                   GlobalAssemblyAlgo algo) {
   const int nranks = rt.nranks();
-  EXW_REQUIRE(checked_narrow<int>(owned.size()) == nranks &&
-                  checked_narrow<int>(shared.size()) == nranks,
-              "one RHS pair per rank");
+  EXW_REQUIRE(checked_narrow<int>(systems.size()) == nranks,
+              "one system view per rank");
   auto& transport = rt.transport();
   auto& tracer = rt.tracer();
-  constexpr double kPairBytes = sizeof(GlobalIndex) + sizeof(Real);
 
   std::vector<GlobalIndex> send_counts(static_cast<std::size_t>(nranks),
                                        GlobalIndex{0});
   for (RankId r{0}; r.value() < nranks; ++r) {
     send_counts[static_cast<std::size_t>(r)] =
-        GlobalIndex{shared[static_cast<std::size_t>(r)].size()};
+        GlobalIndex{systems[static_cast<std::size_t>(r)].rhs_shared->size()};
   }
   (void)rt.allreduce_sum(send_counts);
 
   rt.parallel_for_ranks([&](RankId r) {
-    const auto& sh = shared[static_cast<std::size_t>(r)];
+    const auto& sh = *systems[static_cast<std::size_t>(r)].rhs_shared;
     std::size_t i = 0;
     while (i < sh.size()) {
       const RankId owner = rows.rank_of(sh.rows[i]);
@@ -250,11 +241,11 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
 
   linalg::ParVector rhs(rt, rows);
   rt.parallel_for_ranks([&](RankId r) {
-    EXW_REQUIRE(owned[static_cast<std::size_t>(r)].size() ==
-                    static_cast<std::size_t>(rows.local_size(r)),
+    const auto& own = *systems[static_cast<std::size_t>(r)].rhs_owned;
+    EXW_REQUIRE(own.size() == static_cast<std::size_t>(rows.local_size(r)),
                 "owned RHS must be dense over local rows");
     auto& local = rhs.local(r);
-    local = owned[static_cast<std::size_t>(r)];
+    local = own;
 
     // Algorithm 2 lines 4-5: sort/reduce *only the received values*
     // (n_recv << n_own, the paper's key optimization).
@@ -282,6 +273,35 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
     charge_stream(tracer, r, local.size() + recv.size(), kPairBytes);
   });
   return rhs;
+}
+
+linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
+                               const par::RowPartition& cols,
+                               const std::vector<sparse::Coo>& owned,
+                               const std::vector<sparse::Coo>& shared,
+                               GlobalAssemblyAlgo algo) {
+  EXW_REQUIRE(owned.size() == shared.size(), "one COO pair per rank");
+  std::vector<SystemView> views(owned.size());
+  for (std::size_t r = 0; r < owned.size(); ++r) {
+    views[r].owned = &owned[r];
+    views[r].shared = &shared[r];
+  }
+  return assemble_matrix(rt, rows, cols, std::span<const SystemView>(views),
+                         algo);
+}
+
+linalg::ParVector assemble_vector(par::Runtime& rt,
+                                  const par::RowPartition& rows,
+                                  const std::vector<RealVector>& owned,
+                                  const std::vector<sparse::CooVector>& shared,
+                                  GlobalAssemblyAlgo algo) {
+  EXW_REQUIRE(owned.size() == shared.size(), "one RHS pair per rank");
+  std::vector<SystemView> views(owned.size());
+  for (std::size_t r = 0; r < owned.size(); ++r) {
+    views[r].rhs_owned = &owned[r];
+    views[r].rhs_shared = &shared[r];
+  }
+  return assemble_vector(rt, rows, std::span<const SystemView>(views), algo);
 }
 
 }  // namespace exw::assembly

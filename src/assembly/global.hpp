@@ -15,7 +15,12 @@
 /// (cuSPARSE sparse matrix addition): the received entries are normalized
 /// separately and merged into the owned stream — little speed benefit,
 /// smaller peak memory (§3.3).
+///
+/// Entry points take per-rank SystemViews (non-owning pointers into the
+/// caller's stage-2 buffers) so callers never deep-copy COO sets just to
+/// assemble them; the vector-based overloads are compatibility wrappers.
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -35,10 +40,35 @@ enum class GlobalAssemblyAlgo {
                 ///< baseline paid before the application-aware rewrite
 };
 
+/// Non-owning view of one rank's stage-2 output. Matrix assembly reads
+/// {owned, shared}; vector assembly reads {rhs_owned, rhs_shared}; the
+/// assembly-plan cache reads all four. Pointers must outlive the call —
+/// they typically alias EquationGraph::rank(r)'s buffers directly.
+struct SystemView {
+  const sparse::Coo* owned = nullptr;         ///< rows owned by this rank
+  const sparse::Coo* shared = nullptr;        ///< rows owned by others
+  const RealVector* rhs_owned = nullptr;      ///< dense over local rows
+  const sparse::CooVector* rhs_shared = nullptr;  ///< off-rank RHS adds
+};
+
 /// Assemble the distributed matrix from per-rank COO contributions.
-/// `owned[r]` must contain only rows owned by rank r (sorted, unique);
-/// `shared[r]` only rows owned by other ranks. Both conditions are what
-/// stages 1-2 guarantee.
+/// `systems[r].owned` must contain only rows owned by rank r (sorted,
+/// unique); `systems[r].shared` only rows owned by other ranks. Both
+/// conditions are what stages 1-2 guarantee.
+linalg::ParCsr assemble_matrix(par::Runtime& rt,
+                               const par::RowPartition& rows,
+                               const par::RowPartition& cols,
+                               std::span<const SystemView> systems,
+                               GlobalAssemblyAlgo algo = GlobalAssemblyAlgo::kSortReduce);
+
+/// Assemble the distributed RHS (Algorithm 2) from
+/// `systems[r].rhs_owned` / `systems[r].rhs_shared`.
+linalg::ParVector assemble_vector(par::Runtime& rt,
+                                  const par::RowPartition& rows,
+                                  std::span<const SystemView> systems,
+                                  GlobalAssemblyAlgo algo = GlobalAssemblyAlgo::kSortReduce);
+
+/// Compatibility wrapper over the SystemView overload.
 linalg::ParCsr assemble_matrix(par::Runtime& rt,
                                const par::RowPartition& rows,
                                const par::RowPartition& cols,
@@ -46,8 +76,7 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt,
                                const std::vector<sparse::Coo>& shared,
                                GlobalAssemblyAlgo algo = GlobalAssemblyAlgo::kSortReduce);
 
-/// Assemble the distributed RHS (Algorithm 2). `owned[r]` is dense over
-/// rank r's rows; `shared[r]` holds off-rank contributions.
+/// Compatibility wrapper over the SystemView overload.
 linalg::ParVector assemble_vector(par::Runtime& rt,
                                   const par::RowPartition& rows,
                                   const std::vector<RealVector>& owned,

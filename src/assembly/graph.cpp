@@ -15,9 +15,17 @@ void RankSystem::zero_values() {
   std::fill(rhs_shared.vals.begin(), rhs_shared.vals.end(), 0.0);
 }
 
+namespace {
+std::uint64_t next_graph_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
 EquationGraph::EquationGraph(const mesh::MeshDB& db, const MeshLayout& layout,
                              const std::vector<std::uint8_t>& dirichlet)
-    : db_(&db), layout_(&layout), dirichlet_(dirichlet) {
+    : db_(&db), layout_(&layout), generation_(next_graph_generation()),
+      dirichlet_(dirichlet) {
   EXW_REQUIRE(dirichlet_.size() == static_cast<std::size_t>(db.num_nodes()),
               "dirichlet mask size mismatch");
   ranks_.resize(static_cast<std::size_t>(layout.nranks));

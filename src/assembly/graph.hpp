@@ -103,6 +103,12 @@ class EquationGraph {
   /// Graph-stage pattern statistics (for cost accounting).
   std::vector<double> pattern_nnz_per_rank() const;
 
+  /// Process-unique id stamped at construction. Consumers that freeze
+  /// pattern-derived state (the assembly-plan cache) key it on this:
+  /// a rebuilt graph gets a new generation even if sizes coincide, so
+  /// stale plans are detected without comparing patterns.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   void build_patterns();
   void build_slots();
@@ -113,6 +119,7 @@ class EquationGraph {
 
   const mesh::MeshDB* db_;
   const MeshLayout* layout_;
+  std::uint64_t generation_ = 0;
   std::vector<std::uint8_t> dirichlet_;
   std::vector<RankSystem> ranks_;
   std::vector<EdgeSlots> edge_slots_;

@@ -26,6 +26,11 @@ struct SimConfig {
   assembly::GlobalAssemblyAlgo assembly_algo =
       assembly::GlobalAssemblyAlgo::kSortReduce;
   bool atomic_local_assembly = false;
+  /// Cache the stage-3 assembly structure per equation graph and refill
+  /// values in place on later Picard iterations (hypre's SetValues2 /
+  /// AddToValues2 fast path). Only engages with kSortReduce, whose
+  /// result it reproduces bitwise; other algos always assemble cold.
+  bool use_assembly_plan = true;
 
   // Pressure-Poisson: AMG-preconditioned one-reduce GMRES (§4.2).
   amg::AmgConfig pressure_amg;

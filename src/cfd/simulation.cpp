@@ -1,8 +1,10 @@
 #include "cfd/simulation.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "assembly/global.hpp"
+#include "assembly/plan.hpp"
 #include "common/error.hpp"
 #include "mesh/vtk_writer.hpp"
 #include "linalg/parvector.hpp"
@@ -41,6 +43,47 @@ void charge_per_rank(perf::Tracer& tracer, const std::vector<double>& items,
 }
 
 }  // namespace
+
+void Simulation::assemble_system(EquationCache& cache,
+                                 assembly::EquationGraph& g) {
+  const auto& rows = g.layout().numbering.rows;
+  const auto views = assembly::system_views(g);
+  const auto span = std::span<const assembly::SystemView>(views);
+  const bool plan_path =
+      cfg_.use_assembly_plan &&
+      cfg_.assembly_algo == assembly::GlobalAssemblyAlgo::kSortReduce;
+  if (!plan_path) {
+    cache.valid = false;
+    cache.matrix = assembly::assemble_matrix(*rt_, rows, rows, span,
+                                             cfg_.assembly_algo);
+    cache.rhs = assembly::assemble_vector(*rt_, rows, span, cfg_.assembly_algo);
+    return;
+  }
+  if (!cache.valid || cache.generation != g.generation()) {
+    // Cold: one structural pass freezes the whole stage-3 pipeline.
+    cache.plan = assembly::AssemblyPlan::build(*rt_, rows, rows, span);
+    cache.matrix = cache.plan.create_matrix(*rt_);
+    cache.rhs = cache.plan.create_vector(*rt_);
+    cache.generation = g.generation();
+    cache.valid = true;
+  }
+  // Warm: value-only exchange + segmented sums, bitwise-identical to
+  // cold kSortReduce assembly.
+  cache.plan.refill_matrix(*rt_, span, cache.matrix);
+  cache.plan.refill_vector(*rt_, span, cache.rhs);
+}
+
+void Simulation::assemble_rhs(EquationCache& cache,
+                              assembly::EquationGraph& g) {
+  const auto& rows = g.layout().numbering.rows;
+  const auto views = assembly::system_views(g);
+  const auto span = std::span<const assembly::SystemView>(views);
+  if (cache.valid && cache.generation == g.generation()) {
+    cache.plan.refill_vector(*rt_, span, cache.rhs);
+    return;
+  }
+  cache.rhs = assembly::assemble_vector(*rt_, rows, span, cfg_.assembly_algo);
+}
 
 Simulation::Simulation(mesh::OversetSystem& system, const SimConfig& cfg,
                        par::Runtime& rt)
@@ -285,32 +328,12 @@ void Simulation::solve_momentum(MeshBlock& blk) {
   }
 
   const auto& rows = blk.layout.numbering.rows;
-  std::vector<sparse::Coo> owned, shared;
-  std::vector<RealVector> rhs_owned;
-  std::vector<sparse::CooVector> rhs_shared;
-  auto collect = [&](assembly::EquationGraph& g) {
-    owned.clear();
-    shared.clear();
-    rhs_owned.clear();
-    rhs_shared.clear();
-    for (RankId r{0}; r.value() < g.nranks(); ++r) {
-      owned.push_back(g.rank(r).owned);
-      shared.push_back(g.rank(r).shared);
-      rhs_owned.push_back(g.rank(r).rhs_owned);
-      rhs_shared.push_back(g.rank(r).rhs_shared);
-    }
-  };
-
-  linalg::ParCsr a;
-  linalg::ParVector rhs;
   {
     perf::PhaseScope ph(tracer, "global");
-    collect(*blk.mom_graph);
-    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
-                                  cfg_.assembly_algo);
-    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
-                                    cfg_.assembly_algo);
+    assemble_system(blk.mom_cache, *blk.mom_graph);
   }
+  linalg::ParCsr& a = blk.mom_cache.matrix;
+  linalg::ParVector& rhs = blk.mom_cache.rhs;
 
   std::unique_ptr<solver::SmootherPrecond> precond;
   {
@@ -347,15 +370,10 @@ void Simulation::solve_momentum(MeshBlock& blk) {
       fill_node_rhs(component);
     }
     {
+      // RHS-only pass: the matrix (and its value-fill plan) is reused
+      // across the three velocity components.
       perf::PhaseScope ph(tracer, "global");
-      rhs_owned.clear();
-      rhs_shared.clear();
-      for (RankId r{0}; r.value() < blk.mom_graph->nranks(); ++r) {
-        rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
-        rhs_shared.push_back(blk.mom_graph->rank(r).rhs_shared);
-      }
-      rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
-                                      cfg_.assembly_algo);
+      assemble_rhs(blk.mom_cache, *blk.mom_graph);
     }
     solve_component(component == 1 ? blk.v : blk.w);
   }
@@ -416,24 +434,17 @@ void Simulation::solve_continuity(MeshBlock& blk) {
   }
 
   const auto& rows = blk.layout.numbering.rows;
-  linalg::ParCsr a;
-  linalg::ParVector rhs;
   linalg::ParVector p_old_vec(*rt_, rows);
   {
     perf::PhaseScope ph(tracer, "global");
-    std::vector<sparse::Coo> owned, shared;
-    std::vector<RealVector> rhs_owned;
-    std::vector<sparse::CooVector> rhs_shared;
-    for (RankId r{0}; r.value() < blk.prs_graph->nranks(); ++r) {
-      owned.push_back(blk.prs_graph->rank(r).owned);
-      shared.push_back(blk.prs_graph->rank(r).shared);
-      rhs_owned.push_back(blk.prs_graph->rank(r).rhs_owned);
-      rhs_shared.push_back(blk.prs_graph->rank(r).rhs_shared);
-    }
-    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
-                                  cfg_.assembly_algo);
-    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
-                                    cfg_.assembly_algo);
+    assemble_system(blk.prs_cache, *blk.prs_graph);
+  }
+  linalg::ParCsr& a = blk.prs_cache.matrix;
+  // The in-place matvec below makes rhs state-dependent; the next
+  // assemble_system overwrites it entirely, so aliasing the cache is safe.
+  linalg::ParVector& rhs = blk.prs_cache.rhs;
+  {
+    perf::PhaseScope ph(tracer, "global");
     // Total-pressure form: rhs += A p_old.
     for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       p_old_vec.at(blk.layout.row_of(node)) =
@@ -546,24 +557,14 @@ void Simulation::solve_scalar(MeshBlock& blk) {
   }
 
   const auto& rows = blk.layout.numbering.rows;
-  linalg::ParCsr a;
-  linalg::ParVector rhs;
   {
     perf::PhaseScope ph(tracer, "global");
-    std::vector<sparse::Coo> owned, shared;
-    std::vector<RealVector> rhs_owned;
-    std::vector<sparse::CooVector> rhs_shared;
-    for (RankId r{0}; r.value() < blk.mom_graph->nranks(); ++r) {
-      owned.push_back(blk.mom_graph->rank(r).owned);
-      shared.push_back(blk.mom_graph->rank(r).shared);
-      rhs_owned.push_back(blk.mom_graph->rank(r).rhs_owned);
-      rhs_shared.push_back(blk.mom_graph->rank(r).rhs_shared);
-    }
-    a = assembly::assemble_matrix(*rt_, rows, rows, owned, shared,
-                                  cfg_.assembly_algo);
-    rhs = assembly::assemble_vector(*rt_, rows, rhs_owned, rhs_shared,
-                                    cfg_.assembly_algo);
+    // The scalar system shares the momentum graph (same pattern), so it
+    // reuses the momentum plan cache; only values differ.
+    assemble_system(blk.mom_cache, *blk.mom_graph);
   }
+  linalg::ParCsr& a = blk.mom_cache.matrix;
+  linalg::ParVector& rhs = blk.mom_cache.rhs;
   std::unique_ptr<solver::SmootherPrecond> precond;
   {
     perf::PhaseScope ph(tracer, "setup");

@@ -27,7 +27,10 @@
 #include <vector>
 
 #include "assembly/graph.hpp"
+#include "assembly/plan.hpp"
 #include "cfd/config.hpp"
+#include "linalg/parcsr.hpp"
+#include "linalg/parvector.hpp"
 #include "mesh/generators.hpp"
 #include "mesh/motion.hpp"
 #include "par/runtime.hpp"
@@ -74,6 +77,19 @@ class Simulation {
   Real scalar_mean() const;
 
  private:
+  /// Assembly-plan cache for one equation graph: the stage-3 structure
+  /// (AssemblyPlan) plus the ParCsr/ParVector it refills in place. One
+  /// cold build per (graph pattern, partition); every later Picard
+  /// iteration reassembles values only. `generation` keys the cache on
+  /// EquationGraph::generation() so a rebuilt graph invalidates it.
+  struct EquationCache {
+    assembly::AssemblyPlan plan;
+    linalg::ParCsr matrix;
+    linalg::ParVector rhs;
+    std::uint64_t generation = 0;
+    bool valid = false;
+  };
+
   struct MeshBlock {
     mesh::MeshDB* db = nullptr;
     int mesh_index = 0;
@@ -81,6 +97,8 @@ class Simulation {
     std::vector<std::uint8_t> mom_dirichlet, prs_dirichlet;
     std::unique_ptr<assembly::EquationGraph> mom_graph;  // momentum+scalar
     std::unique_ptr<assembly::EquationGraph> prs_graph;
+    EquationCache mom_cache;  // shared by momentum and scalar (same graph)
+    EquationCache prs_cache;
     // Nodal fields (indexed by mesh node id).
     RealVector u, v, w, p, scl;
     RealVector u_old, v_old, w_old, scl_old;
@@ -89,6 +107,14 @@ class Simulation {
   };
 
   void setup_block(MeshBlock& blk);
+
+  /// Stage-3 global assembly of matrix + RHS through the plan cache:
+  /// warm in-place refill when the cached plan matches the graph's
+  /// generation, cold assembly (and plan build, if enabled) otherwise.
+  /// Results land in cache.matrix / cache.rhs.
+  void assemble_system(EquationCache& cache, assembly::EquationGraph& g);
+  /// RHS-only reassembly (momentum v/w components: matrix unchanged).
+  void assemble_rhs(EquationCache& cache, assembly::EquationGraph& g);
   void exchange_fringe_values();
   Vec3 mesh_velocity(const MeshBlock& blk, const Vec3& x) const;
   Vec3 boundary_velocity(const MeshBlock& blk, GlobalIndex node) const;

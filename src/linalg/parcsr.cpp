@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sparse/prim.hpp"
 
 namespace exw::linalg {
 
@@ -59,6 +60,37 @@ void ParCsr::build_comm_pkg() {
       i = j;
     }
   }
+}
+
+void ParCsr::set_values_from_plan(RankId r, const ValueFillPlan& plan,
+                                  std::span<const Real> stacked) {
+  EXW_CONTRACT_CHECK_WRITE(r, "ParCsr::set_values_from_plan(r)");
+  RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
+  EXW_REQUIRE(plan.seg_ptr.size() == plan.dest.size() + 1 &&
+                  (plan.perm.empty() || plan.seg_ptr.back() == plan.perm.size()),
+              "value-fill plan shape mismatch");
+  EXW_REQUIRE(stacked.size() == plan.perm.size(),
+              "stacked value stream does not match plan");
+  EXW_REQUIRE(plan.dest.size() == blk.diag.nnz() + blk.offd.nnz(),
+              "value-fill plan does not match block structure");
+  auto& dvals = blk.diag.vals_vec();
+  auto& ovals = blk.offd.vals_vec();
+  sparse::prim::segmented_reduce<Real>(
+      stacked, plan.perm, plan.seg_ptr, [&](std::size_t e, Real acc) {
+        const std::int64_t d = plan.dest[e];
+        if (d >= 0) {
+          dvals[static_cast<std::size_t>(d)] = acc;
+        } else {
+          ovals[static_cast<std::size_t>(-d - 1)] = acc;
+        }
+      });
+  // One streaming pass: gathered value + permutation index per stacked
+  // slot, destination index + value store per assembled entry.
+  const auto n_in = static_cast<double>(plan.perm.size());
+  const auto n_out = static_cast<double>(plan.dest.size());
+  rt_->tracer().kernel(r, n_in - n_out,
+                       n_in * (sizeof(Real) + sizeof(std::size_t)) +
+                           n_out * (sizeof(Real) + sizeof(std::int64_t)));
 }
 
 ParCsr ParCsr::from_serial(par::Runtime& rt, const sparse::Csr& global,

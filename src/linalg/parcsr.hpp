@@ -11,6 +11,8 @@
 /// product needs no communication and the offd product consumes exactly
 /// the halo values fetched by the communication package.
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -26,6 +28,20 @@ struct RankBlock {
   sparse::Csr diag;
   sparse::Csr offd;
   std::vector<GlobalIndex> col_map;  ///< offd local col -> global col
+};
+
+/// Precomputed in-place value-refill map for one rank's diag/offd blocks
+/// (the warm half of the assembly-plan cache, built by
+/// assembly::AssemblyPlan). Assembled entry e gathers the stacked value
+/// stream through stacked[perm[seg_ptr[e] .. seg_ptr[e+1])] in ascending
+/// permutation order — the same addend order as stable_sort_by_key +
+/// reduce_by_key, so a refill is bitwise-identical to cold assembly —
+/// and lands at diag vals[dest[e]] when dest[e] >= 0, else at
+/// offd vals[-dest[e] - 1].
+struct ValueFillPlan {
+  std::vector<std::size_t> perm;     ///< sorted position -> stacked slot
+  std::vector<std::size_t> seg_ptr;  ///< entry -> range in perm
+  std::vector<std::int64_t> dest;    ///< entry -> diag k / offd -(k+1)
 };
 
 /// hypre-style communication package: who sends which owned values where.
@@ -72,6 +88,16 @@ class ParCsr {
     return blocks_[static_cast<std::size_t>(r)];
   }
   const CommPkg& comm() const { return comm_; }
+
+  /// Warm-path value refill of rank r's blocks from the stacked value
+  /// stream (owned values followed by received values in Algorithm 1's
+  /// stacking order). Structure — row_ptr, cols, col_map, CommPkg — is
+  /// untouched and no memory is allocated; this is the reproduction of
+  /// hypre's SetValues2/AddToValues2 fast path, where repeated
+  /// assemblies skip structure discovery entirely. Inside a parallel
+  /// rank region only rank r's own body may call it (contract-checked).
+  void set_values_from_plan(RankId r, const ValueFillPlan& plan,
+                            std::span<const Real> stacked);
 
   GlobalIndex nnz_of_rank(RankId r) const;
   GlobalIndex global_nnz() const;

@@ -1,8 +1,10 @@
 #include "linalg/parvector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "sparse/prim.hpp"
 
 namespace exw::linalg {
 
@@ -32,6 +34,29 @@ Real ParVector::at(GlobalIndex g) const {
   const RankId r = rows_.rank_of(g);
   return local_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
       rows_.to_local(r, g))];
+}
+
+void ParVector::set_values_from_plan(RankId r, std::span<const Real> owned,
+                                     const VectorFillPlan& plan,
+                                     std::span<const Real> recv) {
+  EXW_CONTRACT_CHECK_WRITE(r, "ParVector::set_values_from_plan(r)");
+  auto& x = local_[static_cast<std::size_t>(r)];
+  EXW_REQUIRE(owned.size() == x.size(),
+              "owned RHS must be dense over local rows");
+  EXW_REQUIRE(plan.seg_ptr.size() == plan.dest.size() + 1 &&
+                  (plan.perm.empty() || plan.seg_ptr.back() == plan.perm.size()),
+              "RHS-fill plan shape mismatch");
+  EXW_REQUIRE(recv.size() == plan.perm.size(),
+              "received value stream does not match plan");
+  std::copy(owned.begin(), owned.end(), x.begin());
+  sparse::prim::segmented_reduce<Real>(
+      recv, plan.perm, plan.seg_ptr, [&](std::size_t u, Real acc) {
+        x[static_cast<std::size_t>(plan.dest[u])] += acc;
+      });
+  const auto n = static_cast<double>(x.size());
+  const auto nr = static_cast<double>(recv.size());
+  rt_->tracer().kernel(r, nr, 2.0 * kRead * n +
+                                  nr * (kRead + sizeof(std::size_t)));
 }
 
 void ParVector::fill(Real value) {

@@ -7,6 +7,7 @@
 /// reduction (the collective count is what the one-reduce GMRES of the
 /// paper §4.2 optimizes, so it must be faithful).
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -15,6 +16,18 @@
 #include "par/runtime.hpp"
 
 namespace exw::linalg {
+
+/// Precomputed in-place RHS-refill map for one rank (the Algorithm 2
+/// analogue of ValueFillPlan, built by assembly::AssemblyPlan). Received
+/// contribution u gathers recv[perm[seg_ptr[u] .. seg_ptr[u+1])] in
+/// ascending permutation order — reduce_by_key's addend order, so
+/// refills are bitwise-identical to the cold path — and scatter-adds
+/// into local row dest[u].
+struct VectorFillPlan {
+  std::vector<std::size_t> perm;     ///< sorted position -> recv slot
+  std::vector<std::size_t> seg_ptr;  ///< unique recv row -> range in perm
+  std::vector<LocalIndex> dest;      ///< unique recv row -> local row
+};
 
 class ParVector {
  public:
@@ -38,6 +51,15 @@ class ParVector {
   /// Element access by global index (test/debug convenience; not charged).
   Real& at(GlobalIndex g);
   Real at(GlobalIndex g) const;
+
+  /// Warm-path refill of rank r's local block: copy the dense owned
+  /// values, then scatter-add the received contributions reduced through
+  /// the frozen plan (Algorithm 2's sort/reduce replayed as a pure value
+  /// pipeline; no sort, no allocation). Inside a parallel rank region
+  /// only rank r's own body may call it (contract-checked).
+  void set_values_from_plan(RankId r, std::span<const Real> owned,
+                            const VectorFillPlan& plan,
+                            std::span<const Real> recv);
 
   // --- charged distributed operations ------------------------------------
   void fill(Real value);

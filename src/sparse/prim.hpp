@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -48,22 +49,70 @@ void stable_sort_by_key(std::vector<K>& keys, std::vector<V>& values) {
   values = gather(values, p);
 }
 
-/// stable_sort_by_key with a composite (k1, k2) lexicographic key and one
-/// value array — the shape used for COO (row, col, val) triples.
-template <typename K1, typename K2, typename V>
-void stable_sort_by_key(std::vector<K1>& k1, std::vector<K2>& k2,
-                        std::vector<V>& values) {
-  EXW_REQUIRE(k1.size() == k2.size() && k1.size() == values.size(),
-              "key/value length mismatch");
+/// Permutation that stably sorts composite (k1, k2) lexicographic keys
+/// ascending — the structure half of the COO-triple stable_sort_by_key,
+/// exposed separately so it can be computed once and replayed (the
+/// assembly-plan cache freezes this permutation per sparsity pattern).
+template <typename K1, typename K2>
+std::vector<std::size_t> sort_permutation2(const std::vector<K1>& k1,
+                                           const std::vector<K2>& k2) {
+  EXW_REQUIRE(k1.size() == k2.size(), "key length mismatch");
   std::vector<std::size_t> p(k1.size());
   std::iota(p.begin(), p.end(), std::size_t{0});
   std::stable_sort(p.begin(), p.end(), [&](std::size_t a, std::size_t b) {
     if (k1[a] != k1[b]) return k1[a] < k1[b];
     return k2[a] < k2[b];
   });
+  return p;
+}
+
+/// stable_sort_by_key with a composite (k1, k2) lexicographic key and one
+/// value array — the shape used for COO (row, col, val) triples.
+template <typename K1, typename K2, typename V>
+void stable_sort_by_key(std::vector<K1>& k1, std::vector<K2>& k2,
+                        std::vector<V>& values) {
+  EXW_REQUIRE(k1.size() == values.size(), "key/value length mismatch");
+  const auto p = sort_permutation2(k1, k2);
   k1 = gather(k1, p);
   k2 = gather(k2, p);
   values = gather(values, p);
+}
+
+/// Boundaries of the runs of equal keys encountered when traversing slots
+/// through permutation `p`: run s spans p[seg_ptr[s] .. seg_ptr[s+1]).
+/// `same(a, b)` compares two *unpermuted* slot indices. With `p` a stable
+/// sort permutation this yields exactly reduce_by_key's segments.
+template <typename Same>
+std::vector<std::size_t> segment_pointers(const std::vector<std::size_t>& p,
+                                          Same same) {
+  std::vector<std::size_t> ptr;
+  ptr.reserve(p.size() + 1);
+  ptr.push_back(0);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (!same(p[i - 1], p[i])) ptr.push_back(i);
+  }
+  if (!p.empty()) ptr.push_back(p.size());
+  return ptr;
+}
+
+/// Permuted segmented sum: for segment s, accumulate values[perm[j]] for
+/// j in [seg_ptr[s], seg_ptr[s+1]) in ascending j and call emit(s, acc).
+/// Addend order equals reduce_by_key after the stable sort that produced
+/// `perm`, so results are bitwise-identical to sort+reduce — the warm
+/// half of the assembly-plan cache depends on this.
+template <typename V, typename Emit>
+void segmented_reduce(std::span<const V> values,
+                      std::span<const std::size_t> perm,
+                      std::span<const std::size_t> seg_ptr, Emit emit) {
+  EXW_REQUIRE(values.size() == perm.size(),
+              "segmented_reduce value/permutation length mismatch");
+  for (std::size_t s = 0; s + 1 < seg_ptr.size(); ++s) {
+    V acc = values[perm[seg_ptr[s]]];
+    for (std::size_t j = seg_ptr[s] + 1; j < seg_ptr[s + 1]; ++j) {
+      acc += values[perm[j]];
+    }
+    emit(s, acc);
+  }
 }
 
 /// thrust::reduce_by_key with sum reduction: consecutive equal keys are

@@ -49,6 +49,7 @@ class RowHash {
   void emit(std::vector<LocalIndex>& cols, std::vector<Real>& vals,
             std::vector<std::pair<LocalIndex, Real>>& scratch) const {
     scratch.clear();
+    scratch.reserve(count_);  // capacity persists across rows via caller
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       if (keys_[i] != kEmpty) {
         scratch.emplace_back(keys_[i], vals_[i]);
@@ -56,6 +57,16 @@ class RowHash {
     }
     std::sort(scratch.begin(), scratch.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+    // The row's size is known now; grow the outputs once, geometrically,
+    // so per-row appends never reallocate mid-row yet stay amortized
+    // over the whole matrix.
+    if (cols.capacity() - cols.size() < scratch.size()) {
+      const std::size_t want =
+          std::max(cols.size() + scratch.size(),
+                   cols.capacity() + cols.capacity() / 2);
+      cols.reserve(want);
+      vals.reserve(want);
+    }
     for (const auto& [c, v] : scratch) {
       cols.push_back(c);
       vals.push_back(v);

@@ -52,7 +52,7 @@ C_STYLE_INT_CAST = re.compile(
 LOOP_ALLOWANCE = {
     "src/amg/interp.cpp": 1,
     "src/amg/smoothers.cpp": 4,
-    "src/assembly/global.cpp": 2,
+    "src/assembly/global.cpp": 1,
     "src/cfd/simulation.cpp": 3,
     "src/mesh/generators.cpp": 2,
     "src/mesh/meshdb.cpp": 4,
