@@ -1,0 +1,49 @@
+#pragma once
+/// \file charges.hpp
+/// Cost-model charges for the AMG setup paths, split so the bench/CI
+/// invariant "a warm hierarchy refresh streams values only — it never
+/// charges the O(n^3) coarse-LU factorization or a setup SpGEMM" stays
+/// auditable (the AMG analogue of the charge_sort vs charge_stream split
+/// in src/assembly/charges.hpp):
+///
+///   * rebuild-only: charge_dense_lu (called from AmgHierarchy::setup,
+///     alongside the SpGEMM product charges issued by galerkin_rap /
+///     par_matmat themselves),
+///   * refresh: charge_value_stream and charge_replay only — cache.cpp
+///     must not reference charge_dense_lu, and a frozen-product replay is
+///     priced as its multiply-adds over one streaming pass.
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "perf/tracer.hpp"
+
+namespace exw::amg::detail {
+
+/// Dense LU factorization of the n x n coarsest operator on rank 0:
+/// n^3/3 flops over the n^2 matrix. True rebuilds only — a value refresh
+/// keeps the frozen factors (see DESIGN.md §12).
+inline void charge_dense_lu(perf::Tracer& tracer, std::int64_t n) {
+  const auto dn = static_cast<double>(n);
+  tracer.kernel(RankId{0}, dn * dn * dn / 3.0, 8.0 * dn * dn);
+}
+
+/// One streaming pass over n Real values (gather/copy on the warm path).
+inline void charge_value_stream(perf::Tracer& tracer, RankId r,
+                                std::size_t n) {
+  const auto dn = static_cast<double>(n);
+  tracer.kernel(r, dn, 2.0 * sizeof(Real) * dn);
+}
+
+/// One frozen-product replay: `flops` multiply-adds reading two value
+/// slots per term plus one store per output — a single pass, no sort, no
+/// hash probes (contrast with the sort_penalty factors in rap.cpp).
+inline void charge_replay(perf::Tracer& tracer, RankId r, double flops,
+                          std::size_t outputs) {
+  tracer.kernel(r, flops,
+                flops * sizeof(Real) +
+                    sizeof(Real) * static_cast<double>(outputs));
+}
+
+}  // namespace exw::amg::detail

@@ -44,6 +44,10 @@ struct AmgConfig {
   Real jacobi_weight = 0.8;
   sparse::SpGemmAlgo spgemm = sparse::SpGemmAlgo::kHash;
   std::uint64_t pmis_seed = 42;
+
+  /// Memberwise equality — the HierarchyCache key: any knob change forces
+  /// a structural rebuild.
+  bool operator==(const AmgConfig&) const = default;
 };
 
 }  // namespace exw::amg

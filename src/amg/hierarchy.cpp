@@ -1,10 +1,13 @@
 #include "amg/hierarchy.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/rng.hpp"
 
+#include "amg/cache.hpp"
+#include "amg/charges.hpp"
 #include "amg/coarsen.hpp"
 #include "amg/interp.hpp"
 #include "amg/rap.hpp"
@@ -31,10 +34,13 @@ bool coarsen_once(const linalg::ParCsr& a, const AmgConfig& cfg,
 
 }  // namespace
 
-AmgHierarchy::AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg)
-    : cfg_(cfg) {
+AmgHierarchy::AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg,
+                           bool freeze_replay)
+    : cfg_(cfg), frozen_(freeze_replay) {
   setup(a);
 }
+
+AmgHierarchy::~AmgHierarchy() = default;
 
 void AmgHierarchy::setup(const linalg::ParCsr& a) {
   par::Runtime& rt = a.runtime();
@@ -54,7 +60,12 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
     if (!coarsen_once(lvl.a, cfg_, seed, p1, n1)) {
       break;
     }
-    linalg::ParCsr a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm);
+    // When freezing, record the value-replay structure of the *final* RAP
+    // for this transition (galerkin_rap resets the record at entry, so the
+    // aggressive path's second product simply overwrites the first).
+    RapRecord record;
+    RapRecord* rec = frozen_ ? &record : nullptr;
+    linalg::ParCsr a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm, rec);
 
     if (aggressive && a1.global_rows() > cfg_.max_coarse_size) {
       // Second stage: coarsen the first-stage grid again and combine the
@@ -66,8 +77,12 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
       if (coarsen_once(a1, cfg_, seed, p2, n2)) {
         p1 = par_matmat(p1, p2, cfg_.spgemm);
         truncate_interpolation(p1, cfg_.pmax, cfg_.trunc_factor);
-        a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm);
+        a1 = galerkin_rap(lvl.a, p1, cfg_.spgemm, rec);
       }
+    }
+    if (frozen_) {
+      replays_.push_back(freeze_level_replay(rt, std::move(record),
+                                             a1.rows()));
     }
 
     lvl.p = std::move(p1);
@@ -87,8 +102,47 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
   }
   const auto& coarsest = levels_.back().a;
   coarse_lu_ = sparse::DenseLu(coarsest.to_serial());
-  rt.tracer().kernel(RankId{0}, std::pow(static_cast<double>(coarsest.global_rows().value()), 3.0) / 3.0,
-                     8.0 * std::pow(static_cast<double>(coarsest.global_rows().value()), 2.0));
+  // Rebuild-only cost: refresh_values never re-factorizes (amg/charges.hpp).
+  detail::charge_dense_lu(rt.tracer(), coarsest.global_rows().value());
+}
+
+void AmgHierarchy::refresh_values(const linalg::ParCsr& a) {
+  EXW_REQUIRE(frozen_,
+              "amg hierarchy: refresh_values requires freeze_replay setup");
+  EXW_REQUIRE(!levels_.empty(), "amg hierarchy: refresh before setup");
+  linalg::ParCsr& fine = levels_.front().a;
+  EXW_REQUIRE(a.global_rows() == fine.global_rows() &&
+                  a.nranks() == fine.nranks(),
+              "amg hierarchy plan is stale: fine matrix shape changed");
+
+  // Level 0: copy the new values into the retained fine operator (one
+  // streaming kernel per rank; structure fingerprint checked first).
+  par::Runtime& rt = a.runtime();
+  rt.parallel_for_ranks([&](RankId r) {
+    const linalg::RankBlock& src = a.block(r);
+    linalg::RankBlock& dst = fine.block_mut(r);
+    EXW_REQUIRE(src.diag.nnz() == dst.diag.nnz() &&
+                    src.offd.nnz() == dst.offd.nnz() &&
+                    src.col_map.size() == dst.col_map.size(),
+                "amg hierarchy plan is stale: fine-level structure changed");
+    const auto dspan = src.diag.vals().raw();
+    const auto ospan = src.offd.vals().raw();
+    std::copy(dspan.begin(), dspan.end(), dst.diag.vals_vec().begin());
+    std::copy(ospan.begin(), ospan.end(), dst.offd.vals_vec().begin());
+    detail::charge_value_stream(rt.tracer(), r,
+                                src.diag.nnz() + src.offd.nnz());
+  });
+
+  // Replay each transition: level l's refreshed operator feeds l+1.
+  for (std::size_t t = 0; t < replays_.size(); ++t) {
+    replay_level(rt, *replays_[t], levels_[t].a, levels_[t + 1].a);
+  }
+
+  // Re-split the smoothers against the refreshed operators. The coarse
+  // LU keeps its factorization (rebuild-only O(n^3); see class comment).
+  for (auto& lvl : levels_) {
+    lvl.smoother->refresh_values();
+  }
 }
 
 void AmgHierarchy::vcycle(const linalg::ParVector& b, linalg::ParVector& x) {
@@ -131,6 +185,7 @@ void AmgHierarchy::coarse_solve(const linalg::ParVector& b,
 }
 
 double AmgHierarchy::grid_complexity() const {
+  EXW_REQUIRE(!levels_.empty(), "amg hierarchy: complexity before setup");
   double sum = 0;
   for (const auto& lvl : levels_) {
     sum += static_cast<double>(lvl.a.global_rows().value());
@@ -139,6 +194,7 @@ double AmgHierarchy::grid_complexity() const {
 }
 
 double AmgHierarchy::operator_complexity() const {
+  EXW_REQUIRE(!levels_.empty(), "amg hierarchy: complexity before setup");
   double sum = 0;
   for (const auto& lvl : levels_) {
     sum += static_cast<double>(lvl.a.global_nnz().value());

@@ -27,6 +27,8 @@
 
 namespace exw::amg {
 
+struct LevelReplay;  // amg/cache.hpp — frozen value-replay state
+
 struct AmgLevel {
   linalg::ParCsr a;
   linalg::ParCsr p;  ///< to the next coarser level (unused on coarsest)
@@ -39,8 +41,28 @@ struct AmgLevel {
 class AmgHierarchy {
  public:
   /// Build the hierarchy for `a` (setup phase; charge via an enclosing
-  /// PhaseScope, e.g. "precond_setup").
-  AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg);
+  /// PhaseScope, e.g. "precond_setup"). With `freeze_replay`, setup
+  /// additionally freezes per-transition value-replay plans (amg/cache.hpp)
+  /// so refresh_values() can refill every level from new fine values.
+  AmgHierarchy(const linalg::ParCsr& a, AmgConfig cfg,
+               bool freeze_replay = false);
+  ~AmgHierarchy();  // out of line: LevelReplay is incomplete here
+
+  /// True when setup froze the replay plans (refresh_values available).
+  bool frozen() const { return frozen_; }
+
+  /// Refill every level's values in place from new values of `a`, which
+  /// must have the exact structure setup saw: level-0 values are copied,
+  /// each coarse operator is refilled by replaying the frozen Galerkin
+  /// product plans against the frozen interpolation, and the smoothers
+  /// re-split. No graph traversal, no hashing, no steady-state
+  /// allocation; bitwise-identical to rebuilding against the frozen
+  /// coarsening. The coarse direct solver keeps its factorization — the
+  /// O(n^3) charge is rebuild-only; the resulting (slight, bounded)
+  /// coarse-solve lag is governed by the drift policy in cfd::SimConfig.
+  /// Throws exw::Error if the hierarchy is not frozen or the structure
+  /// changed.
+  void refresh_values(const linalg::ParCsr& a);
 
   /// One V-cycle for A x = b (x is both initial guess and result).
   void vcycle(const linalg::ParVector& b, linalg::ParVector& x);
@@ -68,6 +90,9 @@ class AmgHierarchy {
   AmgConfig cfg_;
   std::vector<AmgLevel> levels_;
   sparse::DenseLu coarse_lu_;
+  /// Frozen replay plans, one per level transition (empty unless frozen).
+  std::vector<std::unique_ptr<LevelReplay>> replays_;
+  bool frozen_ = false;
 };
 
 }  // namespace exw::amg

@@ -17,9 +17,12 @@ class RowAccumulator {
 
   void add(GlobalIndex col, Real v) { entries_.emplace_back(col, v); }
 
-  /// Merge duplicates (sort-based; rows are short).
+  /// Merge duplicates (sort-based; rows are short). The sort is *stable*
+  /// so ties keep push order: the addend order of each merged sum is then
+  /// a pure function of the push sequence, which is what lets RapRecord
+  /// freeze it and replay it bitwise.
   const std::vector<std::pair<GlobalIndex, Real>>& merged() {
-    std::sort(entries_.begin(), entries_.end(),
+    std::stable_sort(entries_.begin(), entries_.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     std::size_t out = 0;
     for (std::size_t k = 0; k < entries_.size();) {
@@ -39,16 +42,58 @@ class RowAccumulator {
   std::vector<std::pair<GlobalIndex, Real>> entries_;
 };
 
+/// Freeze the reduction Coo::normalize() is about to perform on `coo`:
+/// group the per-triple (left, right) term slots by the stable (row, col)
+/// sort permutation — exactly the permutation normalize() applies — so
+/// each output entry's term list is reduce_by_key's addend order.
+sparse::ProductPlan freeze_coo_reduction(
+    const sparse::Coo& coo,
+    const std::vector<std::pair<std::size_t, std::size_t>>& terms) {
+  EXW_REQUIRE(coo.nnz() == terms.size(),
+              "RAP record: one term per COO triple required");
+  sparse::ProductPlan plan;
+  const auto perm = sparse::prim::sort_permutation2(coo.rows, coo.cols);
+  std::vector<std::size_t> ls, rs;
+  for (std::size_t s = 0; s < perm.size();) {
+    const GlobalIndex row = coo.rows[perm[s]];
+    const GlobalIndex col = coo.cols[perm[s]];
+    ls.clear();
+    rs.clear();
+    while (s < perm.size() && coo.rows[perm[s]] == row &&
+           coo.cols[perm[s]] == col) {
+      ls.push_back(terms[perm[s]].first);
+      rs.push_back(terms[perm[s]].second);
+      ++s;
+    }
+    plan.append(ls, rs);
+  }
+  return plan;
+}
+
 }  // namespace
 
 linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
-                            sparse::SpGemmAlgo algo) {
+                            sparse::SpGemmAlgo algo, RapRecord* record) {
   EXW_REQUIRE(a.global_cols() == p.global_rows(), "RAP shape mismatch");
   par::Runtime& rt = a.runtime();
   auto& tracer = rt.tracer();
   const int nranks = a.nranks();
   const auto& fine = a.rows();
   const auto& coarse = p.cols();
+
+  if (record) {
+    // assign() resets any previous recording — the aggressive-coarsening
+    // path runs galerkin_rap twice per level and keeps only the last.
+    record->ranks.assign(static_cast<std::size_t>(nranks), {});
+    record->owned.assign(static_cast<std::size_t>(nranks), {});
+    record->shared.assign(static_cast<std::size_t>(nranks), {});
+  }
+  // Per-triple (p_flat slot, AP entry) term pairs in COO push order,
+  // grouped into ProductPlans after the triples are normalized below.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> owned_terms(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> shared_terms(
+      static_cast<std::size_t>(nranks));
 
   // Fetch external P rows for A's offd columns.
   std::vector<std::vector<GlobalIndex>> needed(static_cast<std::size_t>(nranks));
@@ -73,27 +118,55 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
     RowAccumulator ap_row;
     double products = 0;
 
-    // Emit P(local row li) as (global coarse col, val) via callback.
+    RapRecord::Rank* rec =
+        record ? &record->ranks[static_cast<std::size_t>(r)] : nullptr;
+    const std::size_t p_diag_nnz = pb.diag.nnz();
+    const std::size_t p_offd_nnz = pb.offd.nnz();
+    const std::size_t a_diag_nnz = ab.diag.nnz();
+    if (rec) {
+      rec->a_diag_nnz = a_diag_nnz;
+      rec->a_offd_nnz = ab.offd.nnz();
+      rec->ap.zero_init = true;  // RowAccumulator folds into an explicit 0
+      auto& pf = rec->p_flat;
+      pf.reserve(p_diag_nnz + p_offd_nnz + er.vals.size());
+      pf.insert(pf.end(), pb.diag.vals().begin(), pb.diag.vals().end());
+      pf.insert(pf.end(), pb.offd.vals().begin(), pb.offd.vals().end());
+      pf.insert(pf.end(), er.vals.begin(), er.vals.end());
+    }
+    // Row-local recording scratch: one (a_flat, p_flat) slot pair per
+    // partial product, in push order, keyed by the AP column.
+    std::vector<GlobalIndex> term_cols;
+    std::vector<std::pair<std::size_t, std::size_t>> terms;
+    std::vector<std::size_t> ls, rs;
+
+    // Emit P(local row li) as (global coarse col, val, p_flat slot).
     auto for_p_row = [&](LocalIndex li, auto&& fn) {
       for (EntryOffset k = pb.diag.row_begin(li); k < pb.diag.row_end(li); ++k) {
         fn(pc0 + pb.diag.cols()[k].value(),
-           pb.diag.vals()[k]);
+           pb.diag.vals()[k], static_cast<std::size_t>(k.value()));
       }
       for (EntryOffset k = pb.offd.row_begin(li); k < pb.offd.row_end(li); ++k) {
         fn(pb.col_map[static_cast<std::size_t>(
                pb.offd.cols()[k])],
-           pb.offd.vals()[k]);
+           pb.offd.vals()[k], p_diag_nnz + static_cast<std::size_t>(k.value()));
       }
     };
 
     for (LocalIndex i{0}; i < fine.local_size(r); ++i) {
       // AP(i, :) = sum_k A(i, k) P(k, :).
       ap_row.clear();
+      term_cols.clear();
+      terms.clear();
       for (EntryOffset k = ab.diag.row_begin(i); k < ab.diag.row_end(i); ++k) {
         const LocalIndex kc = ab.diag.cols()[k];
         const Real av = ab.diag.vals()[k];
-        for_p_row(kc, [&](GlobalIndex col, Real pv) {
+        const auto a_slot = static_cast<std::size_t>(k.value());
+        for_p_row(kc, [&](GlobalIndex col, Real pv, std::size_t p_slot) {
           ap_row.add(col, av * pv);
+          if (rec) {
+            term_cols.push_back(col);
+            terms.emplace_back(a_slot, p_slot);
+          }
           products += 1;
         });
       }
@@ -104,20 +177,52 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
         const Real av = ab.offd.vals()[k];
         const std::size_t ei = er.find(gk);
         if (ei == static_cast<std::size_t>(-1)) continue;
+        const std::size_t a_slot =
+            a_diag_nnz + static_cast<std::size_t>(k.value());
         for (std::size_t q = er.row_ptr[ei]; q < er.row_ptr[ei + 1]; ++q) {
           ap_row.add(er.cols[q], av * er.vals[q]);
+          if (rec) {
+            term_cols.push_back(er.cols[q]);
+            terms.emplace_back(a_slot, p_diag_nnz + p_offd_nnz + q);
+          }
           products += 1;
         }
       }
       const auto& ap = ap_row.merged();
       if (ap.empty()) continue;
+      std::size_t ap_base = 0;
+      if (rec) {
+        // Group this row's terms by AP column with the same stable sort
+        // merged() used: group t's term order is the accumulator's addend
+        // order for entry ap[t].
+        ap_base = rec->ap.outputs();
+        const auto perm =
+            sparse::prim::sort_permutation(term_cols, std::less<GlobalIndex>{});
+        for (std::size_t s = 0; s < perm.size();) {
+          const GlobalIndex col = term_cols[perm[s]];
+          ls.clear();
+          rs.clear();
+          while (s < perm.size() && term_cols[perm[s]] == col) {
+            ls.push_back(terms[perm[s]].first);
+            rs.push_back(terms[perm[s]].second);
+            ++s;
+          }
+          rec->ap.append(ls, rs);
+        }
+        EXW_ASSERT(rec->ap.outputs() - ap_base == ap.size());
+      }
       // Outer product: triples (P(i, jc), AP(i, kc)).
-      for_p_row(i, [&](GlobalIndex jc, Real pv) {
-        const RankId owner = coarse.rank_of(jc);
-        auto& dest = owner == r ? owned[static_cast<std::size_t>(r)]
-                                : shared[static_cast<std::size_t>(r)];
-        for (const auto& [kc, apv] : ap) {
-          dest.push(jc, kc, pv * apv);
+      for_p_row(i, [&](GlobalIndex jc, Real pv, std::size_t p_slot) {
+        const bool own = coarse.rank_of(jc) == r;
+        auto& dest = own ? owned[static_cast<std::size_t>(r)]
+                         : shared[static_cast<std::size_t>(r)];
+        auto* term_dest =
+            rec ? (own ? &owned_terms[static_cast<std::size_t>(r)]
+                       : &shared_terms[static_cast<std::size_t>(r)])
+                : nullptr;
+        for (std::size_t m = 0; m < ap.size(); ++m) {
+          dest.push(jc, ap[m].first, pv * ap[m].second);
+          if (term_dest) term_dest->emplace_back(p_slot, ap_base + m);
           products += 1;
         }
       });
@@ -128,8 +233,23 @@ linalg::ParCsr galerkin_rap(const linalg::ParCsr& a, const linalg::ParCsr& p,
 
   // Reuse the paper's Algorithm 1 for the coarse operator.
   rt.parallel_for_ranks([&](RankId r) {
-    owned[static_cast<std::size_t>(r)].normalize();
-    shared[static_cast<std::size_t>(r)].normalize();
+    auto& ow = owned[static_cast<std::size_t>(r)];
+    auto& sh = shared[static_cast<std::size_t>(r)];
+    if (record) {
+      auto& rec = record->ranks[static_cast<std::size_t>(r)];
+      rec.owned = freeze_coo_reduction(ow, owned_terms[static_cast<std::size_t>(r)]);
+      rec.shared = freeze_coo_reduction(sh, shared_terms[static_cast<std::size_t>(r)]);
+    }
+    ow.normalize();
+    sh.normalize();
+    if (record) {
+      auto& rec = record->ranks[static_cast<std::size_t>(r)];
+      EXW_REQUIRE(rec.owned.outputs() == ow.nnz() &&
+                      rec.shared.outputs() == sh.nnz(),
+                  "RAP record does not match the normalized triples");
+      record->owned[static_cast<std::size_t>(r)] = ow;
+      record->shared[static_cast<std::size_t>(r)] = sh;
+    }
   });
   return assembly::assemble_matrix(rt, coarse, coarse, owned, shared);
 }

@@ -53,6 +53,44 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
   return out;
 }
 
+void LduSplit::refresh_values(const linalg::ParCsr& a) {
+  a.runtime().parallel_for_ranks([&](RankId r) {
+    const auto& b = a.block(r);
+    const LocalIndex n = b.diag.nrows();
+    auto& lo = lower[static_cast<std::size_t>(r)];
+    auto& up = upper[static_cast<std::size_t>(r)];
+    auto& di = dinv[static_cast<std::size_t>(r)];
+    auto& l1 = l1_dinv[static_cast<std::size_t>(r)];
+    EXW_REQUIRE(di.size() == static_cast<std::size_t>(n),
+                "smoother refresh: matrix structure changed");
+    auto& lo_vals = lo.vals_vec();
+    auto& up_vals = up.vals_vec();
+    std::size_t lo_k = 0, up_k = 0;
+    for (LocalIndex i{0}; i < n; ++i) {
+      Real d = 0, off_rank_l1 = 0;
+      for (EntryOffset k = b.diag.row_begin(i); k < b.diag.row_end(i); ++k) {
+        const LocalIndex c = b.diag.cols()[k];
+        const Real v = b.diag.vals()[k];
+        if (c < i) {
+          lo_vals[lo_k++] = v;
+        } else if (c > i) {
+          up_vals[up_k++] = v;
+        } else {
+          d = v;
+        }
+      }
+      for (EntryOffset k = b.offd.row_begin(i); k < b.offd.row_end(i); ++k) {
+        off_rank_l1 += std::abs(b.offd.vals()[k]);
+      }
+      EXW_REQUIRE(d != 0.0, "zero diagonal in smoother refresh");
+      di[static_cast<std::size_t>(i)] = 1.0 / d;
+      l1[static_cast<std::size_t>(i)] = 1.0 / (d + off_rank_l1);
+    }
+    EXW_REQUIRE(lo_k == lo.nnz() && up_k == up.nnz(),
+                "smoother refresh: triangular structure changed");
+  });
+}
+
 Real estimate_eig_max(const linalg::ParCsr& a) {
   // Gershgorin on Dinv A: max_i (1 + sum_{j != i} |a_ij| / |a_ii|).
   // Rows with a negative diagonal must contribute through |a_ii| — the
@@ -93,6 +131,14 @@ Smoother::Smoother(const linalg::ParCsr& a, SmootherType type,
   if (type == SmootherType::kChebyshev) {
     eig_max_ = estimate_eig_max(a);
     a.runtime().tracer().collective(sizeof(Real));  // eig-bound reduction
+  }
+}
+
+void Smoother::refresh_values() {
+  ldu_.refresh_values(*a_);
+  if (type_ == SmootherType::kChebyshev) {
+    eig_max_ = estimate_eig_max(*a_);
+    a_->runtime().tracer().collective(sizeof(Real));
   }
 }
 

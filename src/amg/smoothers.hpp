@@ -34,6 +34,11 @@ struct LduSplit {
   std::vector<RealVector> l1_dinv;  ///< 1 / (a_ii + sum_j |a_ij, j off-rank|)
 
   static LduSplit build(const linalg::ParCsr& a);
+
+  /// Refill lower/upper/dinv/l1_dinv values in place from new values of
+  /// `a` (same structure as the build; throws otherwise). The warm half
+  /// of the hierarchy cache: one streaming pass, no allocation.
+  void refresh_values(const linalg::ParCsr& a);
 };
 
 class Smoother {
@@ -42,6 +47,10 @@ class Smoother {
            Real jacobi_weight);
 
   SmootherType type() const { return type_; }
+
+  /// Refresh the L/D/U split (and the Chebyshev eigenvalue bound) from
+  /// the matrix's current values; the structure must be unchanged.
+  void refresh_values();
 
   /// Apply `sweeps` relaxation steps to A x = b in place.
   void apply(const linalg::ParVector& b, linalg::ParVector& x,

@@ -12,6 +12,7 @@ SimConfig SimConfig::baseline() {
   SimConfig cfg;
   cfg.partition = assembly::PartitionMethod::kRcb;
   cfg.assembly_algo = assembly::GlobalAssemblyAlgo::kGeneral;
+  cfg.use_amg_cache = false;  // baseline rebuilds AMG setup every solve
   cfg.sgs_inner_sweeps = 1;
   cfg.pressure_amg.inner_sweeps = 1;
   cfg.pressure_amg.agg_levels = 0;

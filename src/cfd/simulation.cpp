@@ -343,7 +343,6 @@ void Simulation::solve_momentum(MeshBlock& blk) {
         cfg_.sgs_inner_sweeps);
   }
 
-  mom_stats_ = EquationStats{};
   linalg::ParVector x(*rt_, rows);
   auto solve_component = [&](RealVector& field) {
     for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
@@ -453,25 +452,40 @@ void Simulation::solve_continuity(MeshBlock& blk) {
     a.matvec(p_old_vec, rhs, 1.0, 1.0);
   }
 
-  std::unique_ptr<solver::AmgPrecond> precond;
+  // Preconditioner: structural AMG setup only when the hierarchy cache is
+  // off, stale (graph generation or AmgConfig changed), past the refresh
+  // lag, or stagnating; otherwise a value-only refresh of the frozen
+  // hierarchy (amg/cache.hpp).
+  amg::HierarchyCache& pc = blk.prs_precond;
   {
     perf::PhaseScope ph(tracer, "setup");
-    precond = std::make_unique<solver::AmgPrecond>(a, cfg_.pressure_amg);
+    const std::uint64_t gen = blk.prs_graph->generation();
+    const bool must_rebuild =
+        !cfg_.use_amg_cache || pc.stale(gen, cfg_.pressure_amg) ||
+        pc.solves_since_rebuild() >= cfg_.amg_rebuild_lag ||
+        pc.stagnating(cfg_.amg_stagnation_ratio);
+    if (must_rebuild) {
+      pc.rebuild(a, cfg_.pressure_amg, gen, /*freeze=*/cfg_.use_amg_cache);
+      prs_stats_.amg_rebuilds += 1;
+    } else {
+      pc.refresh(a);
+      prs_stats_.amg_refreshes += 1;
+    }
   }
-  prs_stats_ = EquationStats{};
-  prs_stats_.amg_levels = precond->hierarchy().num_levels();
-  prs_stats_.amg_operator_complexity =
-      precond->hierarchy().operator_complexity();
+  solver::AmgPrecond precond(pc.hierarchy());
+  prs_stats_.amg_levels = pc.hierarchy().num_levels();
+  prs_stats_.amg_operator_complexity = pc.hierarchy().operator_complexity();
 
   linalg::ParVector x(*rt_, rows);
   x.copy_from(p_old_vec);
   solver::SolveStats st;
   {
     perf::PhaseScope ph(tracer, "solve");
-    st = solver::gmres_solve(a, rhs, x, *precond, cfg_.pressure_gmres);
+    st = solver::gmres_solve(a, rhs, x, precond, cfg_.pressure_gmres);
   }
-  prs_stats_.gmres_iterations = st.iterations;
-  prs_stats_.solves = 1;
+  pc.note_solve(st.iterations);
+  prs_stats_.gmres_iterations += st.iterations;
+  prs_stats_.solves += 1;
   prs_stats_.final_residual = st.final_residual;
 
   // Projection: u -= (dt / rho) grad(p_new - p_old); p := p_new.
@@ -572,7 +586,6 @@ void Simulation::solve_scalar(MeshBlock& blk) {
         a, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
         cfg_.sgs_inner_sweeps);
   }
-  scl_stats_ = EquationStats{};
   linalg::ParVector x(*rt_, rows);
   for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     x.at(blk.layout.row_of(node)) = blk.scl[static_cast<std::size_t>(node)];
@@ -582,8 +595,8 @@ void Simulation::solve_scalar(MeshBlock& blk) {
     perf::PhaseScope ph(tracer, "solve");
     st = solver::gmres_solve(a, rhs, x, *precond, cfg_.momentum_gmres);
   }
-  scl_stats_.gmres_iterations = st.iterations;
-  scl_stats_.solves = 1;
+  scl_stats_.gmres_iterations += st.iterations;
+  scl_stats_.solves += 1;
   scl_stats_.final_residual = st.final_residual;
   for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
     blk.scl[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
@@ -610,6 +623,13 @@ void Simulation::step() {
     blk.w_old = blk.w;
     blk.scl_old = blk.scl;
   }
+
+  // Per-step stats: reset once here, accumulated across the Picard loop
+  // (resetting inside the solve routines made every step report only its
+  // last Picard iteration — solves was always 1).
+  mom_stats_ = EquationStats{};
+  prs_stats_ = EquationStats{};
+  scl_stats_ = EquationStats{};
 
   perf::PhaseScope nli(tracer, "nli");
   for (int picard = 0; picard < cfg_.picard_iters; ++picard) {

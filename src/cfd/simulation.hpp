@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "amg/cache.hpp"
 #include "assembly/graph.hpp"
 #include "assembly/plan.hpp"
 #include "cfd/config.hpp"
@@ -37,13 +38,19 @@
 
 namespace exw::cfd {
 
-/// Solver statistics of the last step, per equation.
+/// Solver statistics of the last time step, per equation: counters
+/// (solves, iterations, rebuilds/refreshes) accumulate over all Picard
+/// iterations and mesh blocks of the step — a 3-Picard step reports
+/// solves == 3 per single-mesh equation — while final_residual and the
+/// AMG shape fields reflect the step's last solve.
 struct EquationStats {
   int gmres_iterations = 0;
   int solves = 0;
   Real final_residual = 0;
   int amg_levels = 0;
   double amg_operator_complexity = 0;
+  int amg_rebuilds = 0;   ///< structural AMG setups this step
+  int amg_refreshes = 0;  ///< value-only hierarchy refreshes this step
 };
 
 class Simulation {
@@ -99,6 +106,9 @@ class Simulation {
     std::unique_ptr<assembly::EquationGraph> prs_graph;
     EquationCache mom_cache;  // shared by momentum and scalar (same graph)
     EquationCache prs_cache;
+    /// Pressure AMG hierarchy kept across Picard solves; the drift policy
+    /// in solve_continuity decides rebuild vs value-only refresh.
+    amg::HierarchyCache prs_precond;
     // Nodal fields (indexed by mesh node id).
     RealVector u, v, w, p, scl;
     RealVector u_old, v_old, w_old, scl_old;

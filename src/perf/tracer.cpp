@@ -70,6 +70,12 @@ double PhaseStats::total_bytes() const {
   return n;
 }
 
+double PhaseStats::max_kernel_flops() const {
+  double m = 0;
+  for (const auto& w : rank) m = std::max(m, w.max_kernel_flops);
+  return m;
+}
+
 Tracer::Tracer(int nranks) : nranks_(nranks) {
   EXW_REQUIRE(nranks >= 1, "tracer needs at least one rank");
   stats_for("");  // root phase: untagged work is never lost
@@ -120,6 +126,7 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
     w.flops += flops;
     w.bytes += bytes;
     w.kernels += 1;
+    w.max_kernel_flops = std::max(w.max_kernel_flops, flops);
   }
 }
 

@@ -39,6 +39,11 @@ struct RankWork {
   long kernels = 0;
   double msg_bytes = 0;
   long msgs = 0;
+  /// Largest single kernel charged (flops). Aggregates hide what kind of
+  /// work a phase did; the peak kernel exposes it — the bench/CI
+  /// invariant "a warm AMG refresh never charges the O(n^3) coarse-LU
+  /// factorization" is checked against this.
+  double max_kernel_flops = 0;
 };
 
 /// Per-phase accumulated work over all ranks.
@@ -63,6 +68,8 @@ struct PhaseStats {
   long total_messages() const;
   double total_flops() const;
   double total_bytes() const;
+  /// Largest single kernel charged by any rank in this phase (flops).
+  double max_kernel_flops() const;
 };
 
 /// Accumulates work by phase.

@@ -112,18 +112,40 @@ SolveStats gmres_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
         for (int i = 0; i <= j; ++i) {
           hj[static_cast<std::size_t>(i)] = dots[static_cast<std::size_t>(i)];
           h_norm2 += dots[static_cast<std::size_t>(i)] * dots[static_cast<std::size_t>(i)];
-        }
-        for (int i = 0; i <= j; ++i) {
           w.axpy(-hj[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
         }
         const double w_norm2 = dots[static_cast<std::size_t>(j) + 1];
-        const double corrected = w_norm2 - h_norm2;
-        if (corrected > 1e-4 * w_norm2) {
-          // Pythagorean update is safe.
-          hj[static_cast<std::size_t>(j) + 1] = std::sqrt(corrected);
+        double corrected = w_norm2 - h_norm2;
+        // The Pythagorean identity ||w - V h||^2 = ||w||^2 - ||h||^2 only
+        // holds for an orthonormal V. A single classical Gram-Schmidt pass
+        // loses orthogonality exactly when the projections dominate (e.g.
+        // under a strong preconditioner the new Krylov direction is tiny),
+        // and a corrupted h stalls the Givens residual estimate above the
+        // target while the true residual keeps falling. Rutishauser's
+        // "twice is enough" criterion: if the pass removed more than half
+        // of ||w||^2, reorthogonalize with a second fused reduction.
+        if (!(corrected > 0.5 * w_norm2)) {
+          const auto dots2 =
+              fused_dots(v, static_cast<std::size_t>(j) + 1, w);
+          double c_norm2 = 0;
+          for (int i = 0; i <= j; ++i) {
+            const double c = dots2[static_cast<std::size_t>(i)];
+            hj[static_cast<std::size_t>(i)] += c;
+            c_norm2 += c * c;
+            w.axpy(-c, v[static_cast<std::size_t>(i)]);
+          }
+          // The second pass removes only O(eps)-sized components, so its
+          // own Pythagorean update is reliable unless w vanished entirely.
+          const double w_norm2_2 = dots2[static_cast<std::size_t>(j) + 1];
+          corrected = w_norm2_2 - c_norm2;
+          if (corrected > 1e-4 * w_norm2_2) {
+            hj[static_cast<std::size_t>(j) + 1] = std::sqrt(corrected);
+          } else {
+            // Happy breakdown / full cancellation: take the explicit norm.
+            hj[static_cast<std::size_t>(j) + 1] = w.norm2();
+          }
         } else {
-          // Severe cancellation: fall back to an explicit norm (rare).
-          hj[static_cast<std::size_t>(j) + 1] = w.norm2();
+          hj[static_cast<std::size_t>(j) + 1] = std::sqrt(corrected);
         }
       }
 

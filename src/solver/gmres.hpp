@@ -9,10 +9,16 @@
 /// The one-reduce variant fuses the j projection dot products and the
 /// candidate norm into a single allreduce per iteration, using the
 /// Pythagorean identity ||w - V h||^2 = ||w||^2 - ||h||^2 to recover the
-/// corrected norm without a second reduction (with a guarded
-/// recomputation when cancellation makes it unreliable). Collective
+/// corrected norm without a second reduction. Because the identity only
+/// holds for an orthonormal basis — and single-pass classical
+/// Gram-Schmidt loses orthogonality precisely when the projections
+/// dominate (a strong preconditioner makes each new Krylov direction
+/// small) — the implementation applies Rutishauser's "twice is enough"
+/// test: when a pass removes more than half of ||w||^2, a second fused
+/// reduction reorthogonalizes before the norm is trusted. Collective
 /// counts drive the strong-scaling model, so the distinction is charged
-/// faithfully: MGS costs j+2 reductions per iteration, one-reduce costs 1.
+/// faithfully: MGS costs j+2 reductions per iteration, one-reduce costs
+/// 1 (2 when reorthogonalization triggers).
 
 #include <cstdint>
 

@@ -30,21 +30,28 @@ class IdentityPrecond final : public Preconditioner {
   }
 };
 
-/// One AMG V-cycle from a zero initial guess.
+/// One AMG V-cycle from a zero initial guess. Owns its hierarchy when
+/// built from a matrix, or borrows one managed elsewhere (the
+/// amg::HierarchyCache kept across Picard solves by cfd::Simulation).
 class AmgPrecond final : public Preconditioner {
  public:
   AmgPrecond(const linalg::ParCsr& a, const amg::AmgConfig& cfg)
-      : hierarchy_(a, cfg) {}
+      : owned_(std::make_unique<amg::AmgHierarchy>(a, cfg)),
+        h_(owned_.get()) {}
+
+  /// Borrow an externally owned hierarchy (must outlive the precond).
+  explicit AmgPrecond(amg::AmgHierarchy& h) : h_(&h) {}
 
   void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
     z.fill(0.0);
-    hierarchy_.vcycle(r, z);
+    h_->vcycle(r, z);
   }
 
-  const amg::AmgHierarchy& hierarchy() const { return hierarchy_; }
+  const amg::AmgHierarchy& hierarchy() const { return *h_; }
 
  private:
-  amg::AmgHierarchy hierarchy_;
+  std::unique_ptr<amg::AmgHierarchy> owned_;
+  amg::AmgHierarchy* h_ = nullptr;
 };
 
 /// `outer` sweeps of a relaxation scheme from a zero initial guess

@@ -13,6 +13,8 @@
 ///     stable_sort_by_key + reduce_by_key (cuSPARSE-style baseline).
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "sparse/csr.hpp"
 
@@ -39,5 +41,68 @@ Csr rap(const Csr& a, const Csr& p, SpGemmAlgo algo = SpGemmAlgo::kHash);
 /// Flop count of C = A*B (2 * sum of partial products); used by the
 /// modeled-time layer to charge AMG setup kernels.
 double spgemm_flops(const Csr& a, const Csr& b);
+
+/// Frozen-product replay plan: the value half of a sparse product whose
+/// structure has already been discovered once (the SpGEMM analogue of
+/// assembly::AssemblyPlan's value-fill maps). Output entry e is
+///
+///   out[e] = sum over t in [seg_ptr[e], seg_ptr[e+1]) of
+///            left[lslot[t]] * right[rslot[t]]
+///
+/// with the terms stored in the exact addend order the cold product used,
+/// so a replay is bitwise-identical to re-running the product on the same
+/// values. Replays do no hashing, no sorting, no searches and allocate
+/// nothing — one streaming pass over the term lists.
+struct ProductPlan {
+  std::vector<std::size_t> seg_ptr;  ///< output entry -> term range
+  std::vector<std::size_t> lslot;    ///< term -> index into `left`
+  std::vector<std::size_t> rslot;    ///< term -> index into `right`
+  /// Cold accumulators differ in their first addend: reduce_by_key seeds
+  /// the sum with the first value (zero_init = false) while the RAP row
+  /// accumulator folds into an explicit 0.0 (zero_init = true). The seed
+  /// changes the bit pattern when the first product is -0.0, so replays
+  /// must reproduce it.
+  bool zero_init = false;
+
+  std::size_t outputs() const { return seg_ptr.empty() ? 0 : seg_ptr.size() - 1; }
+  std::size_t terms() const { return lslot.size(); }
+  /// Multiply-add per term, matching the cold product's charge.
+  double flops() const { return 2.0 * static_cast<double>(terms()); }
+
+  /// Append one output entry whose terms are `ls/rs` (parallel arrays).
+  void append(std::span<const std::size_t> ls, std::span<const std::size_t> rs);
+
+  void replay(std::span<const Real> left, std::span<const Real> right,
+              std::span<Real> out) const;
+};
+
+/// Frozen serial C = A * B in spgemm_hash's numerics: `build()` runs the
+/// cold hash product once, keeping its output structure and the term list
+/// behind every entry; `replay()` then refills C's values from new A/B
+/// values without touching the hash table. Bitwise-identical to
+/// spgemm_hash(a, b) as long as A keeps the zero/nonzero value pattern it
+/// had at build time (the hash path skips a_ij == 0 when discovering
+/// structure, so moving stored zeros changes the cold output's pattern —
+/// that is a structural change and needs a rebuild).
+class SpGemmPlan {
+ public:
+  SpGemmPlan() = default;
+
+  static SpGemmPlan build(const Csr& a, const Csr& b);
+
+  bool valid() const { return a_nnz_ + b_nnz_ > 0; }
+  /// Frozen output: the structure replays refill (values as of build).
+  const Csr& structure() const { return c_; }
+
+  /// Refill `c` (a copy of structure()) from new values of a/b. Throws
+  /// when the shapes or nnz of a, b, or c no longer match the plan.
+  void replay(const Csr& a, const Csr& b, Csr& c) const;
+
+ private:
+  ProductPlan plan_;
+  Csr c_;
+  LocalIndex a_rows_{0}, a_cols_{0}, b_cols_{0};
+  std::size_t a_nnz_ = 0, b_nnz_ = 0;
+};
 
 }  // namespace exw::sparse

@@ -187,6 +187,57 @@ TEST(Cfd, AtomicAssemblyMatchesOrdered) {
   EXPECT_NEAR(sim_a.scalar_mean(), sim_b.scalar_mean(), 1e-10);
 }
 
+TEST(Cfd, SolverStatsAccumulateAcrossPicardLoop) {
+  // Regression: the per-equation counters used to be reset inside every
+  // solve, so a step always reported solves == 1 regardless of the Picard
+  // count. They must accumulate over the step's Picard loop and reset
+  // only at the next step.
+  auto sys = box_only_system(GlobalIndex{6});
+  par::Runtime rt(2);
+  SimConfig cfg;
+  cfg.picard_iters = 3;
+  Simulation sim(sys, cfg, rt);
+  sim.step();
+  // Momentum solves one system per velocity component.
+  EXPECT_EQ(sim.momentum_stats().solves, 3 * 3);
+  EXPECT_EQ(sim.continuity_stats().solves, 3);
+  EXPECT_EQ(sim.scalar_stats().solves, 3);
+  EXPECT_GE(sim.continuity_stats().gmres_iterations,
+            sim.continuity_stats().solves);
+  sim.step();  // fresh counters each step, not accumulated forever
+  EXPECT_EQ(sim.continuity_stats().solves, 3);
+}
+
+TEST(Cfd, AmgCacheRebuildsOncePerStepUnderTheLagPolicy) {
+  // With the default drift policy (lag 4) and 4 Picard iterations, each
+  // step pays exactly one structural AMG setup; the other three pressure
+  // solves are value-only refreshes of the cached hierarchy.
+  auto sys = box_only_system(GlobalIndex{6});
+  par::Runtime rt(2);
+  SimConfig cfg;
+  cfg.picard_iters = 4;
+  ASSERT_TRUE(cfg.use_amg_cache);
+  ASSERT_EQ(cfg.amg_rebuild_lag, 4);
+  Simulation sim(sys, cfg, rt);
+  for (int s = 0; s < 2; ++s) {
+    sim.step();
+    EXPECT_EQ(sim.continuity_stats().amg_rebuilds, 1) << "step " << s;
+    EXPECT_EQ(sim.continuity_stats().amg_refreshes, 3) << "step " << s;
+  }
+}
+
+TEST(Cfd, AmgCacheDisabledRebuildsEverySolve) {
+  auto sys = box_only_system(GlobalIndex{6});
+  par::Runtime rt(2);
+  SimConfig cfg;
+  cfg.picard_iters = 3;
+  cfg.use_amg_cache = false;
+  Simulation sim(sys, cfg, rt);
+  sim.step();
+  EXPECT_EQ(sim.continuity_stats().amg_rebuilds, 3);
+  EXPECT_EQ(sim.continuity_stats().amg_refreshes, 0);
+}
+
 TEST(Cfd, RotorRotationAdvancesWithTime) {
   auto sys = mesh::make_turbine_case(mesh::TurbineCase::kSingle, 0.3);
   const Vec3 before = sys.meshes[1].coords[100];
