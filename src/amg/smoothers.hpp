@@ -60,6 +60,16 @@ class Smoother {
   void apply_zero(const linalg::ParVector& r, linalg::ParVector& z,
                   int sweeps) const;
 
+  /// Fused multi-RHS relaxation: every lane relaxed as apply() would
+  /// relax it alone (bitwise-identical per lane), with the sparse
+  /// structure of each sweep read once for all lanes. Jacobi/L1-Jacobi
+  /// and SGS2 have native fused sweeps; the remaining types fall back to
+  /// per-lane application through scratch vectors.
+  void apply_multi(const linalg::ParMultiVector& b, linalg::ParMultiVector& x,
+                   int sweeps) const;
+  void apply_zero_multi(const linalg::ParMultiVector& r,
+                        linalg::ParMultiVector& z, int sweeps) const;
+
  private:
   void sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
                     bool l1) const;
@@ -68,11 +78,22 @@ class Smoother {
   void sweep_sgs2(const linalg::ParVector& b, linalg::ParVector& x) const;
   void sweep_chebyshev(const linalg::ParVector& b, linalg::ParVector& x) const;
 
+  void sweep_jacobi_multi(const linalg::ParMultiVector& b,
+                          linalg::ParMultiVector& x, bool l1) const;
+  void sweep_sgs2_multi(const linalg::ParMultiVector& b,
+                        linalg::ParMultiVector& x) const;
+
   /// Inner Jacobi-Richardson approximation of (L+D)^-1 rhs (Eqs. 5-7);
   /// `rhs` and the result are rank-local arrays.
   void jr_lower(RankId r, const RealVector& rhs, RealVector& g) const;
   /// Same for (D+U)^-1.
   void jr_upper(RankId r, const RealVector& rhs, RealVector& g) const;
+  /// Fused-lane variants: rhs/g are SoA blocks of `lanes` planes of
+  /// rank-local size; L/U structure is read once per sweep for all lanes.
+  void jr_lower_multi(RankId r, const RealVector& rhs, std::size_t lanes,
+                      RealVector& g) const;
+  void jr_upper_multi(RankId r, const RealVector& rhs, std::size_t lanes,
+                      RealVector& g) const;
 
   const linalg::ParCsr* a_;
   SmootherType type_;

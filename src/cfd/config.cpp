@@ -21,6 +21,7 @@ SimConfig SimConfig::baseline() {
   // GPU-available option; the tuned configuration selects the MM-ext
   // family with aggressive coarsening and truncation.
   cfg.pressure_amg.interp = amg::InterpType::kDirect;
+  cfg.use_fused_momentum = false;  // baseline solves u, v, w sequentially
   return cfg;
 }
 

@@ -59,6 +59,14 @@ struct SimConfig {
   solver::GmresOptions momentum_gmres{
       .max_iters = 60, .restart = 40, .rel_tol = 1e-5,
       .ortho = solver::OrthoMethod::kOneReduce};
+  /// Solve the three momentum components as one fused 3-lane multi-RHS
+  /// GMRES: the u/v/w systems share the matrix, so the fused path reads
+  /// its index structure once per SpMV/smoother sweep for all lanes and
+  /// batches the orthogonalization payloads into one allreduce. Each
+  /// component's iterates stay bitwise-identical to the sequential
+  /// three-solve path, with per-component convergence tracked
+  /// independently (solver/gmres.hpp).
+  bool use_fused_momentum = true;
 
   /// The paper's *baseline* GPU configuration (Fig. 3): the earlier
   /// implementation before the second-order optimizations — general

@@ -57,6 +57,7 @@ void Simulation::assemble_system(EquationCache& cache,
     cache.matrix = assembly::assemble_matrix(*rt_, rows, rows, span,
                                              cfg_.assembly_algo);
     cache.rhs = assembly::assemble_vector(*rt_, rows, span, cfg_.assembly_algo);
+    cache.structure_epoch += 1;  // fresh matrix: derived state is stale
     return;
   }
   if (!cache.valid || cache.generation != g.generation()) {
@@ -66,6 +67,7 @@ void Simulation::assemble_system(EquationCache& cache,
     cache.rhs = cache.plan.create_vector(*rt_);
     cache.generation = g.generation();
     cache.valid = true;
+    cache.structure_epoch += 1;
   }
   // Warm: value-only exchange + segmented sums, bitwise-identical to
   // cold kSortReduce assembly.
@@ -83,6 +85,24 @@ void Simulation::assemble_rhs(EquationCache& cache,
     return;
   }
   cache.rhs = assembly::assemble_vector(*rt_, rows, span, cfg_.assembly_algo);
+}
+
+solver::SmootherPrecond& Simulation::momentum_smoother(MeshBlock& blk,
+                                                       EquationStats& stats) {
+  MeshBlock::SmootherSlot& slot = blk.mom_smoother;
+  if (!slot.precond || slot.epoch != blk.mom_cache.structure_epoch) {
+    slot.precond = std::make_unique<solver::SmootherPrecond>(
+        blk.mom_cache.matrix, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
+        cfg_.sgs_inner_sweeps);
+    slot.epoch = blk.mom_cache.structure_epoch;
+    stats.smoother_rebuilds += 1;
+  } else {
+    // Same sparsity, refreshed values: one value-only streaming pass over
+    // the cached L/D/U split instead of reconstruction.
+    slot.precond->refresh_values();
+    stats.smoother_rebinds += 1;
+  }
+  return *slot.precond;
 }
 
 Simulation::Simulation(mesh::OversetSystem& system, const SimConfig& cfg,
@@ -272,7 +292,7 @@ void Simulation::solve_momentum(MeshBlock& blk) {
   }
 
   // Local assembly: matrix once + RHS for the u component.
-  auto fill_node_rhs = [&](int component) {
+  auto fill_node_rhs = [&](std::size_t component) {
     for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
       const auto i = static_cast<std::size_t>(node);
       if (blk.mom_dirichlet[i]) {
@@ -335,19 +355,58 @@ void Simulation::solve_momentum(MeshBlock& blk) {
   linalg::ParCsr& a = blk.mom_cache.matrix;
   linalg::ParVector& rhs = blk.mom_cache.rhs;
 
-  std::unique_ptr<solver::SmootherPrecond> precond;
+  solver::SmootherPrecond* precond = nullptr;
   {
     perf::PhaseScope ph(tracer, "setup");
-    precond = std::make_unique<solver::SmootherPrecond>(
-        a, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
-        cfg_.sgs_inner_sweeps);
+    precond = &momentum_smoother(blk, mom_stats_);
+  }
+
+  // RHS-only pass per remaining component: the matrix (and its
+  // value-fill plan) is reused across the three velocity components.
+  auto assemble_component_rhs = [&](std::size_t component) {
+    {
+      perf::PhaseScope ph(tracer, "local");
+      blk.mom_graph->zero_rhs();
+      fill_node_rhs(component);
+    }
+    perf::PhaseScope ph(tracer, "global");
+    assemble_rhs(blk.mom_cache, *blk.mom_graph);
+  };
+
+  if (cfg_.use_fused_momentum) {
+    // Fused path: one 3-lane multi-RHS GMRES reads the matrix's index
+    // structure once per fused SpMV / smoother sweep for all components
+    // and batches the reduction payloads into one allreduce each —
+    // bitwise-identical per component to the sequential branch below.
+    linalg::ParMultiVector b(*rt_, rows, 3);
+    linalg::ParMultiVector x(*rt_, rows, 3);
+    assembly::field_to_lane(blk.layout, blk.u, x, 0);
+    assembly::field_to_lane(blk.layout, blk.v, x, 1);
+    assembly::field_to_lane(blk.layout, blk.w, x, 2);
+    b.set_lane(0, rhs);
+    for (std::size_t component = 1; component < 3; ++component) {
+      assemble_component_rhs(component);
+      b.set_lane(component, rhs);
+    }
+    solver::MultiSolveStats st;
+    {
+      perf::PhaseScope ph(tracer, "solve");
+      st = solver::gmres_solve_multi(a, b, x, *precond, cfg_.momentum_gmres);
+    }
+    for (const auto& lane : st.lane) {
+      mom_stats_.gmres_iterations += lane.iterations;
+      mom_stats_.solves += 1;
+      mom_stats_.final_residual = lane.final_residual;
+    }
+    assembly::lane_to_field(blk.layout, x, 0, blk.u);
+    assembly::lane_to_field(blk.layout, x, 1, blk.v);
+    assembly::lane_to_field(blk.layout, x, 2, blk.w);
+    return;
   }
 
   linalg::ParVector x(*rt_, rows);
   auto solve_component = [&](RealVector& field) {
-    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-      x.at(blk.layout.row_of(node)) = field[static_cast<std::size_t>(node)];
-    }
+    assembly::field_to_rows(blk.layout, field, x);
     solver::SolveStats st;
     {
       perf::PhaseScope ph(tracer, "solve");
@@ -356,24 +415,12 @@ void Simulation::solve_momentum(MeshBlock& blk) {
     mom_stats_.gmres_iterations += st.iterations;
     mom_stats_.solves += 1;
     mom_stats_.final_residual = st.final_residual;
-    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-      field[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
-    }
+    assembly::rows_to_field(blk.layout, x, field);
   };
 
   solve_component(blk.u);
-  for (int component = 1; component < 3; ++component) {
-    {
-      perf::PhaseScope ph(tracer, "local");
-      blk.mom_graph->zero_rhs();
-      fill_node_rhs(component);
-    }
-    {
-      // RHS-only pass: the matrix (and its value-fill plan) is reused
-      // across the three velocity components.
-      perf::PhaseScope ph(tracer, "global");
-      assemble_rhs(blk.mom_cache, *blk.mom_graph);
-    }
+  for (std::size_t component = 1; component < 3; ++component) {
+    assemble_component_rhs(component);
     solve_component(component == 1 ? blk.v : blk.w);
   }
 }
@@ -445,10 +492,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
   {
     perf::PhaseScope ph(tracer, "global");
     // Total-pressure form: rhs += A p_old.
-    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-      p_old_vec.at(blk.layout.row_of(node)) =
-          blk.p[static_cast<std::size_t>(node)];
-    }
+    assembly::field_to_rows(blk.layout, blk.p, p_old_vec);
     a.matvec(p_old_vec, rhs, 1.0, 1.0);
   }
 
@@ -492,9 +536,9 @@ void Simulation::solve_continuity(MeshBlock& blk) {
   {
     perf::PhaseScope ph(tracer, "physics");
     RealVector dp(n, 0.0);
-    for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-      const auto i = static_cast<std::size_t>(node);
-      dp[i] = x.at(blk.layout.row_of(node)) - blk.p[i];
+    assembly::rows_to_field(blk.layout, x, dp);
+    for (std::size_t i = 0; i < n; ++i) {
+      dp[i] -= blk.p[i];
       blk.p[i] += dp[i];
     }
     std::vector<Vec3> grad(n, Vec3{});
@@ -579,17 +623,15 @@ void Simulation::solve_scalar(MeshBlock& blk) {
   }
   linalg::ParCsr& a = blk.mom_cache.matrix;
   linalg::ParVector& rhs = blk.mom_cache.rhs;
-  std::unique_ptr<solver::SmootherPrecond> precond;
+  solver::SmootherPrecond* precond = nullptr;
   {
     perf::PhaseScope ph(tracer, "setup");
-    precond = std::make_unique<solver::SmootherPrecond>(
-        a, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
-        cfg_.sgs_inner_sweeps);
+    // Same matrix slot as momentum (shared graph): this is always a
+    // value rebind unless the scalar assembly went cold.
+    precond = &momentum_smoother(blk, scl_stats_);
   }
   linalg::ParVector x(*rt_, rows);
-  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-    x.at(blk.layout.row_of(node)) = blk.scl[static_cast<std::size_t>(node)];
-  }
+  assembly::field_to_rows(blk.layout, blk.scl, x);
   solver::SolveStats st;
   {
     perf::PhaseScope ph(tracer, "solve");
@@ -598,9 +640,7 @@ void Simulation::solve_scalar(MeshBlock& blk) {
   scl_stats_.gmres_iterations += st.iterations;
   scl_stats_.solves += 1;
   scl_stats_.final_residual = st.final_residual;
-  for (GlobalIndex node{0}; node < db.num_nodes(); ++node) {
-    blk.scl[static_cast<std::size_t>(node)] = x.at(blk.layout.row_of(node));
-  }
+  assembly::rows_to_field(blk.layout, x, blk.scl);
 }
 
 void Simulation::step() {

@@ -30,11 +30,13 @@
 #include "assembly/graph.hpp"
 #include "assembly/plan.hpp"
 #include "cfd/config.hpp"
+#include "linalg/multivector.hpp"
 #include "linalg/parcsr.hpp"
 #include "linalg/parvector.hpp"
 #include "mesh/generators.hpp"
 #include "mesh/motion.hpp"
 #include "par/runtime.hpp"
+#include "solver/precond.hpp"
 
 namespace exw::cfd {
 
@@ -51,6 +53,8 @@ struct EquationStats {
   double amg_operator_complexity = 0;
   int amg_rebuilds = 0;   ///< structural AMG setups this step
   int amg_refreshes = 0;  ///< value-only hierarchy refreshes this step
+  int smoother_rebuilds = 0;  ///< SGS2 L/D/U splits built this step
+  int smoother_rebinds = 0;   ///< value-only smoother rebinds this step
 };
 
 class Simulation {
@@ -95,6 +99,12 @@ class Simulation {
     linalg::ParVector rhs;
     std::uint64_t generation = 0;
     bool valid = false;
+    /// Bumped whenever `matrix` is replaced (cold assembly / plan
+    /// rebuild), i.e. whenever its sparsity or storage may have changed.
+    /// Consumers holding matrix-derived state (the SGS2 smoother's L/D/U
+    /// split) key on it: same epoch means the values changed in place
+    /// and a cheap rebind suffices; a new epoch forces reconstruction.
+    std::uint64_t structure_epoch = 0;
   };
 
   struct MeshBlock {
@@ -106,6 +116,15 @@ class Simulation {
     std::unique_ptr<assembly::EquationGraph> prs_graph;
     EquationCache mom_cache;  // shared by momentum and scalar (same graph)
     EquationCache prs_cache;
+    /// SGS2 preconditioner kept across momentum/scalar solves on
+    /// mom_cache.matrix: while the cached matrix keeps its structure
+    /// (epoch unchanged), later solves rebind the L/D/U split to the
+    /// refreshed values instead of rebuilding it.
+    struct SmootherSlot {
+      std::unique_ptr<solver::SmootherPrecond> precond;
+      std::uint64_t epoch = 0;
+    };
+    SmootherSlot mom_smoother;
     /// Pressure AMG hierarchy kept across Picard solves; the drift policy
     /// in solve_continuity decides rebuild vs value-only refresh.
     amg::HierarchyCache prs_precond;
@@ -125,6 +144,12 @@ class Simulation {
   void assemble_system(EquationCache& cache, assembly::EquationGraph& g);
   /// RHS-only reassembly (momentum v/w components: matrix unchanged).
   void assemble_rhs(EquationCache& cache, assembly::EquationGraph& g);
+  /// The block's SGS2 preconditioner for mom_cache.matrix, rebound to
+  /// the current values (or rebuilt after a structural change); counts
+  /// the outcome in `stats`. Call inside a "setup" phase, after
+  /// assemble_system.
+  solver::SmootherPrecond& momentum_smoother(MeshBlock& blk,
+                                             EquationStats& stats);
   void exchange_fringe_values();
   Vec3 mesh_velocity(const MeshBlock& blk, const Vec3& x) const;
   Vec3 boundary_velocity(const MeshBlock& blk, GlobalIndex node) const;

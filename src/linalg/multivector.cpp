@@ -1,0 +1,237 @@
+#include "linalg/multivector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/parvector.hpp"
+
+namespace exw::linalg {
+
+namespace {
+constexpr double kRead = sizeof(Real);
+
+std::size_t active_lanes(std::size_t ncomp,
+                         std::span<const std::uint8_t> mask) {
+  if (mask.empty()) {
+    return ncomp;
+  }
+  std::size_t n = 0;
+  for (std::uint8_t m : mask) {
+    if (m != 0) ++n;
+  }
+  return n;
+}
+}  // namespace
+
+ParMultiVector::ParMultiVector(par::Runtime& rt, par::RowPartition rows,
+                               std::size_t ncomp)
+    : rt_(&rt), rows_(std::move(rows)), ncomp_(ncomp) {
+  EXW_REQUIRE(ncomp >= 1, "multivector needs at least one lane");
+  EXW_REQUIRE(rows_.nranks() == rt.nranks(),
+              "multivector partition does not match runtime rank count");
+  local_.resize(static_cast<std::size_t>(rows_.nranks()));
+  for (RankId r{0}; r.value() < rows_.nranks(); ++r) {
+    local_[static_cast<std::size_t>(r)].assign(ncomp_ * local_n(r), 0.0);
+  }
+}
+
+std::span<Real> ParMultiVector::lane_span(RankId r, std::size_t lane) {
+  EXW_CONTRACT_CHECK_WRITE(r, "ParMultiVector::lane_span(r)");
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  const std::size_t n = local_n(r);
+  return std::span<Real>(local_[static_cast<std::size_t>(r)])
+      .subspan(lane * n, n);
+}
+
+std::span<const Real> ParMultiVector::lane_span(RankId r,
+                                                std::size_t lane) const {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  const std::size_t n = local_n(r);
+  return std::span<const Real>(local_[static_cast<std::size_t>(r)])
+      .subspan(lane * n, n);
+}
+
+Real& ParMultiVector::at(std::size_t lane, GlobalIndex g) {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  const RankId r = rows_.rank_of(g);
+  return local_[static_cast<std::size_t>(r)]
+               [lane * local_n(r) +
+                static_cast<std::size_t>(rows_.to_local(r, g))];
+}
+
+Real ParMultiVector::at(std::size_t lane, GlobalIndex g) const {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  const RankId r = rows_.rank_of(g);
+  return local_[static_cast<std::size_t>(r)]
+               [lane * local_n(r) +
+                static_cast<std::size_t>(rows_.to_local(r, g))];
+}
+
+void ParMultiVector::fill(Real value) {
+  rt_->parallel_for_ranks([&](RankId r) {
+    auto& x = local_[static_cast<std::size_t>(r)];
+    std::fill(x.begin(), x.end(), value);
+    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(x.size()));
+  });
+}
+
+void ParMultiVector::copy_from(const ParMultiVector& other) {
+  EXW_REQUIRE(other.ncomp_ == ncomp_, "multivector lane count mismatch");
+  EXW_REQUIRE(other.global_size() == global_size(),
+              "multivector size mismatch");
+  rt_->parallel_for_ranks([&](RankId r) {
+    local_[static_cast<std::size_t>(r)] =
+        other.local_[static_cast<std::size_t>(r)];
+    rt_->tracer().kernel(
+        r, 0.0,
+        2.0 * kRead *
+            static_cast<double>(local_[static_cast<std::size_t>(r)].size()));
+  });
+}
+
+void ParMultiVector::scale_lanes(std::span<const Real> alpha,
+                                 std::span<const std::uint8_t> mask) {
+  EXW_REQUIRE(alpha.size() == ncomp_, "one scale factor per lane required");
+  EXW_REQUIRE(mask.empty() || mask.size() == ncomp_,
+              "lane mask size mismatch");
+  const auto na = static_cast<double>(active_lanes(ncomp_, mask));
+  rt_->parallel_for_ranks([&](RankId r) {
+    const std::size_t n = local_n(r);
+    auto& x = local_[static_cast<std::size_t>(r)];
+    for (std::size_t c = 0; c < ncomp_; ++c) {
+      if (!mask.empty() && mask[c] == 0) continue;
+      const Real a = alpha[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        x[c * n + i] *= a;
+      }
+    }
+    rt_->tracer().kernel(r, na * static_cast<double>(n),
+                         2.0 * kRead * na * static_cast<double>(n));
+  });
+}
+
+void ParMultiVector::axpy_lanes(std::span<const Real> alpha,
+                                const ParMultiVector& x,
+                                std::span<const std::uint8_t> mask) {
+  EXW_REQUIRE(alpha.size() == ncomp_, "one axpy factor per lane required");
+  EXW_REQUIRE(mask.empty() || mask.size() == ncomp_,
+              "lane mask size mismatch");
+  EXW_REQUIRE(x.ncomp_ == ncomp_, "multivector lane count mismatch");
+  EXW_REQUIRE(x.global_size() == global_size(), "multivector size mismatch");
+  const auto na = static_cast<double>(active_lanes(ncomp_, mask));
+  rt_->parallel_for_ranks([&](RankId r) {
+    const std::size_t n = local_n(r);
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    for (std::size_t c = 0; c < ncomp_; ++c) {
+      if (!mask.empty() && mask[c] == 0) continue;
+      const Real a = alpha[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        y[c * n + i] += a * xs[c * n + i];
+      }
+    }
+    rt_->tracer().kernel(r, 2.0 * na * static_cast<double>(n),
+                         3.0 * kRead * na * static_cast<double>(n));
+  });
+}
+
+std::vector<double> ParMultiVector::dots(const ParMultiVector& other) const {
+  EXW_REQUIRE(other.ncomp_ == ncomp_, "multivector lane count mismatch");
+  EXW_REQUIRE(other.global_size() == global_size(),
+              "multivector size mismatch");
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(nranks()), std::vector<double>(ncomp_, 0.0));
+  rt_->parallel_for_ranks([&](RankId r) {
+    const std::size_t n = local_n(r);
+    const auto& x = local_[static_cast<std::size_t>(r)];
+    const auto& y = other.local_[static_cast<std::size_t>(r)];
+    auto& p = partial[static_cast<std::size_t>(r)];
+    for (std::size_t c = 0; c < ncomp_; ++c) {
+      double s = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        s += x[c * n + i] * y[c * n + i];
+      }
+      p[c] = s;
+    }
+    rt_->tracer().kernel(
+        r, 2.0 * static_cast<double>(ncomp_) * static_cast<double>(n),
+        2.0 * kRead * static_cast<double>(ncomp_) * static_cast<double>(n));
+  });
+  return rt_->allreduce_sum_vec(partial);
+}
+
+std::vector<double> ParMultiVector::norms() const {
+  auto out = dots(*this);
+  for (double& v : out) {
+    v = std::sqrt(v);
+  }
+  return out;
+}
+
+void ParMultiVector::lane_fill(std::size_t lane, Real value) {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  rt_->parallel_for_ranks([&](RankId r) {
+    auto s = lane_span(r, lane);
+    std::fill(s.begin(), s.end(), value);
+    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(s.size()));
+  });
+}
+
+void ParMultiVector::lane_axpy(std::size_t lane, Real alpha,
+                               const ParMultiVector& x) {
+  EXW_REQUIRE(lane < ncomp_ && lane < x.ncomp_,
+              "multivector lane out of range");
+  EXW_REQUIRE(x.global_size() == global_size(), "multivector size mismatch");
+  rt_->parallel_for_ranks([&](RankId r) {
+    auto y = lane_span(r, lane);
+    const auto xs = x.lane_span(r, lane);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += alpha * xs[i];
+    }
+    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
+                         3.0 * kRead * static_cast<double>(y.size()));
+  });
+}
+
+double ParMultiVector::lane_norm2(std::size_t lane) const {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  std::vector<double> partial(static_cast<std::size_t>(nranks()), 0.0);
+  rt_->parallel_for_ranks([&](RankId r) {
+    const auto x = lane_span(r, lane);
+    double s = 0;
+    for (double v : x) {
+      s += v * v;
+    }
+    partial[static_cast<std::size_t>(r)] = s;
+    rt_->tracer().kernel(r, 2.0 * static_cast<double>(x.size()),
+                         2.0 * kRead * static_cast<double>(x.size()));
+  });
+  return std::sqrt(rt_->allreduce_sum(partial));
+}
+
+void ParMultiVector::set_lane(std::size_t lane, const ParVector& src) {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  EXW_REQUIRE(src.global_size() == global_size(),
+              "multivector/vector size mismatch");
+  rt_->parallel_for_ranks([&](RankId r) {
+    auto dst = lane_span(r, lane);
+    const auto& s = src.local(r);
+    std::copy(s.begin(), s.end(), dst.begin());
+    rt_->tracer().kernel(r, 0.0, 2.0 * kRead * static_cast<double>(s.size()));
+  });
+}
+
+void ParMultiVector::extract_lane(std::size_t lane, ParVector& dst) const {
+  EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  EXW_REQUIRE(dst.global_size() == global_size(),
+              "multivector/vector size mismatch");
+  rt_->parallel_for_ranks([&](RankId r) {
+    const auto s = lane_span(r, lane);
+    auto& d = dst.local(r);
+    std::copy(s.begin(), s.end(), d.begin());
+    rt_->tracer().kernel(r, 0.0, 2.0 * kRead * static_cast<double>(s.size()));
+  });
+}
+
+}  // namespace exw::linalg

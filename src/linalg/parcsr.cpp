@@ -213,10 +213,13 @@ void ParCsr::matvec(const ParVector& x, ParVector& y, Real alpha,
     if (b.offd.nnz() > 0) {
       b.offd.spmv(ext[static_cast<std::size_t>(r)], yl, alpha, 1.0);
     }
+    // Same total traffic as before the index/value split: matrix values
+    // + gathered x are value bytes, the column indices are index bytes.
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
-    rt_->tracer().kernel(r, 2.0 * nnz,
-                         nnz * (sizeof(Real) + sizeof(LocalIndex)) +
-                             sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
+    rt_->tracer().kernel_split(
+        r, 2.0 * nnz,
+        nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(yl.size()),
+        nnz * sizeof(LocalIndex));
   });
 }
 
@@ -224,6 +227,90 @@ void ParCsr::residual(const ParVector& b, const ParVector& x,
                       ParVector& r) const {
   r.copy_from(b);
   matvec(x, r, -1.0, 1.0);
+}
+
+std::vector<RealVector> ParCsr::halo_exchange_multi(
+    const ParMultiVector& x) const {
+  auto& transport = rt_->transport();
+  const int nranks = rows_.nranks();
+  const std::size_t lanes = x.ncomp();
+  // Pack every lane's requested values into one buffer per neighbor,
+  // lane-major, so the per-message latency is paid once for all lanes.
+  rt_->parallel_for_ranks([&](RankId r) {
+    for (const auto& send : comm_.sends[static_cast<std::size_t>(r)]) {
+      RealVector buf(lanes * send.idx.size());
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const auto xl = x.lane_span(r, l);
+        for (std::size_t i = 0; i < send.idx.size(); ++i) {
+          buf[l * send.idx.size() + i] =
+              xl[static_cast<std::size_t>(send.idx[i])];
+        }
+      }
+      rt_->tracer().kernel(r, 0.0,
+                           2.0 * sizeof(Real) * static_cast<double>(buf.size()));
+      transport.send(r, send.dst, kTagHalo, std::move(buf));
+    }
+  });
+  // Receive in col_map order; lane c's halo values land in the plane
+  // [c*m, (c+1)*m) of the rank's ext buffer (m = col_map size), matching
+  // the stride spmv_multi reads the offd product with.
+  std::vector<RealVector> ext(static_cast<std::size_t>(nranks));
+  rt_->parallel_for_ranks([&](RankId r) {
+    const std::size_t m = blocks_[static_cast<std::size_t>(r)].col_map.size();
+    auto& e = ext[static_cast<std::size_t>(r)];
+    e.assign(lanes * m, 0.0);
+    std::size_t offset = 0;
+    for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
+      auto buf = transport.recv<Real>(r, recv.src, kTagHalo);
+      const auto count = static_cast<std::size_t>(recv.count);
+      EXW_ASSERT(buf.size() == lanes * count);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(l * count),
+                  buf.begin() + static_cast<std::ptrdiff_t>((l + 1) * count),
+                  e.begin() + static_cast<std::ptrdiff_t>(l * m + offset));
+      }
+      offset += count;
+    }
+  });
+  return ext;
+}
+
+void ParCsr::matvec_multi(const ParMultiVector& x, ParMultiVector& y,
+                          Real alpha, Real beta) const {
+  EXW_REQUIRE(x.global_size() == global_cols(), "matvec x size mismatch");
+  EXW_REQUIRE(y.global_size() == global_rows(), "matvec y size mismatch");
+  EXW_REQUIRE(x.ncomp() == y.ncomp(), "matvec lane count mismatch");
+  const std::size_t lanes = x.ncomp();
+  const auto ext = halo_exchange_multi(x);
+  rt_->parallel_for_ranks([&](RankId r) {
+    const auto& b = blocks_[static_cast<std::size_t>(r)];
+    const std::size_t xs =
+        static_cast<std::size_t>(cols_.local_size(r).value());
+    const std::size_t ys =
+        static_cast<std::size_t>(rows_.local_size(r).value());
+    auto& yl = y.local(r);
+    b.diag.spmv_multi(x.local(r), xs, yl, ys, lanes, alpha, beta);
+    if (b.offd.nnz() > 0) {
+      const std::size_t m = b.col_map.size();
+      b.offd.spmv_multi(ext[static_cast<std::size_t>(r)], m, yl, ys, lanes,
+                        alpha, 1.0);
+    }
+    // The fused pass streams matrix values, x gathers, and y updates
+    // once per lane — but the column indices only once for all lanes:
+    // that one-index-read-per-ncomp-value-lanes is the whole point.
+    const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
+    const auto nl = static_cast<double>(lanes);
+    rt_->tracer().kernel_split(
+        r, 2.0 * nnz * nl,
+        nl * (nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(ys)),
+        nnz * sizeof(LocalIndex));
+  });
+}
+
+void ParCsr::residual_multi(const ParMultiVector& b, const ParMultiVector& x,
+                            ParMultiVector& r) const {
+  r.copy_from(b);
+  matvec_multi(x, r, -1.0, 1.0);
 }
 
 void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
@@ -247,9 +334,10 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
       b.offd.spmv_transpose(x.local(r), buf, alpha, 0.0);
     }
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
-    rt_->tracer().kernel(r, 2.0 * nnz,
-                         nnz * (sizeof(Real) + sizeof(LocalIndex)) +
-                             sizeof(Real) * 2.0 * static_cast<double>(yl.size()));
+    rt_->tracer().kernel_split(
+        r, 2.0 * nnz,
+        nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(yl.size()),
+        nnz * sizeof(LocalIndex));
   });
   // Reverse-direction exchange: each recv run in col_map order becomes a
   // send back to its source rank.

@@ -70,6 +70,16 @@ double PhaseStats::total_bytes() const {
   return n;
 }
 
+double PhaseStats::total_index_bytes() const {
+  double n = 0;
+  for (const auto& w : rank) n += w.index_bytes;
+  return n;
+}
+
+double PhaseStats::total_value_bytes() const {
+  return total_bytes() - total_index_bytes();
+}
+
 double PhaseStats::max_kernel_flops() const {
   double m = 0;
   for (const auto& w : rank) m = std::max(m, w.max_kernel_flops);
@@ -113,6 +123,11 @@ PhaseStats& Tracer::find_stats(const std::string& name) {
 }
 
 void Tracer::kernel(RankId r, double flops, double bytes) {
+  kernel_split(r, flops, bytes, 0.0);
+}
+
+void Tracer::kernel_split(RankId r, double flops, double value_bytes,
+                          double index_bytes) {
   EXW_ASSERT(r >= 0 && r < nranks_);
   EXW_CONTRACT_CHECK(par::contract::check_kernel_charge(r));
   // Rank r's flops/bytes/kernels are written only by the thread running
@@ -124,7 +139,8 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
   for (const auto& name : stack_) {
     auto& w = find_stats(name).rank[static_cast<std::size_t>(r)];
     w.flops += flops;
-    w.bytes += bytes;
+    w.bytes += value_bytes + index_bytes;
+    w.index_bytes += index_bytes;
     w.kernels += 1;
     w.max_kernel_flops = std::max(w.max_kernel_flops, flops);
   }

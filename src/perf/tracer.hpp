@@ -36,6 +36,14 @@ namespace exw::perf {
 struct RankWork {
   double flops = 0;
   double bytes = 0;
+  /// Portion of `bytes` spent on index structure (row_ptr/cols/comm
+  /// maps) rather than matrix/vector values. Always <= bytes — it is a
+  /// labeled subset, not an extra charge — so every modeled-time formula
+  /// keeps pricing `bytes` and is unaffected by the split. Fused
+  /// multi-RHS kernels read the index structure once per several value
+  /// lanes; this label is what makes that saving auditable
+  /// (bench_momentum_fused hard-fails on it).
+  double index_bytes = 0;
   long kernels = 0;
   double msg_bytes = 0;
   long msgs = 0;
@@ -68,6 +76,9 @@ struct PhaseStats {
   long total_messages() const;
   double total_flops() const;
   double total_bytes() const;
+  /// Index-structure traffic (subset of total_bytes) and its complement.
+  double total_index_bytes() const;
+  double total_value_bytes() const;
   /// Largest single kernel charged by any rank in this phase (flops).
   double max_kernel_flops() const;
 };
@@ -93,6 +104,14 @@ class Tracer {
   /// kernels are written only by that thread) and the phase stack is
   /// not mutated. Both conditions are contract-checked (par/contract.hpp).
   void kernel(RankId r, double flops, double bytes);
+
+  /// Same as kernel(), but labels how the traffic splits into value
+  /// bytes and index-structure bytes (total charged = value + index).
+  /// Kernels that stream sparse structure should prefer this so the
+  /// index-vs-value ledger stays meaningful; kernel() charges everything
+  /// as value traffic.
+  void kernel_split(RankId r, double flops, double value_bytes,
+                    double index_bytes);
 
   /// One message of `bytes` from src to dst; charged to both endpoints
   /// (once if dst == src). Safe to call from concurrent rank bodies:

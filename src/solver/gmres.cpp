@@ -41,7 +41,7 @@ std::vector<double> fused_dots(const std::vector<linalg::ParVector>& v,
 
 }  // namespace
 
-SolveStats gmres_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+SolveStats gmres_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                        linalg::ParVector& x, Preconditioner& m,
                        const GmresOptions& opts) {
   par::Runtime& rt = a.runtime();

@@ -21,8 +21,10 @@
 /// 1 (2 when reorthogonalization triggers).
 
 #include <cstdint>
+#include <vector>
 
-#include "linalg/parcsr.hpp"
+#include "linalg/multivector.hpp"
+#include "linalg/parmatrix.hpp"
 #include "linalg/parvector.hpp"
 #include "solver/precond.hpp"
 
@@ -49,8 +51,36 @@ struct SolveStats {
 };
 
 /// Solve A x = b with right preconditioning (x holds the initial guess).
-SolveStats gmres_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+/// `a` is consumed through the storage-format seam (linalg::ParMatrix),
+/// so any backend exposing matvec/residual can drive the solver.
+SolveStats gmres_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                        linalg::ParVector& x, Preconditioner& m,
                        const GmresOptions& opts);
+
+/// Per-lane outcome of a fused multi-RHS solve.
+struct MultiSolveStats {
+  std::vector<SolveStats> lane;
+  bool all_converged() const {
+    for (const auto& s : lane) {
+      if (!s.converged) return false;
+    }
+    return true;
+  }
+};
+
+/// Fused multi-RHS GMRES: solve A x_c = b_c for every lane of `x`
+/// simultaneously. Lanes share the operator (one fused SpMV /
+/// preconditioner application reads the sparse structure once for all
+/// lanes) and their reduction payloads ride one batched allreduce per
+/// orthogonalization — but each lane's convergence is tracked
+/// independently, and every lane's iterates are bitwise-identical to a
+/// scalar gmres_solve on that lane alone (the rank-ordered element-wise
+/// reductions of par::Runtime make the batched collectives exact).
+/// Lanes that converge drop out of the fused work via lane masks; lanes
+/// whose true-residual confirmation fails rejoin at the next restart.
+MultiSolveStats gmres_solve_multi(const linalg::ParMatrix& a,
+                                  const linalg::ParMultiVector& b,
+                                  linalg::ParMultiVector& x, Preconditioner& m,
+                                  const GmresOptions& opts);
 
 }  // namespace exw::solver

@@ -1,0 +1,401 @@
+/// \file gmres_multi.cpp
+/// Fused multi-RHS GMRES (the solver half of the fused momentum path).
+///
+/// All lanes march in lockstep through one shared restart cycle: every
+/// inner iteration runs ONE fused preconditioner application, ONE fused
+/// SpMV, and ONE batched orthogonalization allreduce carrying every
+/// active lane's [V^T w ; ||w||^2] payload. Per-lane Hessenberg/Givens
+/// state is host-side scalar work, exactly the scalar algorithm's.
+///
+/// Lane independence is the invariant everything rests on: every fused
+/// kernel (spmv_multi, the SGS2 multi sweeps, the masked BLAS-1 ops)
+/// computes lane c from lane c alone, and the batched reductions of
+/// par::Runtime reduce element-wise in rank order — so each lane's
+/// entire iterate sequence is bitwise-identical to a scalar gmres_solve
+/// on that lane (pinned by test_fused across 1/2/4/8 ranks). Three
+/// consequences the code leans on:
+///  * Converged lanes are masked out of fused ops (never touched again —
+///    even an alpha = 0 axpy could flip a -0.0) while full-width
+///    scratch ops may scribble on their dead planes freely.
+///  * A lane that exits the inner loop early (converged or happy
+///    breakdown) runs its epilogue immediately with single-lane ops;
+///    the shared scratch planes it used are fully overwritten before
+///    any other lane reads them (matvec beta = 0, apply_zero).
+///  * A lane whose true-residual confirmation fails waits, frozen, and
+///    rejoins at the next shared restart — the same arithmetic the
+///    scalar solver performs, just later in wall-clock.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "solver/gmres.hpp"
+
+namespace exw::solver {
+
+namespace {
+
+enum class LaneState : std::uint8_t {
+  kIterating,  ///< inside the current shared restart cycle
+  kWaiting,    ///< needs a (re)start
+  kDone,       ///< finished, converged or budget-exhausted
+};
+
+/// Batched one-reduce payload: for each lane in `lanes` (ascending), the
+/// partial dots of its w plane against v[0..count) plus ||w||^2, all in
+/// ONE allreduce. Each lane's entries are computed exactly as the scalar
+/// fused_dots computes them, so the reduced values match bitwise.
+std::vector<double> fused_dots_multi(
+    const std::vector<linalg::ParMultiVector>& v, std::size_t count,
+    const linalg::ParMultiVector& w, const std::vector<std::size_t>& lanes) {
+  par::Runtime& rt = w.runtime();
+  const int nranks = w.nranks();
+  const std::size_t seg = count + 1;
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(nranks),
+      std::vector<double>(lanes.size() * seg, 0.0));
+  rt.parallel_for_ranks([&](RankId r) {
+    auto& p = partial[static_cast<std::size_t>(r)];
+    double n = 0.0;
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      const std::size_t c = lanes[li];
+      const auto wl = w.lane_span(r, c);
+      n = static_cast<double>(wl.size());
+      for (std::size_t j = 0; j < count; ++j) {
+        const auto vl = v[j].lane_span(r, c);
+        double s = 0;
+        for (std::size_t i = 0; i < wl.size(); ++i) {
+          s += vl[i] * wl[i];
+        }
+        p[li * seg + j] = s;
+      }
+      double s = 0;
+      for (double xv : wl) s += xv * xv;
+      p[li * seg + count] = s;
+    }
+    const auto nl = static_cast<double>(lanes.size());
+    rt.tracer().kernel(r, nl * 2.0 * static_cast<double>(count + 1) * n,
+                       nl * static_cast<double>(count + 2) * n * sizeof(Real));
+  });
+  return rt.allreduce_sum_vec(partial);
+}
+
+}  // namespace
+
+MultiSolveStats gmres_solve_multi(const linalg::ParMatrix& a,
+                                  const linalg::ParMultiVector& b,
+                                  linalg::ParMultiVector& x, Preconditioner& m,
+                                  const GmresOptions& opts) {
+  par::Runtime& rt = a.runtime();
+  const std::size_t nc = x.ncomp();
+  EXW_REQUIRE(b.ncomp() == nc, "gmres_solve_multi lane count mismatch");
+  EXW_REQUIRE(b.global_size() == a.global_rows() &&
+                  x.global_size() == a.global_cols(),
+              "gmres_solve_multi shape mismatch");
+  const auto restart = static_cast<std::size_t>(opts.restart);
+
+  MultiSolveStats out;
+  out.lane.assign(nc, SolveStats{});
+
+  linalg::ParMultiVector r(rt, a.rows(), nc);
+  linalg::ParMultiVector w(rt, a.rows(), nc);
+  linalg::ParMultiVector z(rt, a.rows(), nc);
+  // Scalar scratch for the per-lane epilogues.
+  linalg::ParVector ws(rt, a.rows());
+  linalg::ParVector zs(rt, a.rows());
+  linalg::ParVector xs(rt, a.rows());
+  linalg::ParVector bs(rt, a.rows());
+  linalg::ParVector rs(rt, a.rows());
+
+  // Per-lane convergence targets (hypre convention: relative to ||b||),
+  // batched into one reduction each for ||b|| and the initial residual.
+  const auto bnorms = b.norms();
+  a.residual_multi(b, x, r);
+  auto betas = r.norms();
+
+  std::vector<LaneState> state(nc, LaneState::kWaiting);
+  std::vector<Real> target(nc, 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    auto& s = out.lane[c];
+    const Real beta = betas[c];
+    s.initial_residual = beta;
+    s.final_residual = beta;
+    target[c] = std::max(opts.rel_tol * (bnorms[c] > 0.0 ? bnorms[c] : beta),
+                         opts.abs_tol);
+    if (beta <= target[c] || beta == 0.0) {
+      s.converged = true;
+      state[c] = LaneState::kDone;
+    }
+  }
+
+  std::vector<linalg::ParMultiVector> v;  // shared Krylov basis planes
+  // Per-lane Hessenberg (column-major by iteration), Givens, rhs.
+  std::vector<std::vector<std::vector<Real>>> h(nc);
+  std::vector<std::vector<Real>> cs(nc);
+  std::vector<std::vector<Real>> sn(nc);
+  std::vector<std::vector<Real>> g(nc);
+  std::vector<Real> hlast(nc, 0.0);
+
+  // Scratch masks / per-lane coefficient vectors for the fused ops.
+  std::vector<std::uint8_t> mask(nc, 0);
+  std::vector<Real> coef(nc, 0.0);
+
+  auto any_state = [&](LaneState q) {
+    return std::any_of(state.begin(), state.end(),
+                       [q](LaneState sc) { return sc == q; });
+  };
+
+  // Exactly the scalar post-loop tail: back-substitute the lane's y,
+  // x += M^-1 (V y), and — when the Givens estimate says converged —
+  // confirm against a true residual before declaring victory. A lane
+  // that fails the confirmation goes back to kWaiting and rejoins at
+  // the next shared restart.
+  auto epilogue = [&](std::size_t c, std::size_t jcols) {
+    auto& s = out.lane[c];
+    std::vector<Real> y(jcols, 0.0);
+    for (std::size_t i = jcols; i-- > 0;) {
+      Real acc = g[c][i];
+      for (std::size_t k = i + 1; k < jcols; ++k) {
+        acc -= h[c][k][i] * y[k];
+      }
+      y[i] = acc / h[c][i][i];
+    }
+    w.lane_fill(c, 0.0);
+    for (std::size_t i = 0; i < jcols; ++i) {
+      w.lane_axpy(c, y[i], v[i]);
+    }
+    w.extract_lane(c, ws);
+    m.apply(ws, zs);
+    x.extract_lane(c, xs);
+    xs.axpy(1.0, zs);
+    x.set_lane(c, xs);
+    if (s.final_residual <= target[c]) {
+      b.extract_lane(c, bs);
+      a.residual(bs, xs, rs);
+      s.final_residual = rs.norm2();
+      if (s.final_residual <= 1.5 * std::max(target[c], Real{1e-300})) {
+        s.converged = true;
+        state[c] = LaneState::kDone;
+        return;
+      }
+    }
+    state[c] = LaneState::kWaiting;
+  };
+
+  while (any_state(LaneState::kWaiting)) {
+    // Budget-exhausted lanes are finished (their x already holds the
+    // last epilogue's update, like the scalar max_iters return).
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (state[c] == LaneState::kWaiting &&
+          out.lane[c].iterations >= opts.max_iters) {
+        state[c] = LaneState::kDone;
+      }
+    }
+    if (!any_state(LaneState::kWaiting)) break;
+
+    // --- shared (re)start for every waiting lane ------------------------
+    a.residual_multi(b, x, r);
+    betas = r.norms();
+    std::fill(mask.begin(), mask.end(), 0);
+    std::fill(coef.begin(), coef.end(), 0.0);
+    bool any_active = false;
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (state[c] != LaneState::kWaiting) continue;
+      auto& s = out.lane[c];
+      const Real beta = betas[c];
+      s.final_residual = beta;
+      if (beta <= target[c]) {
+        s.converged = true;
+        state[c] = LaneState::kDone;
+        continue;
+      }
+      state[c] = LaneState::kIterating;
+      any_active = true;
+      mask[c] = 1;
+      coef[c] = 1.0 / beta;
+      h[c].assign(restart, std::vector<Real>(restart + 1, 0.0));
+      cs[c].assign(restart + 1, 0.0);
+      sn[c].assign(restart + 1, 0.0);
+      g[c].assign(restart + 1, 0.0);
+      g[c][0] = beta;
+    }
+    if (!any_active) continue;
+    if (v.empty()) {
+      v.emplace_back(rt, a.rows(), nc);
+    }
+    v[0].copy_from(r);
+    v[0].scale_lanes(coef, mask);
+
+    std::size_t j = 0;
+    while (j < restart && any_state(LaneState::kIterating)) {
+      // Scalar loop condition: a lane out of budget exits here, runs its
+      // epilogue with the columns it has, and is finalized at the top of
+      // the outer loop.
+      for (std::size_t c = 0; c < nc; ++c) {
+        if (state[c] == LaneState::kIterating &&
+            out.lane[c].iterations >= opts.max_iters) {
+          epilogue(c, j);
+        }
+      }
+      std::vector<std::size_t> act;
+      for (std::size_t c = 0; c < nc; ++c) {
+        if (state[c] == LaneState::kIterating) act.push_back(c);
+      }
+      if (act.empty()) break;
+      std::fill(mask.begin(), mask.end(), 0);
+      for (std::size_t c : act) {
+        mask[c] = 1;
+        out.lane[c].iterations += 1;
+      }
+
+      // w = A M^-1 v_j, fused across all lanes (dead planes are scribble
+      // space: matvec's beta = 0 and apply_zero overwrite them fully).
+      m.apply_multi(v[j], z);
+      a.matvec_multi(z, w);
+
+      if (opts.ortho == OrthoMethod::kMgs) {
+        // One batched reduction per projection + one for the norm.
+        for (std::size_t i = 0; i <= j; ++i) {
+          const auto dots = w.dots(v[i]);
+          for (std::size_t c : act) {
+            h[c][j][i] = dots[c];
+            coef[c] = -dots[c];
+          }
+          w.axpy_lanes(coef, v[i], mask);
+        }
+        const auto norms = w.norms();
+        for (std::size_t c : act) {
+          hlast[c] = norms[c];
+          h[c][j][j + 1] = norms[c];
+        }
+      } else {
+        // One fused reduction for every active lane: [V^T w ; ||w||^2].
+        const std::size_t seg = j + 2;
+        const auto dots = fused_dots_multi(v, j + 1, w, act);
+        std::vector<double> w_norm2(nc, 0.0);
+        std::vector<double> h_norm2(nc, 0.0);
+        for (std::size_t li = 0; li < act.size(); ++li) {
+          const std::size_t c = act[li];
+          auto& hj = h[c][j];
+          for (std::size_t i = 0; i <= j; ++i) {
+            hj[i] = dots[li * seg + i];
+            h_norm2[c] += hj[i] * hj[i];
+          }
+          w_norm2[c] = dots[li * seg + j + 1];
+        }
+        for (std::size_t i = 0; i <= j; ++i) {
+          for (std::size_t c : act) {
+            coef[c] = -h[c][j][i];
+          }
+          w.axpy_lanes(coef, v[i], mask);
+        }
+        // Rutishauser "twice is enough", per lane; lanes that trigger
+        // share one second fused reduction.
+        std::vector<std::size_t> reo;
+        std::vector<double> corrected(nc, 0.0);
+        for (std::size_t c : act) {
+          corrected[c] = w_norm2[c] - h_norm2[c];
+          if (!(corrected[c] > 0.5 * w_norm2[c])) reo.push_back(c);
+        }
+        for (std::size_t c : act) {
+          if (corrected[c] > 0.5 * w_norm2[c]) {
+            hlast[c] = std::sqrt(corrected[c]);
+            h[c][j][j + 1] = hlast[c];
+          }
+        }
+        if (!reo.empty()) {
+          const auto dots2 = fused_dots_multi(v, j + 1, w, reo);
+          std::vector<std::uint8_t> rmask(nc, 0);
+          for (std::size_t c : reo) rmask[c] = 1;
+          std::vector<double> c_norm2(nc, 0.0);
+          for (std::size_t li = 0; li < reo.size(); ++li) {
+            const std::size_t c = reo[li];
+            auto& hj = h[c][j];
+            for (std::size_t i = 0; i <= j; ++i) {
+              const double cv = dots2[li * seg + i];
+              hj[i] += cv;
+              c_norm2[c] += cv * cv;
+            }
+          }
+          for (std::size_t i = 0; i <= j; ++i) {
+            for (std::size_t li = 0; li < reo.size(); ++li) {
+              const std::size_t c = reo[li];
+              coef[c] = -dots2[li * seg + i];
+            }
+            w.axpy_lanes(coef, v[i], rmask);
+          }
+          for (std::size_t li = 0; li < reo.size(); ++li) {
+            const std::size_t c = reo[li];
+            const double w_norm2_2 = dots2[li * seg + j + 1];
+            const double corr2 = w_norm2_2 - c_norm2[c];
+            if (corr2 > 1e-4 * w_norm2_2) {
+              hlast[c] = std::sqrt(corr2);
+            } else {
+              // Happy breakdown / full cancellation: explicit norm.
+              hlast[c] = w.lane_norm2(c);
+            }
+            h[c][j][j + 1] = hlast[c];
+          }
+        }
+      }
+
+      // v_{j+1} = w / hlast for every lane with hlast > 0 (a lane with
+      // hlast == 0 always breaks below, so its unscaled plane is dead).
+      if (v.size() <= j + 1) {
+        v.emplace_back(rt, a.rows(), nc);
+      }
+      std::fill(coef.begin(), coef.end(), 0.0);
+      std::vector<std::uint8_t> pmask(nc, 0);
+      bool any_push = false;
+      for (std::size_t c : act) {
+        if (hlast[c] > 0.0) {
+          pmask[c] = 1;
+          coef[c] = 1.0 / hlast[c];
+          any_push = true;
+        }
+      }
+      if (any_push) {
+        v[j + 1].copy_from(w);
+        v[j + 1].scale_lanes(coef, pmask);
+      }
+
+      // Givens update + convergence test, per lane on the host.
+      for (std::size_t c : act) {
+        auto& hj = h[c][j];
+        for (std::size_t i = 0; i < j; ++i) {
+          const Real t = cs[c][i] * hj[i] + sn[c][i] * hj[i + 1];
+          hj[i + 1] = -sn[c][i] * hj[i] + cs[c][i] * hj[i + 1];
+          hj[i] = t;
+        }
+        const Real denom = std::hypot(hj[j], hlast[c]);
+        if (denom == 0.0) {
+          epilogue(c, j + 1);  // exact solution reached
+          continue;
+        }
+        cs[c][j] = hj[j] / denom;
+        sn[c][j] = hlast[c] / denom;
+        hj[j] = denom;
+        hj[j + 1] = 0.0;
+        g[c][j + 1] = -sn[c][j] * g[c][j];
+        g[c][j] = cs[c][j] * g[c][j];
+        out.lane[c].final_residual = std::abs(g[c][j + 1]);
+        if (out.lane[c].final_residual <= target[c] || hlast[c] == 0.0) {
+          epilogue(c, j + 1);
+        }
+      }
+      ++j;
+    }
+
+    // Restart exhausted: remaining lanes update x and go back to waiting.
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (state[c] == LaneState::kIterating) {
+        epilogue(c, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace exw::solver

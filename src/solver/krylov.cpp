@@ -6,7 +6,7 @@
 
 namespace exw::solver {
 
-SolveStats cg_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+SolveStats cg_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                     linalg::ParVector& x, Preconditioner& m,
                     const KrylovOptions& opts) {
   par::Runtime& rt = a.runtime();
@@ -53,7 +53,7 @@ SolveStats cg_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
   return stats;
 }
 
-SolveStats bicgstab_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+SolveStats bicgstab_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                           linalg::ParVector& x, Preconditioner& m,
                           const KrylovOptions& opts) {
   par::Runtime& rt = a.runtime();

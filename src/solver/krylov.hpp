@@ -20,12 +20,12 @@ struct KrylovOptions {
 };
 
 /// Preconditioned conjugate gradients (requires SPD A and SPD M).
-SolveStats cg_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+SolveStats cg_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                     linalg::ParVector& x, Preconditioner& m,
                     const KrylovOptions& opts);
 
 /// Preconditioned BiCGStab (right preconditioning).
-SolveStats bicgstab_solve(const linalg::ParCsr& a, const linalg::ParVector& b,
+SolveStats bicgstab_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
                           linalg::ParVector& x, Preconditioner& m,
                           const KrylovOptions& opts);
 

@@ -1,6 +1,7 @@
 #include "sparse/csr.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -60,6 +61,43 @@ void Csr::spmv(std::span<const Real> x, std::span<Real> y, Real alpha,
     }
     auto& yi = y[static_cast<std::size_t>(i)];
     yi = beta == 0.0 ? alpha * acc : beta * yi + alpha * acc;
+  }
+}
+
+void Csr::spmv_multi(std::span<const Real> x, std::size_t x_stride,
+                     std::span<Real> y, std::size_t y_stride,
+                     std::size_t lanes, Real alpha, Real beta) const {
+  constexpr std::size_t kMaxLanes = 8;
+  EXW_REQUIRE(lanes >= 1 && lanes <= kMaxLanes,
+              "spmv_multi lane count out of range");
+  EXW_ASSERT(x_stride >= static_cast<std::size_t>(ncols_));
+  EXW_ASSERT(y_stride >= static_cast<std::size_t>(nrows_));
+  EXW_ASSERT(x.size() >= (lanes - 1) * x_stride +
+                             static_cast<std::size_t>(ncols_));
+  EXW_ASSERT(y.size() >= (lanes - 1) * y_stride +
+                             static_cast<std::size_t>(nrows_));
+  // Raw 64-bit loop variable: OpenMP requires an integral canonical form.
+  const std::int64_t n = nrows_.value();
+#ifdef EXW_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t ii = 0; ii < n; ++ii) {
+    const LocalIndex i{ii};
+    std::array<Real, kMaxLanes> acc{};
+    // One pass over the row's index structure feeds every lane; each
+    // lane accumulates in the same entry order as the scalar spmv.
+    for (EntryOffset k = row_begin(i); k < row_end(i); ++k) {
+      const Real a = vals_[static_cast<std::size_t>(k)];
+      const auto c =
+          static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)]);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        acc[l] += a * x[l * x_stride + c];
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      auto& yi = y[l * y_stride + static_cast<std::size_t>(i)];
+      yi = beta == 0.0 ? alpha * acc[l] : beta * yi + alpha * acc[l];
+    }
   }
 }
 

@@ -71,6 +71,16 @@ class Csr {
   void spmv(std::span<const Real> x, std::span<Real> y, Real alpha = 1.0,
             Real beta = 0.0) const;
 
+  /// Fused multi-RHS SpMV: for lane c in [0, lanes), treat
+  /// x[c*x_stride ..] and y[c*y_stride ..] as one vector pair and apply
+  /// y_c = alpha*A*x_c + beta*y_c. Row structure (row_ptr/cols) is read
+  /// once per row for all lanes; per-lane arithmetic (accumulation
+  /// order, beta handling) is exactly spmv's, so each lane's result is
+  /// bitwise-identical to a per-lane spmv call.
+  void spmv_multi(std::span<const Real> x, std::size_t x_stride,
+                  std::span<Real> y, std::size_t y_stride, std::size_t lanes,
+                  Real alpha = 1.0, Real beta = 0.0) const;
+
   /// y += A^T * x (used for restriction when R = P^T).
   void spmv_transpose(std::span<const Real> x, std::span<Real> y,
                       Real alpha = 1.0, Real beta = 0.0) const;

@@ -51,9 +51,9 @@ C_STYLE_INT_CAST = re.compile(
 # only decrease; delete a line once its file reaches zero.
 LOOP_ALLOWANCE = {
     "src/amg/interp.cpp": 1,
-    "src/amg/smoothers.cpp": 4,
+    "src/amg/smoothers.cpp": 3,
     "src/assembly/global.cpp": 1,
-    "src/cfd/simulation.cpp": 3,
+    "src/cfd/simulation.cpp": 2,
     "src/mesh/generators.cpp": 2,
     "src/mesh/meshdb.cpp": 4,
     "src/mesh/overset.cpp": 3,
