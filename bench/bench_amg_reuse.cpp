@@ -27,7 +27,6 @@
 // Knobs: EXW_BENCH_N (cells/side), EXW_BENCH_RANKS, EXW_BENCH_REFILLS,
 // EXW_BENCH_MIN_MODELED_SPEEDUP (0 disables).
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -35,46 +34,20 @@
 #include <cstring>
 #include <span>
 #include <memory>
-#include <new>
 #include <vector>
 
 #include "amg/hierarchy.hpp"
+#include "bench_util.hpp"
 #include "cfd/simulation.hpp"
 #include "common/rng.hpp"
 #include "mesh/generators.hpp"
 #include "perf/tracer.hpp"
 
-// ---------------------------------------------------------------------------
-// Heap probe (same as bench_assembly_reuse): count operator-new calls so
-// the steady-state warm refresh can be checked for allocation growth.
-namespace {
-std::atomic<std::size_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t sz) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-// The nothrow forms must be overridden too: std::stable_sort's temporary
-// buffer allocates through nothrow-new and frees through plain delete, so
-// a partial override set mixes allocators.
-void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(sz);
-}
-void* operator new[](std::size_t sz, const std::nothrow_t& t) noexcept {
-  return ::operator new(sz, t);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+// Heap probe: deltas of bench::alloc_count() (the purity sanitizer's
+// process-wide interposition — see perf/purity.hpp) let the steady-state
+// warm refresh be checked for allocation growth. The hand-rolled
+// operator-new override this bench used to carry is gone: one allocator
+// owner per program.
 
 namespace exw {
 namespace {
@@ -235,10 +208,10 @@ int run() {
   const auto w0 = std::chrono::steady_clock::now();
   for (int it = 1; it <= refills; ++it) {
     const auto a = matrix_for(it < refills ? it : 0);
-    const std::size_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto a0 = bench::alloc_count();
     warm.refresh_values(a);
-    allocs_per_refresh.push_back(g_allocs.load(std::memory_order_relaxed) -
-                                 a0);
+    allocs_per_refresh.push_back(
+        static_cast<std::size_t>(bench::alloc_count() - a0));
   }
   const auto w1 = std::chrono::steady_clock::now();
   rt.tracer().pop_phase();
@@ -313,6 +286,9 @@ int run() {
   for (std::size_t i = 2; i < allocs_per_refresh.size(); ++i) {
     if (allocs_per_refresh[i] > allocs_per_refresh[1]) alloc_growth = true;
   }
+  // Hard floor (purity builds only): the warm refresh region must have
+  // recorded zero non-allowlisted allocations across every refresh.
+  const long long warm_disallowed = bench::disallowed_allocs("amg-refresh");
 
   int cfd_iters_on = 0, cfd_iters_off = 0;
   const bool cfd_flat = cfd_iterations_stay_flat(&cfd_iters_on,
@@ -346,6 +322,7 @@ int run() {
   std::printf("],\n");
   std::printf("  \"alloc_steady_state\": %s,\n",
               alloc_growth ? "false" : "true");
+  std::printf("  \"warm_disallowed_allocs\": %lld,\n", warm_disallowed);
   std::printf("  \"cfd_pressure_iters\": {\"cache_on\": %d, \"cache_off\": "
               "%d}\n",
               cfd_iters_on, cfd_iters_off);
@@ -367,6 +344,12 @@ int run() {
   if (alloc_growth) {
     std::fprintf(stderr, "FAIL: warm refresh allocation count grows after "
                          "steady state\n");
+    return 1;
+  }
+  if (perf::purity::enabled() && warm_disallowed != 0) {
+    std::fprintf(stderr, "FAIL: warm refresh made %lld non-allowlisted "
+                         "allocations inside the amg-refresh purity region\n",
+                 warm_disallowed);
     return 1;
   }
   if (min_modeled > 0 && modeled_speedup < min_modeled) {

@@ -17,39 +17,24 @@
 // EXW_BENCH_MIN_SPEEDUP (wall-clock floor asserted; 0 disables, the CI
 // smoke run uses 0 because timing at tiny sizes is noise-dominated).
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <new>
 #include <span>
 #include <vector>
 
 #include "assembly/global.hpp"
 #include "assembly/graph.hpp"
 #include "assembly/plan.hpp"
+#include "bench_util.hpp"
 #include "mesh/meshdb.hpp"
 #include "perf/tracer.hpp"
 
-// ---------------------------------------------------------------------------
-// Heap probe: count every operator-new call so the steady-state warm
-// refill can be checked for allocation growth. The counter is process
-// wide; the bench brackets exactly the stage-3 value pipeline with it.
-namespace {
-std::atomic<std::size_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t sz) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Heap probe: deltas of bench::alloc_count() (the purity sanitizer's
+// process-wide interposition — see perf/purity.hpp) bracket exactly the
+// stage-3 value pipeline so the steady-state warm refill can be checked
+// for allocation growth.
 
 namespace exw {
 namespace {
@@ -155,10 +140,11 @@ int run() {
     fill_values(graph, box, 1.0 + 0.37 * static_cast<Real>(it));
     const auto views = assembly::system_views(graph);
     const auto span = std::span<const assembly::SystemView>(views);
-    const std::size_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto a0 = bench::alloc_count();
     plan.refill_matrix(rt, span, warm_a);
     plan.refill_vector(rt, span, warm_b);
-    allocs_per_refill.push_back(g_allocs.load(std::memory_order_relaxed) - a0);
+    allocs_per_refill.push_back(
+        static_cast<std::size_t>(bench::alloc_count() - a0));
   }
   const auto w1 = std::chrono::steady_clock::now();
   rt.tracer().pop_phase();
@@ -211,6 +197,11 @@ int run() {
   for (std::size_t i = 2; i < allocs_per_refill.size(); ++i) {
     if (allocs_per_refill[i] > allocs_per_refill[1]) alloc_growth = true;
   }
+  // Hard floor (purity builds only): the refill regions must have
+  // recorded zero non-allowlisted allocations across every warm refill.
+  const long long warm_disallowed =
+      bench::disallowed_allocs("assembly-refill-matrix") +
+      bench::disallowed_allocs("assembly-refill-vector");
 
   std::printf("{\n");
   std::printf("  \"bench\": \"assembly_reuse\",\n");
@@ -235,8 +226,9 @@ int run() {
     std::printf("%s%zu", i ? ", " : "", allocs_per_refill[i]);
   }
   std::printf("],\n");
-  std::printf("  \"alloc_steady_state\": %s\n", alloc_growth ? "false"
-                                                             : "true");
+  std::printf("  \"alloc_steady_state\": %s,\n", alloc_growth ? "false"
+                                                              : "true");
+  std::printf("  \"warm_disallowed_allocs\": %lld\n", warm_disallowed);
   std::printf("}\n");
 
   if (warm_sorts) {
@@ -249,6 +241,12 @@ int run() {
   if (alloc_growth) {
     std::fprintf(stderr, "FAIL: warm refill allocation count grows after "
                          "steady state\n");
+    return 1;
+  }
+  if (perf::purity::enabled() && warm_disallowed != 0) {
+    std::fprintf(stderr, "FAIL: warm refill made %lld non-allowlisted "
+                         "allocations inside the assembly-refill purity "
+                         "regions\n", warm_disallowed);
     return 1;
   }
   if (min_speedup > 0 && wall_speedup < min_speedup) {

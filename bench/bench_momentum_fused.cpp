@@ -23,51 +23,25 @@
 // Knobs: EXW_BENCH_N (cells/side), EXW_BENCH_RANKS, EXW_BENCH_SOLVES,
 // EXW_BENCH_MIN_INDEX_REDUCTION (0 disables).
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <new>
 #include <span>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "cfd/simulation.hpp"
 #include "common/rng.hpp"
 #include "mesh/generators.hpp"
 #include "perf/tracer.hpp"
 #include "solver/gmres.hpp"
 
-// ---------------------------------------------------------------------------
-// Heap probe (same as bench_assembly_reuse / bench_amg_reuse): count
-// operator-new calls so repeated fused solves can be checked for
-// allocation growth.
-namespace {
-std::atomic<std::size_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t sz) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(sz);
-}
-void* operator new[](std::size_t sz, const std::nothrow_t& t) noexcept {
-  return ::operator new(sz, t);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+// Heap probe: deltas of bench::alloc_count() (the purity sanitizer's
+// process-wide interposition — see perf/purity.hpp) let repeated fused
+// solves be checked for allocation growth. The hand-rolled operator-new
+// override is gone: one allocator owner per program.
 
 namespace exw {
 namespace {
@@ -241,9 +215,10 @@ int run() {
       b.set_lane(c, bc);
     }
     x.fill(0.0);
-    const std::size_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto a0 = bench::alloc_count();
     const auto st = solver::gmres_solve_multi(a, b, x, m, opts);
-    allocs_per_solve.push_back(g_allocs.load(std::memory_order_relaxed) - a0);
+    allocs_per_solve.push_back(
+        static_cast<std::size_t>(bench::alloc_count() - a0));
     if (!st.all_converged()) {
       std::fprintf(stderr, "FAIL: fused solve did not converge\n");
       return 1;
@@ -289,6 +264,14 @@ int run() {
   const bool cfd_ok =
       cfd_paths_agree(&cfd_iters_fused, &cfd_iters_seq, &cfd_rebinds);
 
+  // Non-allowlisted allocations inside the warm fused-kernel and
+  // smoother-rebind purity regions. The contract pins this to zero.
+  const long long warm_disallowed =
+      bench::disallowed_allocs("multivector-scale-lanes") +
+      bench::disallowed_allocs("multivector-axpy-lanes") +
+      bench::disallowed_allocs("multivector-dots") +
+      bench::disallowed_allocs("smoother-rebind");
+
   std::printf("{\n");
   std::printf("  \"bench\": \"momentum_fused\",\n");
   std::printf("  \"rows\": %zu, \"ranks\": %d, \"solves\": %d, \"lanes\": "
@@ -321,6 +304,7 @@ int run() {
   std::printf("],\n");
   std::printf("  \"alloc_steady_state\": %s,\n",
               alloc_growth ? "false" : "true");
+  std::printf("  \"warm_disallowed_allocs\": %lld,\n", warm_disallowed);
   std::printf("  \"cfd\": {\"fused_iters\": %d, \"seq_iters\": %d, "
               "\"smoother_rebinds\": %d}\n",
               cfd_iters_fused, cfd_iters_seq, cfd_rebinds);
@@ -350,6 +334,11 @@ int run() {
   if (alloc_growth) {
     std::fprintf(stderr, "FAIL: fused solve allocation count grows after "
                          "steady state\n");
+    return 1;
+  }
+  if (perf::purity::enabled() && warm_disallowed != 0) {
+    std::fprintf(stderr, "FAIL: %lld non-allowlisted allocation(s) inside "
+                         "warm purity regions\n", warm_disallowed);
     return 1;
   }
   if (!cfd_ok) {

@@ -14,8 +14,25 @@
 #include <vector>
 
 #include "cfd/simulation.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::bench {
+
+/// Process-wide heap-allocation count, read from the purity sanitizer's
+/// interposition (perf/purity.hpp). Replaces the hand-rolled operator-new
+/// probes the reuse benches used to carry — one allocator owner per
+/// program. Always zero when EXW_PURITY_CHECKS=OFF, so steadiness checks
+/// built on deltas of this value stay vacuously true there; benches that
+/// need a hard floor should guard on perf::purity::enabled().
+inline unsigned long long alloc_count() {
+  return perf::purity::totals().allocs;
+}
+
+/// Count of non-allowlisted allocations recorded inside the named purity
+/// region so far (the quantity the warm-path contract pins to zero).
+inline long long disallowed_allocs(const char* region) {
+  return perf::purity::region(region).allocs;
+}
 
 /// Result of running `steps` time steps at one configuration.
 struct RunResult {

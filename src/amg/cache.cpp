@@ -6,6 +6,7 @@
 #include "amg/charges.hpp"
 #include "common/error.hpp"
 #include "par/runtime.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::amg {
 
@@ -40,8 +41,10 @@ std::unique_ptr<LevelReplay> freeze_level_replay(
   return lr;
 }
 
+EXW_WARM_FN
 void replay_level(par::Runtime& rt, LevelReplay& lr,
                   const linalg::ParCsr& fine_a, linalg::ParCsr& coarse_a) {
+  EXW_PURITY_REGION("amg-replay-level");
   perf::Tracer& tracer = rt.tracer();
   rt.parallel_for_ranks([&](RankId r) {
     const auto ri = static_cast<std::size_t>(r);
@@ -53,7 +56,12 @@ void replay_level(par::Runtime& rt, LevelReplay& lr,
 
     LevelReplay::Scratch& sc = lr.scratch[ri];
     // Gather the fine values into the frozen [diag | offd] slot layout.
-    sc.a_flat.resize(rec.a_diag_nnz + rec.a_offd_nnz);
+    {
+      // Both resizes below are no-ops after the first replay.
+      EXW_PURITY_ALLOW("first-refill scratch priming");
+      sc.a_flat.resize(rec.a_diag_nnz + rec.a_offd_nnz);
+      sc.ap_vals.resize(rec.ap.outputs());
+    }
     const auto dspan = blk.diag.vals().raw();
     const auto ospan = blk.offd.vals().raw();
     std::copy(dspan.begin(), dspan.end(), sc.a_flat.begin());
@@ -62,7 +70,6 @@ void replay_level(par::Runtime& rt, LevelReplay& lr,
     detail::charge_value_stream(tracer, r, sc.a_flat.size());
 
     // AP, then the coarse triples, through the frozen term plans.
-    sc.ap_vals.resize(rec.ap.outputs());
     rec.ap.replay(sc.a_flat, rec.p_flat, sc.ap_vals);
     detail::charge_replay(tracer, r, rec.ap.flops(), rec.ap.outputs());
 
@@ -91,6 +98,7 @@ void HierarchyCache::rebuild(const linalg::ParCsr& a, const AmgConfig& cfg,
   last_iters_ = -1;
 }
 
+EXW_WARM_FN
 void HierarchyCache::refresh(const linalg::ParCsr& a) {
   EXW_REQUIRE(valid_ && hierarchy_ != nullptr,
               "hierarchy cache: refresh without a valid rebuild");

@@ -12,6 +12,7 @@
 #include "amg/interp.hpp"
 #include "amg/rap.hpp"
 #include "common/error.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::amg {
 
@@ -106,7 +107,9 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
   detail::charge_dense_lu(rt.tracer(), coarsest.global_rows().value());
 }
 
+EXW_WARM_FN
 void AmgHierarchy::refresh_values(const linalg::ParCsr& a) {
+  EXW_PURITY_REGION("amg-refresh");
   EXW_REQUIRE(frozen_,
               "amg hierarchy: refresh_values requires freeze_replay setup");
   EXW_REQUIRE(!levels_.empty(), "amg hierarchy: refresh before setup");

@@ -51,11 +51,12 @@ linalg::ParCsr p_from_rank_coos(par::Runtime& rt,
                                 const par::RowPartition& coarse,
                                 std::vector<sparse::Coo> coos) {
   std::vector<linalg::RankBlock> blocks(coos.size());
-  for (int r = 0; r < checked_narrow<int>(coos.size()); ++r) {
+  const RankId nblocks{checked_narrow<int>(coos.size())};
+  for (RankId r{0}; r < nblocks; ++r) {
     auto& coo = coos[static_cast<std::size_t>(r)];
     coo.normalize();
     blocks[static_cast<std::size_t>(r)] =
-        assembly::split_diag_offd(coo, fine, coarse, RankId{r});
+        assembly::split_diag_offd(coo, fine, coarse, r);
   }
   return linalg::ParCsr(rt, fine, coarse, std::move(blocks));
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::amg {
 
@@ -54,6 +55,7 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
   return out;
 }
 
+EXW_WARM_FN
 void LduSplit::refresh_values(const linalg::ParCsr& a) {
   a.runtime().parallel_for_ranks([&](RankId r) {
     const auto& b = a.block(r);
@@ -135,9 +137,14 @@ Smoother::Smoother(const linalg::ParCsr& a, SmootherType type,
   }
 }
 
+EXW_WARM_FN
 void Smoother::refresh_values() {
+  EXW_PURITY_REGION("smoother-rebind");
   ldu_.refresh_values(*a_);
   if (type_ == SmootherType::kChebyshev) {
+    // Per-rank bound staging + the diagonal view inside the estimate are
+    // reduction buffers, the collective's payload in a real run.
+    EXW_PURITY_ALLOW("collective payload staging");
     eig_max_ = estimate_eig_max(*a_);
     a_->runtime().tracer().collective(sizeof(Real));
   }

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "mesh/vtk_writer.hpp"
 #include "linalg/parvector.hpp"
+#include "perf/purity.hpp"
 #include "solver/precond.hpp"
 
 namespace exw::cfd {
@@ -70,9 +71,16 @@ void Simulation::assemble_system(EquationCache& cache,
     cache.structure_epoch += 1;
   }
   // Warm: value-only exchange + segmented sums, bitwise-identical to
-  // cold kSortReduce assembly.
-  cache.plan.refill_matrix(*rt_, span, cache.matrix);
-  cache.plan.refill_vector(*rt_, span, cache.rhs);
+  // cold kSortReduce assembly. The purity region opens after the cold
+  // branch and the system_views staging above — those may allocate; the
+  // refills themselves must not. (Runtime-only check: this caller is not
+  // EXW_WARM_FN-annotated because it owns the cold fallback too — see
+  // DESIGN.md §14.)
+  {
+    EXW_PURITY_REGION("picard-warm-assemble");
+    cache.plan.refill_matrix(*rt_, span, cache.matrix);
+    cache.plan.refill_vector(*rt_, span, cache.rhs);
+  }
 }
 
 void Simulation::assemble_rhs(EquationCache& cache,
@@ -81,6 +89,7 @@ void Simulation::assemble_rhs(EquationCache& cache,
   const auto views = assembly::system_views(g);
   const auto span = std::span<const assembly::SystemView>(views);
   if (cache.valid && cache.generation == g.generation()) {
+    EXW_PURITY_REGION("picard-warm-assemble");
     cache.plan.refill_vector(*rt_, span, cache.rhs);
     return;
   }
@@ -99,6 +108,7 @@ solver::SmootherPrecond& Simulation::momentum_smoother(MeshBlock& blk,
   } else {
     // Same sparsity, refreshed values: one value-only streaming pass over
     // the cached L/D/U split instead of reconstruction.
+    EXW_PURITY_REGION("picard-smoother-rebind");
     slot.precond->refresh_values();
     stats.smoother_rebinds += 1;
   }
@@ -512,6 +522,7 @@ void Simulation::solve_continuity(MeshBlock& blk) {
       pc.rebuild(a, cfg_.pressure_amg, gen, /*freeze=*/cfg_.use_amg_cache);
       prs_stats_.amg_rebuilds += 1;
     } else {
+      EXW_PURITY_REGION("picard-amg-refresh");
       pc.refresh(a);
       prs_stats_.amg_refreshes += 1;
     }

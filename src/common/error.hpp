@@ -41,7 +41,7 @@ namespace detail {
 #define EXW_ASSERT(cond)                                   \
   do {                                                     \
     if (!(cond)) {                                         \
-      EXW_THROW(std::string("assertion failed: ") #cond); \
+      EXW_THROW(std::string("assertion failed: ") + #cond); \
     }                                                      \
   } while (0)
 #endif

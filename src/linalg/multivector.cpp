@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "linalg/parvector.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::linalg {
 
@@ -90,8 +91,10 @@ void ParMultiVector::copy_from(const ParMultiVector& other) {
   });
 }
 
+EXW_WARM_FN
 void ParMultiVector::scale_lanes(std::span<const Real> alpha,
                                  std::span<const std::uint8_t> mask) {
+  EXW_PURITY_REGION("multivector-scale-lanes");
   EXW_REQUIRE(alpha.size() == ncomp_, "one scale factor per lane required");
   EXW_REQUIRE(mask.empty() || mask.size() == ncomp_,
               "lane mask size mismatch");
@@ -111,9 +114,11 @@ void ParMultiVector::scale_lanes(std::span<const Real> alpha,
   });
 }
 
+EXW_WARM_FN
 void ParMultiVector::axpy_lanes(std::span<const Real> alpha,
                                 const ParMultiVector& x,
                                 std::span<const std::uint8_t> mask) {
+  EXW_PURITY_REGION("multivector-axpy-lanes");
   EXW_REQUIRE(alpha.size() == ncomp_, "one axpy factor per lane required");
   EXW_REQUIRE(mask.empty() || mask.size() == ncomp_,
               "lane mask size mismatch");
@@ -136,10 +141,15 @@ void ParMultiVector::axpy_lanes(std::span<const Real> alpha,
   });
 }
 
+EXW_WARM_FN
 std::vector<double> ParMultiVector::dots(const ParMultiVector& other) const {
+  EXW_PURITY_REGION("multivector-dots");
   EXW_REQUIRE(other.ncomp_ == ncomp_, "multivector lane count mismatch");
   EXW_REQUIRE(other.global_size() == global_size(),
               "multivector size mismatch");
+  // Per-rank partial sums and the reduced result are the collective's
+  // payload — MPI library buffers in a real run, not warm-path state.
+  EXW_PURITY_ALLOW("collective payload staging");
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(nranks()), std::vector<double>(ncomp_, 0.0));
   rt_->parallel_for_ranks([&](RankId r) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "perf/purity.hpp"
 #include "sparse/prim.hpp"
 
 namespace exw::linalg {
@@ -62,8 +63,10 @@ void ParCsr::build_comm_pkg() {
   }
 }
 
+EXW_WARM_FN
 void ParCsr::set_values_from_plan(RankId r, const ValueFillPlan& plan,
                                   std::span<const Real> stacked) {
+  EXW_PURITY_REGION("parcsr-value-fill");
   EXW_CONTRACT_CHECK_WRITE(r, "ParCsr::set_values_from_plan(r)");
   RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
   EXW_REQUIRE(plan.seg_ptr.size() == plan.dest.size() + 1 &&

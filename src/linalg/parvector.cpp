@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "perf/purity.hpp"
 #include "sparse/prim.hpp"
 
 namespace exw::linalg {
@@ -36,9 +37,11 @@ Real ParVector::at(GlobalIndex g) const {
       rows_.to_local(r, g))];
 }
 
+EXW_WARM_FN
 void ParVector::set_values_from_plan(RankId r, std::span<const Real> owned,
                                      const VectorFillPlan& plan,
                                      std::span<const Real> recv) {
+  EXW_PURITY_REGION("parvector-value-fill");
   EXW_CONTRACT_CHECK_WRITE(r, "ParVector::set_values_from_plan(r)");
   auto& x = local_[static_cast<std::size_t>(r)];
   EXW_REQUIRE(owned.size() == x.size(),

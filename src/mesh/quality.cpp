@@ -28,9 +28,8 @@ QualityReport measure_quality(const MeshDB& db) {
   double aspect_sum = 0;
   for (const auto& h : db.hexes) {
     std::array<Vec3, 8> x;
-    for (int c = 0; c < 8; ++c) {
-      x[static_cast<std::size_t>(c)] =
-          db.coords[static_cast<std::size_t>(h[static_cast<std::size_t>(c)])];
+    for (std::size_t c = 0; c < 8; ++c) {
+      x[c] = db.coords[static_cast<std::size_t>(h[c])];
     }
     Real lmin = 1e300, lmax = 0;
     for (const auto& e : kEdges) {

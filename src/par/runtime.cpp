@@ -21,6 +21,9 @@ std::vector<double> Runtime::allreduce_sum_vec(
               "allreduce needs one vector per rank");
   const std::size_t n = per_rank_values.front().size();
   tracer_.collective(static_cast<double>(n * sizeof(double)));
+  // Collective result staging — the MPI library's reduction buffer in a
+  // real run, not application warm-path state.
+  EXW_PURITY_ALLOW("collective payload staging");
   std::vector<double> sum(n, 0.0);
   for (const auto& v : per_rank_values) {
     EXW_REQUIRE(v.size() == n, "allreduce vector length mismatch");

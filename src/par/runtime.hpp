@@ -28,6 +28,7 @@
 #include "common/types.hpp"
 #include "par/contract.hpp"
 #include "par/thread_pool.hpp"
+#include "perf/purity.hpp"
 #include "perf/tracer.hpp"
 
 namespace exw::par {
@@ -50,6 +51,10 @@ class Transport {
     require_rank(src, "send src");
     require_rank(dst, "send dst");
     EXW_CONTRACT_CHECK(contract::check_send(src, dst, tag, "Transport::send"));
+    // The staging buffer and mailbox nodes stand in for the NIC/MPI
+    // library's internal buffers, which a real run would not allocate on
+    // the application's critical path — so purity regions tolerate them.
+    EXW_PURITY_ALLOW("simulated-NIC message serialization");
     if (tracer_ != nullptr) {
       tracer_->message(src, dst, static_cast<double>(payload.size() * sizeof(T)));
     }
@@ -65,6 +70,9 @@ class Transport {
     require_rank(dst, "recv dst");
     require_rank(src, "recv src");
     EXW_CONTRACT_CHECK(contract::check_recv(dst, src, tag, "Transport::recv"));
+    // Mirror of send(): deserialization is the simulated NIC's buffer,
+    // not application warm-path state.
+    EXW_PURITY_ALLOW("simulated-NIC message deserialization");
     Shard& sh = shard(dst);
     std::vector<std::byte> raw;
     {
@@ -170,7 +178,10 @@ class Runtime {
   /// Run fn(r) for every rank, potentially concurrently (one thread per
   /// rank body, blocking until all return). Rank bodies stay internally
   /// sequential, so results are bitwise-identical to the serial loop.
-  void parallel_for_ranks(const std::function<void(RankId)>& fn) const {
+  /// Templated (not std::function) so warm-path dispatch never heap-
+  /// allocates: the callable travels by non-owning FunctionRef.
+  template <typename F>
+  void parallel_for_ranks(F&& fn) const {
     parallel_for(nranks_, [&fn](int i) { fn(RankId{i}); });
   }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "par/contract.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::par {
 
@@ -37,8 +38,16 @@ struct ThreadPool::Impl {
   std::condition_variable cv_start;
   std::condition_variable cv_done;
   std::uint64_t epoch = 0;
-  const std::function<void(int)>* fn = nullptr;
+  const FunctionRef* fn = nullptr;
   int n = 0;
+#if EXW_PURITY_CHECKS_ENABLED
+  /// Purity region open on the orchestrator when it dispatched the
+  /// current epoch; workers inherit it so rank-body allocations are
+  /// attributed (and, in fatal mode, flagged) exactly as if they ran
+  /// inline. Written under `mutex` before the epoch bump, so the epoch
+  /// handshake publishes it to every worker.
+  perf::purity::RegionToken region;
+#endif
   std::atomic<int> next{0};
   int finished = 0;  ///< workers done with the current epoch
   bool stop = false;
@@ -75,6 +84,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_bodies() {
   t_in_region = true;
+#if EXW_PURITY_CHECKS_ENABLED
+  // No-op on the orchestrator (its region stack is already open); on a
+  // pool worker this pushes the dispatching thread's innermost region.
+  perf::purity::ScopedRegionInherit inherit(impl_->region);
+#endif
   for (;;) {
     const int i = impl_->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= impl_->n) break;
@@ -114,7 +128,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+void ThreadPool::parallel_for(int n, FunctionRef fn) {
   if (n <= 0) return;
   if (num_threads_ <= 1 || n == 1 || t_in_region ||
       g_serial.load(std::memory_order_relaxed)) {
@@ -158,6 +172,9 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   {
     std::lock_guard<std::mutex> lk(impl_->mutex);
     impl_->fn = &fn;
+#if EXW_PURITY_CHECKS_ENABLED
+    impl_->region = perf::purity::capture();
+#endif
     impl_->n = n;
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->finished = 0;
@@ -187,7 +204,7 @@ void set_serial_mode(bool serial) {
 
 bool serial_mode() { return g_serial.load(std::memory_order_relaxed); }
 
-void parallel_for(int n, const std::function<void(int)>& fn) {
+void parallel_for(int n, FunctionRef fn) {
   ThreadPool::instance().parallel_for(n, fn);
 }
 

@@ -34,9 +34,37 @@
 /// path is bitwise-identical anyway because each rank body is unchanged
 /// and all reductions happen on the orchestrator.
 
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 namespace exw::par {
+
+/// Non-owning, non-allocating reference to a callable `void(int)`.
+///
+/// parallel_for used to take `const std::function<void(int)>&`; every
+/// call site passes a stack lambda, and converting a lambda whose
+/// captures exceed the small-buffer size into a std::function heap-
+/// allocates — on the *warm* path, once per dispatch. FunctionRef is two
+/// words (object pointer + thunk) and never owns, which is exactly right
+/// for a fork-join region: the callable provably outlives the call.
+class FunctionRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_v<F&, int>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, int i) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(i);
+        }) {}
+
+  void operator()(int i) const { call_(obj_, i); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int);
+};
 
 class ThreadPool {
  public:
@@ -47,7 +75,9 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Run fn(i) for every i in [0, n), blocking until all bodies return.
-  void parallel_for(int n, const std::function<void(int)>& fn);
+  /// The callable is taken by non-owning reference (it outlives the
+  /// region by construction), so dispatch never allocates.
+  void parallel_for(int n, FunctionRef fn);
 
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
@@ -71,6 +101,6 @@ void set_serial_mode(bool serial);
 bool serial_mode();
 
 /// Convenience: ThreadPool::instance().parallel_for honoring serial_mode().
-void parallel_for(int n, const std::function<void(int)>& fn);
+void parallel_for(int n, FunctionRef fn);
 
 }  // namespace exw::par

@@ -15,8 +15,8 @@ Numbering make_numbering(const std::vector<RankId>& parts, int nparts) {
   num.rows = par::RowPartition::from_counts(counts);
 
   std::vector<GlobalIndex> cursor(static_cast<std::size_t>(nparts));
-  for (int p = 0; p < nparts; ++p) {
-    cursor[static_cast<std::size_t>(p)] = num.rows.first_row(RankId{p});
+  for (RankId p{0}; p < RankId{nparts}; ++p) {
+    cursor[static_cast<std::size_t>(p)] = num.rows.first_row(p);
   }
   num.old_to_new.resize(parts.size());
   num.new_to_old.resize(parts.size());

@@ -1,0 +1,358 @@
+#include "perf/purity.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace exw::perf::purity {
+
+namespace {
+
+// Fatal mode is seeded from the environment once at static init (before
+// any region can open); set_fatal() overrides. Zero-initialized (false)
+// until then, so allocations during early static init are never fatal.
+bool env_fatal() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read during static init
+  const char* s = std::getenv("EXW_PURITY_FATAL");
+  return s != nullptr && s[0] != '\0' && !(s[0] == '0' && s[1] == '\0');
+}
+std::atomic<bool> g_fatal{env_fatal()};
+
+// Process-wide totals. Constant-initialized atomics: safe to touch from
+// allocations that happen before main().
+std::atomic<unsigned long long> g_allocs{0};
+std::atomic<unsigned long long> g_frees{0};
+std::atomic<unsigned long long> g_bytes{0};
+std::atomic<long long> g_regions_entered{0};
+std::atomic<long long> g_disallowed{0};
+std::atomic<long long> g_allowed{0};
+std::atomic<long long> g_violations{0};
+
+#if EXW_PURITY_CHECKS_ENABLED
+
+/// One open region on the calling thread. Counters are plain (thread-
+/// local, single writer); they merge into the shared registry when the
+/// region closes.
+struct Frame {
+  const char* name = nullptr;
+  const char* file = nullptr;
+  int line = 0;
+  long long allocs = 0;
+  unsigned long long bytes = 0;
+  long long frees = 0;
+  long long allowed_allocs = 0;
+  unsigned long long allowed_bytes = 0;
+};
+
+constexpr int kMaxDepth = 16;
+thread_local Frame t_stack[kMaxDepth];  // NOLINT(modernize-avoid-c-arrays)
+thread_local int t_depth = 0;
+thread_local int t_allow_depth = 0;
+/// Suppresses region accounting while the sanitizer itself allocates
+/// (registry merges, violation messages) so the hooks cannot recurse.
+thread_local bool t_internal = false;
+
+struct InternalGuard {
+  bool prev;
+  InternalGuard() : prev(t_internal) { t_internal = true; }
+  ~InternalGuard() { t_internal = prev; }
+  InternalGuard(const InternalGuard&) = delete;
+  InternalGuard& operator=(const InternalGuard&) = delete;
+};
+
+/// Shared per-region-name accumulation (merged at region close, under a
+/// mutex — never from inside the allocator hooks' hot path).
+std::mutex g_registry_mutex;
+std::map<std::string, RegionStats, std::less<>>& registry() {
+  static std::map<std::string, RegionStats, std::less<>> r;
+  return r;
+}
+std::vector<std::string>& registry_order() {
+  static std::vector<std::string> order;
+  return order;
+}
+
+void note_alloc(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(sz, std::memory_order_relaxed);
+  if (t_internal || t_depth == 0) {
+    return;
+  }
+  const bool allowed = t_allow_depth > 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(t_depth); ++i) {
+    Frame& f = t_stack[i];
+    if (allowed) {
+      f.allowed_allocs += 1;
+      f.allowed_bytes += sz;
+    } else {
+      f.allocs += 1;
+      f.bytes += sz;
+    }
+  }
+  if (allowed) {
+    g_allowed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_disallowed.fetch_add(1, std::memory_order_relaxed);
+  if (g_fatal.load(std::memory_order_relaxed)) {
+    g_violations.fetch_add(1, std::memory_order_relaxed);
+    const Frame& f = t_stack[t_depth - 1];
+    InternalGuard guard;  // the message below allocates
+    std::ostringstream os;
+    os << "purity contract violated: " << sz
+       << "-byte heap allocation inside warm region '" << f.name
+       << "' outside any EXW_PURITY_ALLOW scope — the warm path must not "
+          "allocate in steady state (see perf/purity.hpp)";
+    exw::detail::throw_error(f.file, f.line, os.str());
+  }
+}
+
+void note_free() {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  if (t_internal || t_depth == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(t_depth); ++i) {
+    t_stack[i].frees += 1;
+  }
+}
+
+void merge_frame(const Frame& f) {
+  g_regions_entered.fetch_add(1, std::memory_order_relaxed);
+  InternalGuard guard;  // first-time map-node insertion allocates
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  auto it = registry().find(std::string_view(f.name));
+  if (it == registry().end()) {
+    it = registry().emplace(f.name, RegionStats{}).first;
+    registry_order().emplace_back(f.name);
+  }
+  RegionStats& s = it->second;
+  s.entries += 1;
+  s.allocs += f.allocs;
+  s.bytes += f.bytes;
+  s.frees += f.frees;
+  s.allowed_allocs += f.allowed_allocs;
+  s.allowed_bytes += f.allowed_bytes;
+}
+
+#endif  // EXW_PURITY_CHECKS_ENABLED
+
+}  // namespace
+
+#if EXW_PURITY_CHECKS_ENABLED
+
+ScopedPurityRegion::ScopedPurityRegion(const char* name, const char* file,
+                                       int line) {
+  EXW_REQUIRE(t_depth < kMaxDepth, "purity regions nested too deeply");
+  t_stack[t_depth] = Frame{name, file, line, 0, 0, 0, 0, 0};
+  t_depth += 1;
+}
+
+ScopedPurityRegion::~ScopedPurityRegion() {
+  t_depth -= 1;
+  merge_frame(t_stack[t_depth]);
+}
+
+ScopedPurityAllow::ScopedPurityAllow(const char* /*reason*/) {
+  t_allow_depth += 1;
+}
+
+ScopedPurityAllow::~ScopedPurityAllow() { t_allow_depth -= 1; }
+
+RegionToken capture() {
+  if (t_depth == 0) {
+    return RegionToken{};
+  }
+  const Frame& f = t_stack[t_depth - 1];
+  return RegionToken{f.name, f.file, f.line};
+}
+
+ScopedRegionInherit::ScopedRegionInherit(const RegionToken& token)
+    : active_(token.name != nullptr && t_depth == 0) {
+  if (active_) {
+    t_stack[0] = Frame{token.name, token.file, token.line, 0, 0, 0, 0, 0};
+    t_depth = 1;
+  }
+}
+
+ScopedRegionInherit::~ScopedRegionInherit() {
+  if (active_) {
+    t_depth = 0;
+    merge_frame(t_stack[0]);
+  }
+}
+
+RegionStats region(std::string_view name) {
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  auto it = registry().find(name);  // exw-warm-ok: cold reporting accessor
+  return it == registry().end() ? RegionStats{} : it->second;
+}
+
+std::vector<std::string> region_names() {
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  return registry_order();
+}
+
+#else  // !EXW_PURITY_CHECKS_ENABLED
+
+RegionStats region(std::string_view) { return RegionStats{}; }
+std::vector<std::string> region_names() { return {}; }
+
+#endif  // EXW_PURITY_CHECKS_ENABLED
+
+Totals totals() {
+  Totals t;
+  t.allocs = g_allocs.load(std::memory_order_relaxed);
+  t.frees = g_frees.load(std::memory_order_relaxed);
+  t.bytes = g_bytes.load(std::memory_order_relaxed);
+  return t;
+}
+
+Report report() {
+  Report r;
+  r.regions_entered = g_regions_entered.load(std::memory_order_relaxed);
+  r.disallowed_allocs = g_disallowed.load(std::memory_order_relaxed);
+  r.allowed_allocs = g_allowed.load(std::memory_order_relaxed);
+  r.violations = g_violations.load(std::memory_order_relaxed);
+  r.process = totals();
+  return r;
+}
+
+void reset() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+  g_regions_entered.store(0, std::memory_order_relaxed);
+  g_disallowed.store(0, std::memory_order_relaxed);
+  g_allowed.store(0, std::memory_order_relaxed);
+  g_violations.store(0, std::memory_order_relaxed);
+#if EXW_PURITY_CHECKS_ENABLED
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  registry().clear();
+  registry_order().clear();
+#endif
+}
+
+std::string summary() {
+  const Report r = report();
+  std::ostringstream os;
+  os << "purity: " << r.regions_entered << " regions, "
+     << r.disallowed_allocs << " disallowed allocs, " << r.allowed_allocs
+     << " allowed allocs, " << r.violations << " violations ("
+     << r.process.allocs << " process allocs / " << r.process.bytes
+     << " bytes total)";
+  return os.str();
+}
+
+bool fatal_mode() { return g_fatal.load(std::memory_order_relaxed); }
+
+void set_fatal(bool fatal) {
+  g_fatal.store(fatal, std::memory_order_relaxed);
+}
+
+}  // namespace exw::perf::purity
+
+#if EXW_PURITY_CHECKS_ENABLED
+
+// --- global operator new/delete interposition ----------------------------
+// Every heap allocation in the process routes through these replacements
+// (one definition per program; the hand-rolled bench probes were folded
+// in here). They must never allocate themselves outside the guarded
+// paths above, and they throw only std::bad_alloc — or, in fatal mode,
+// an exw::Error raised *before* any memory is obtained.
+
+namespace {
+
+void* checked_malloc(std::size_t sz) {
+  exw::perf::purity::note_alloc(sz);
+  if (void* p = std::malloc(sz != 0 ? sz : 1)) {  // NOLINT
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* checked_aligned(std::size_t sz, std::align_val_t al) {
+  exw::perf::purity::note_alloc(sz);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (sz + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t sz) { return checked_malloc(sz); }
+void* operator new[](std::size_t sz) { return checked_malloc(sz); }
+void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
+  try {
+    return checked_malloc(sz);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t sz, const std::nothrow_t&) noexcept {
+  try {
+    return checked_malloc(sz);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t sz, std::align_val_t al) {
+  return checked_aligned(sz, al);
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return checked_aligned(sz, al);
+}
+void* operator new(std::size_t sz, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return checked_aligned(sz, al);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t sz, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return checked_aligned(sz, al);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+namespace {
+void checked_free(void* p) noexcept {
+  if (p != nullptr) {
+    exw::perf::purity::note_free();
+  }
+  std::free(p);  // NOLINT
+}
+}  // namespace
+
+void operator delete(void* p) noexcept { checked_free(p); }
+void operator delete[](void* p) noexcept { checked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { checked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { checked_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  checked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  checked_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { checked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { checked_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  checked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  checked_free(p);
+}
+
+#endif  // EXW_PURITY_CHECKS_ENABLED

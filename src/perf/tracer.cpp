@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "par/contract.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::perf {
 
@@ -93,11 +94,13 @@ Tracer::Tracer(int nranks) : nranks_(nranks) {
 }
 
 PhaseStats& Tracer::stats_for(const std::string& name) {
-  auto it = phases_.find(name);
+  auto it = phases_.find(name);  // exw-warm-ok: the tracer IS the instrument
   if (it == phases_.end()) {
-    it = phases_.emplace(name, PhaseStats{}).first;
-    it->second.rank.assign(static_cast<std::size_t>(nranks_), RankWork{});
-    order_.push_back(name);
+    it = phases_.emplace(  // exw-warm-ok: once per phase name (cold)
+        name, PhaseStats{}).first;
+    it->second.rank.assign(  // exw-warm-ok: cold first touch of phase name
+        static_cast<std::size_t>(nranks_), RankWork{});
+    order_.push_back(name);  // exw-warm-ok: cold first touch of phase name
   }
   return it->second;
 }
@@ -108,16 +111,27 @@ void Tracer::push_phase(const std::string& name) {
       stack_.back().empty() ? name : stack_.back() + "/" + name;
   stats_for(full);
   stack_.push_back(full);
+  const auto t = purity::totals();
+  alloc_snap_.emplace_back(t.allocs, t.bytes);
 }
 
 void Tracer::pop_phase() {
   EXW_CONTRACT_CHECK(par::contract::check_phase_mutation("pop_phase"));
   EXW_REQUIRE(stack_.size() > 1, "pop_phase with no open phase");
+  // Fold the process-wide allocation delta into the closing phase. The
+  // delta naturally includes nested phases' activity, matching how
+  // kernel charges accrue to every open phase.
+  const auto t = purity::totals();
+  const auto& [a0, b0] = alloc_snap_.back();
+  PhaseStats& s = find_stats(stack_.back());
+  s.allocs += static_cast<long long>(t.allocs - a0);
+  s.alloc_bytes += static_cast<double>(t.bytes - b0);
+  alloc_snap_.pop_back();
   stack_.pop_back();
 }
 
 PhaseStats& Tracer::find_stats(const std::string& name) {
-  auto it = phases_.find(name);
+  auto it = phases_.find(name);  // exw-warm-ok: the tracer IS the instrument
   EXW_ASSERT(it != phases_.end());
   return it->second;
 }
@@ -128,7 +142,7 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
 
 void Tracer::kernel_split(RankId r, double flops, double value_bytes,
                           double index_bytes) {
-  EXW_ASSERT(r >= 0 && r < nranks_);
+  EXW_ASSERT(r.value() >= 0 && r.value() < nranks_);
   EXW_CONTRACT_CHECK(par::contract::check_kernel_charge(r));
   // Rank r's flops/bytes/kernels are written only by the thread running
   // rank r's body, so plain accumulation is race-free even inside
@@ -147,7 +161,8 @@ void Tracer::kernel_split(RankId r, double flops, double value_bytes,
 }
 
 void Tracer::message(RankId src, RankId dst, double bytes) {
-  EXW_ASSERT(src >= 0 && src < nranks_ && dst >= 0 && dst < nranks_);
+  EXW_ASSERT(src.value() >= 0 && src.value() < nranks_ &&
+             dst.value() >= 0 && dst.value() < nranks_);
   EXW_CONTRACT_CHECK(par::contract::check_message_charge(src));
   for (const auto& name : stack_) {
     auto& s = find_stats(name);
@@ -203,6 +218,8 @@ void Tracer::reset() {
     s.collectives = 0;
     s.coll_bytes = 0;
     s.messages = 0;
+    s.allocs = 0;
+    s.alloc_bytes = 0;
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -64,6 +65,14 @@ struct PhaseStats {
   /// unless dst == src (self-routed triples in assembly), so halving the
   /// per-rank sum undercounts whenever self-messages occur.
   long messages = 0;
+  /// Heap allocations observed while this phase was open (process-wide
+  /// deltas of the purity sanitizer's counters, taken at push/pop — see
+  /// perf/purity.hpp). Like the PR 7 index/value byte split, this is a
+  /// label, not a cost: modeled times ignore it, but it lets a bench or
+  /// test assert "this phase allocated nothing" without interposing its
+  /// own operator new. Zero when EXW_PURITY_CHECKS=OFF.
+  long long allocs = 0;
+  double alloc_bytes = 0;
 
   /// Modeled wall time of this phase on machine `m`.
   double modeled_time(const MachineModel& m) const;
@@ -79,6 +88,8 @@ struct PhaseStats {
   /// Index-structure traffic (subset of total_bytes) and its complement.
   double total_index_bytes() const;
   double total_value_bytes() const;
+  /// Heap allocations observed while the phase was open (see `allocs`).
+  long long total_allocs() const { return allocs; }
   /// Largest single kernel charged by any rank in this phase (flops).
   double max_kernel_flops() const;
 };
@@ -144,6 +155,10 @@ class Tracer {
   std::map<std::string, PhaseStats> phases_;
   std::vector<std::string> order_;
   std::vector<std::string> stack_;  ///< open fully-qualified names
+  /// Purity-counter snapshot (allocs, bytes) taken when each open phase
+  /// was pushed; the delta at pop is folded into that phase's `allocs`.
+  /// Parallel to stack_ minus the root entry.
+  std::vector<std::pair<unsigned long long, unsigned long long>> alloc_snap_;
 };
 
 /// RAII phase guard.

@@ -12,6 +12,7 @@
 #include "amg/smoothers.hpp"
 #include "linalg/parcsr.hpp"
 #include "linalg/parvector.hpp"
+#include "perf/purity.hpp"
 
 namespace exw::solver {
 
@@ -100,7 +101,8 @@ class SmootherPrecond final : public Preconditioner {
 
   /// Re-read the matrix's current values into the existing L/D/U split
   /// (structure must be unchanged — throws otherwise).
-  void refresh_values() {
+  EXW_WARM_FN void refresh_values() {
+    EXW_PURITY_REGION("smoother-precond-rebind");
     smoother_.refresh_values();
     charge(/*rebuild=*/false);
   }
