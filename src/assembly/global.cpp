@@ -5,17 +5,17 @@
 
 #include "assembly/charges.hpp"
 #include "common/error.hpp"
+#include "par/tags.hpp"
 #include "sparse/prim.hpp"
 
 namespace exw::assembly {
 
-namespace {
+// Channel tags come from the central registry (par/tags.hpp); the
+// former file-local 201-205 constants live there now, uniqueness
+// compile-checked against every other subsystem.
+namespace tags = par::tags;
 
-constexpr int kTagCooRow = 201;
-constexpr int kTagCooCol = 202;
-constexpr int kTagCooVal = 203;
-constexpr int kTagRhsRow = 204;
-constexpr int kTagRhsVal = 205;
+namespace {
 
 using detail::charge_sort;
 using detail::charge_stream;
@@ -116,13 +116,13 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
       while (j < sh.nnz() && rows.rank_of(sh.rows[j]) == owner) {
         ++j;
       }
-      transport.send(r, owner, kTagCooRow,
+      transport.send(r, owner, tags::kCooRows,
                      std::vector<GlobalIndex>(sh.rows.begin() + static_cast<std::ptrdiff_t>(i),
                                               sh.rows.begin() + static_cast<std::ptrdiff_t>(j)));
-      transport.send(r, owner, kTagCooCol,
+      transport.send(r, owner, tags::kCooCols,
                      std::vector<GlobalIndex>(sh.cols.begin() + static_cast<std::ptrdiff_t>(i),
                                               sh.cols.begin() + static_cast<std::ptrdiff_t>(j)));
-      transport.send(r, owner, kTagCooVal,
+      transport.send(r, owner, tags::kCooVals,
                      std::vector<Real>(sh.vals.begin() + static_cast<std::ptrdiff_t>(i),
                                        sh.vals.begin() + static_cast<std::ptrdiff_t>(j)));
       i = j;
@@ -134,10 +134,10 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
     // Step 3-4: stack owned + all received buffers.
     sparse::Coo recv;
     for (RankId src{0}; src.value() < nranks; ++src) {
-      if (!transport.has_message(r, src, kTagCooRow)) continue;
-      auto ri = transport.recv<GlobalIndex>(r, src, kTagCooRow);
-      auto rj = transport.recv<GlobalIndex>(r, src, kTagCooCol);
-      auto rv = transport.recv<Real>(r, src, kTagCooVal);
+      if (!transport.has_message(r, src, tags::kCooRows)) continue;
+      auto ri = transport.recv<GlobalIndex>(r, src, tags::kCooRows);
+      auto rj = transport.recv<GlobalIndex>(r, src, tags::kCooCols);
+      auto rv = transport.recv<Real>(r, src, tags::kCooVals);
       recv.rows.insert(recv.rows.end(), ri.begin(), ri.end());
       recv.cols.insert(recv.cols.end(), rj.begin(), rj.end());
       recv.vals.insert(recv.vals.end(), rv.begin(), rv.end());
@@ -160,7 +160,7 @@ linalg::ParCsr assemble_matrix(par::Runtime& rt, const par::RowPartition& rows,
         // more data motion, and more complex algorithms"). Charge a
         // second full sort pass plus the staging traffic.
         charge_sort(tracer, r, all.nnz(), 2.0 * kTripleBytes);
-        for (int stage = 0; stage < 6; ++stage) {
+        for (std::size_t stage = 0; stage < 6; ++stage) {
           charge_stream(tracer, r, all.nnz(), kTripleBytes);
         }
       }
@@ -229,10 +229,10 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
       while (j < sh.size() && rows.rank_of(sh.rows[j]) == owner) {
         ++j;
       }
-      transport.send(r, owner, kTagRhsRow,
+      transport.send(r, owner, tags::kRhsRows,
                      std::vector<GlobalIndex>(sh.rows.begin() + static_cast<std::ptrdiff_t>(i),
                                               sh.rows.begin() + static_cast<std::ptrdiff_t>(j)));
-      transport.send(r, owner, kTagRhsVal,
+      transport.send(r, owner, tags::kRhsVals,
                      std::vector<Real>(sh.vals.begin() + static_cast<std::ptrdiff_t>(i),
                                        sh.vals.begin() + static_cast<std::ptrdiff_t>(j)));
       i = j;
@@ -251,9 +251,9 @@ linalg::ParVector assemble_vector(par::Runtime& rt,
     // (n_recv << n_own, the paper's key optimization).
     sparse::CooVector recv;
     for (RankId src{0}; src.value() < nranks; ++src) {
-      if (!transport.has_message(r, src, kTagRhsRow)) continue;
-      auto ri = transport.recv<GlobalIndex>(r, src, kTagRhsRow);
-      auto rv = transport.recv<Real>(r, src, kTagRhsVal);
+      if (!transport.has_message(r, src, tags::kRhsRows)) continue;
+      auto ri = transport.recv<GlobalIndex>(r, src, tags::kRhsRows);
+      auto rv = transport.recv<Real>(r, src, tags::kRhsVals);
       recv.rows.insert(recv.rows.end(), ri.begin(), ri.end());
       recv.vals.insert(recv.vals.end(), rv.begin(), rv.end());
     }

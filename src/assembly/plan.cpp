@@ -4,18 +4,19 @@
 
 #include "assembly/charges.hpp"
 #include "common/error.hpp"
+#include "par/tags.hpp"
 #include "perf/purity.hpp"
 #include "sparse/prim.hpp"
 
 namespace exw::assembly {
 
-namespace {
+// Warm-path value-only exchange tags come from the central registry
+// (par/tags.hpp): kPlanMatVals/kPlanRhsVals, kept distinct from the cold
+// 201-205 channels so a warm refill can never consume a cold assembly's
+// triples by accident.
+namespace tags = par::tags;
 
-/// Warm-path value-only exchanges (structure frozen in the plan). Kept
-/// distinct from the cold tags 201-205 so a warm refill can never
-/// consume a cold assembly's triples by accident.
-constexpr int kTagPlanMatVal = 206;
-constexpr int kTagPlanRhsVal = 207;
+namespace {
 
 using detail::charge_sort;
 using detail::charge_stream;
@@ -277,7 +278,7 @@ void AssemblyPlan::refill_matrix(par::Runtime& rt,
     EXW_PURITY_ALLOW("simulated-NIC message serialization");
     for (const auto& s : p.mat_sends) {
       transport.send(
-          r, s.peer, kTagPlanMatVal,
+          r, s.peer, tags::kPlanMatVals,
           std::vector<Real>(sh.vals.begin() + static_cast<std::ptrdiff_t>(s.begin),
                             sh.vals.begin() + static_cast<std::ptrdiff_t>(s.end)));
       charge_stream(tracer, r, s.end - s.begin, sizeof(Real));
@@ -296,7 +297,7 @@ void AssemblyPlan::refill_matrix(par::Runtime& rt,
     }
     std::copy(own.vals.begin(), own.vals.end(), p.stacked.begin());
     for (const auto& s : p.mat_recvs) {
-      auto vals = transport.recv<Real>(r, s.peer, kTagPlanMatVal);
+      auto vals = transport.recv<Real>(r, s.peer, tags::kPlanMatVals);
       EXW_REQUIRE(vals.size() == s.end - s.begin,
                   "assembly plan is stale: received triple count changed");
       std::copy(vals.begin(), vals.end(),
@@ -326,7 +327,7 @@ void AssemblyPlan::refill_vector(par::Runtime& rt,
     EXW_PURITY_ALLOW("simulated-NIC message serialization");
     for (const auto& s : p.rhs_sends) {
       transport.send(
-          r, s.peer, kTagPlanRhsVal,
+          r, s.peer, tags::kPlanRhsVals,
           std::vector<Real>(sh.vals.begin() + static_cast<std::ptrdiff_t>(s.begin),
                             sh.vals.begin() + static_cast<std::ptrdiff_t>(s.end)));
       charge_stream(tracer, r, s.end - s.begin, sizeof(Real));
@@ -343,7 +344,7 @@ void AssemblyPlan::refill_vector(par::Runtime& rt,
       p.rhs_recv.resize(p.rhs_n_recv);  // no-op after the first refill
     }
     for (const auto& s : p.rhs_recvs) {
-      auto vals = transport.recv<Real>(r, s.peer, kTagPlanRhsVal);
+      auto vals = transport.recv<Real>(r, s.peer, tags::kPlanRhsVals);
       EXW_REQUIRE(vals.size() == s.end - s.begin,
                   "assembly plan is stale: received RHS count changed");
       std::copy(vals.begin(), vals.end(),

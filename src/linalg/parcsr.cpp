@@ -3,18 +3,16 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "par/tags.hpp"
 #include "perf/purity.hpp"
 #include "sparse/prim.hpp"
 
 namespace exw::linalg {
 
-namespace {
-constexpr int kTagHalo = 101;
-constexpr int kTagRowReq = 102;
-constexpr int kTagRowHdr = 103;
-constexpr int kTagRowCol = 104;
-constexpr int kTagRowVal = 105;
-}  // namespace
+// Channel tags come from the central registry (par/tags.hpp); the
+// former file-local 101-105 constants live there now, uniqueness
+// compile-checked against every other subsystem.
+namespace tags = par::tags;
 
 ParCsr::ParCsr(par::Runtime& rt, par::RowPartition rows,
                par::RowPartition cols, std::vector<RankBlock> blocks)
@@ -187,7 +185,7 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
       }
       rt_->tracer().kernel(r, 0.0,
                            2.0 * sizeof(Real) * static_cast<double>(buf.size()));
-      transport.send(r, send.dst, kTagHalo, std::move(buf));
+      transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
     }
   });
   // Receive in col_map order (all sends completed at the region barrier).
@@ -196,7 +194,7 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
     auto& e = ext[static_cast<std::size_t>(r)];
     e.reserve(blocks_[static_cast<std::size_t>(r)].col_map.size());
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
-      auto buf = transport.recv<Real>(r, recv.src, kTagHalo);
+      auto buf = transport.recv<Real>(r, recv.src, tags::kHaloValues);
       EXW_ASSERT(checked_narrow<LocalIndex>(buf.size()) == recv.count);
       e.insert(e.end(), buf.begin(), buf.end());
     }
@@ -251,7 +249,7 @@ std::vector<RealVector> ParCsr::halo_exchange_multi(
       }
       rt_->tracer().kernel(r, 0.0,
                            2.0 * sizeof(Real) * static_cast<double>(buf.size()));
-      transport.send(r, send.dst, kTagHalo, std::move(buf));
+      transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
     }
   });
   // Receive in col_map order; lane c's halo values land in the plane
@@ -264,7 +262,7 @@ std::vector<RealVector> ParCsr::halo_exchange_multi(
     e.assign(lanes * m, 0.0);
     std::size_t offset = 0;
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
-      auto buf = transport.recv<Real>(r, recv.src, kTagHalo);
+      auto buf = transport.recv<Real>(r, recv.src, tags::kHaloValues);
       const auto count = static_cast<std::size_t>(recv.count);
       EXW_ASSERT(buf.size() == lanes * count);
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -351,14 +349,14 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
                          static_cast<std::ptrdiff_t>(offset),
                      offd_contrib[static_cast<std::size_t>(r)].begin() +
                          static_cast<std::ptrdiff_t>(offset + static_cast<std::size_t>(recv.count)));
-      transport.send(r, recv.src, kTagHalo, std::move(buf));
+      transport.send(r, recv.src, tags::kHaloValues, std::move(buf));
       offset += static_cast<std::size_t>(recv.count);
     }
   });
   rt_->parallel_for_ranks([&](RankId owner) {
     auto& yl = y.local(owner);
     for (const auto& send : comm_.sends[static_cast<std::size_t>(owner)]) {
-      auto buf = transport.recv<Real>(owner, send.dst, kTagHalo);
+      auto buf = transport.recv<Real>(owner, send.dst, tags::kHaloValues);
       EXW_ASSERT(buf.size() == send.idx.size());
       for (std::size_t i = 0; i < buf.size(); ++i) {
         yl[static_cast<std::size_t>(send.idx[i])] += buf[i];
@@ -438,7 +436,7 @@ std::vector<ExtRows> fetch_external_rows(
         ids.push_back(sorted[j]);
         ++j;
       }
-      transport.send(r, owner, kTagRowReq, ids);
+      transport.send(r, owner, tags::kRowRequest, ids);
       reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)] =
           std::move(ids);
       i = j;
@@ -453,7 +451,7 @@ std::vector<ExtRows> fetch_external_rows(
     for (RankId r{0}; r.value() < nranks; ++r) {
       const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
       if (ids.empty()) continue;
-      (void)transport.recv<GlobalIndex>(owner, r, kTagRowReq);
+      (void)transport.recv<GlobalIndex>(owner, r, tags::kRowRequest);
       std::vector<GlobalIndex> hdr;
       std::vector<GlobalIndex> cols;
       std::vector<Real> vals;
@@ -474,9 +472,9 @@ std::vector<ExtRows> fetch_external_rows(
         }
         hdr.push_back(len);
       }
-      transport.send(owner, r, kTagRowHdr, std::move(hdr));
-      transport.send(owner, r, kTagRowCol, std::move(cols));
-      transport.send(owner, r, kTagRowVal, std::move(vals));
+      transport.send(owner, r, tags::kRowHeader, std::move(hdr));
+      transport.send(owner, r, tags::kRowCols, std::move(cols));
+      transport.send(owner, r, tags::kRowVals, std::move(vals));
     }
   });
 
@@ -488,9 +486,9 @@ std::vector<ExtRows> fetch_external_rows(
     for (RankId owner{0}; owner.value() < nranks; ++owner) {
       const auto& ids = reqs[static_cast<std::size_t>(owner)][static_cast<std::size_t>(r)];
       if (ids.empty()) continue;
-      auto hdr = transport.recv<GlobalIndex>(r, owner, kTagRowHdr);
-      auto cols = transport.recv<GlobalIndex>(r, owner, kTagRowCol);
-      auto vals = transport.recv<Real>(r, owner, kTagRowVal);
+      auto hdr = transport.recv<GlobalIndex>(r, owner, tags::kRowHeader);
+      auto cols = transport.recv<GlobalIndex>(r, owner, tags::kRowCols);
+      auto vals = transport.recv<Real>(r, owner, tags::kRowVals);
       std::size_t cursor = 0;
       for (std::size_t i = 0; i < ids.size(); ++i) {
         e.row_ids.push_back(ids[i]);

@@ -26,6 +26,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "par/comm_audit.hpp"
 #include "par/contract.hpp"
 #include "par/thread_pool.hpp"
 #include "perf/purity.hpp"
@@ -36,8 +37,12 @@ namespace exw::par {
 /// In-memory point-to-point mailboxes between simulated ranks.
 class Transport {
  public:
-  Transport(perf::Tracer* tracer, int nranks)
+  /// `audit` (optional, owned by Runtime) receives a ledger record for
+  /// every send/recv when EXW_COMM_AUDIT=ON; see par/comm_audit.hpp.
+  Transport(perf::Tracer* tracer, int nranks,
+            comm_audit::Auditor* audit = nullptr)
       : tracer_(tracer),
+        audit_(audit),
         shards_(static_cast<std::size_t>(nranks > 0 ? nranks : 1)),
         nranks_(nranks > 0 ? nranks : 1) {}
 
@@ -45,12 +50,20 @@ class Transport {
   /// Safe to call from concurrent rank bodies; per-channel FIFO order is
   /// preserved because each (src, dst, tag) channel has a single sender
   /// (enforced by the contract checker inside parallel regions).
+  /// With the comm audit ON, the declaration grows a defaulted
+  /// std::source_location parameter capturing the caller's call site.
   template <typename T>
-  void send(RankId src, RankId dst, int tag, const std::vector<T>& payload) {
+  void send(RankId src, RankId dst, int tag,
+            const std::vector<T>& payload EXW_COMM_SITE_DECL) {
     static_assert(std::is_trivially_copyable_v<T>);
     require_rank(src, "send src");
     require_rank(dst, "send dst");
     EXW_CONTRACT_CHECK(contract::check_send(src, dst, tag, "Transport::send"));
+    // Ledger entry goes in before the mailbox push: a concurrent receiver
+    // can only observe the message after the push, so its matching recv
+    // record always finds this send already on the channel FIFO.
+    EXW_COMM_AUDIT_RECORD(if (audit_ != nullptr) audit_->on_send(
+        src, dst, tag, payload.size(), payload.size() * sizeof(T), exw_site));
     // The staging buffer and mailbox nodes stand in for the NIC/MPI
     // library's internal buffers, which a real run would not allocate on
     // the application's critical path — so purity regions tolerate them.
@@ -66,7 +79,7 @@ class Transport {
 
   /// Receive the oldest matching message; throws if none is pending.
   template <typename T>
-  std::vector<T> recv(RankId dst, RankId src, int tag) {
+  std::vector<T> recv(RankId dst, RankId src, int tag EXW_COMM_SITE_DECL) {
     require_rank(dst, "recv dst");
     require_rank(src, "recv src");
     EXW_CONTRACT_CHECK(contract::check_recv(dst, src, tag, "Transport::recv"));
@@ -86,7 +99,12 @@ class Transport {
         sh.boxes.erase(it);
       }
     }
-    return from_bytes<T>(raw);
+    std::vector<T> out = from_bytes<T>(raw);
+    // Recorded only after successful extraction, so the audit matches
+    // exactly the messages that were actually consumed.
+    EXW_COMM_AUDIT_RECORD(if (audit_ != nullptr) audit_->on_recv(
+        dst, src, tag, out.size(), raw.size(), exw_site));
+    return out;
   }
 
   /// True if a message from src to dst with tag is pending.
@@ -158,6 +176,7 @@ class Transport {
   }
 
   perf::Tracer* tracer_;
+  comm_audit::Auditor* audit_;  ///< not owned; null when audit is OFF
   std::vector<Shard> shards_;
   int nranks_;
 };
@@ -165,15 +184,29 @@ class Transport {
 /// The simulated world handed to every distributed component.
 class Runtime {
  public:
-  explicit Runtime(int nranks)
-      : tracer_(nranks), transport_(&tracer_, nranks), nranks_(nranks) {
-    EXW_REQUIRE(nranks >= 1, "runtime needs at least one rank");
-  }
+  /// With EXW_COMM_AUDIT=ON the constructor also creates the world's
+  /// communication auditor, feeds it from the transport and collectives,
+  /// and hooks it to the tracer's phase boundaries; the destructor runs
+  /// a never-throwing teardown audit (see comm_audit.hpp).
+  explicit Runtime(int nranks);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
 
   int nranks() const { return nranks_; }
   perf::Tracer& tracer() { return tracer_; }
   const perf::Tracer& tracer() const { return tracer_; }
   Transport& transport() { return transport_; }
+
+  /// Run the full communication audit now (collective-sequence
+  /// comparison + unmatched-send scan) and throw exw::Error on the first
+  /// problem. No-op when the audit is compiled out. Tests use this to
+  /// assert on violations; production code gets the same scan, without
+  /// the throw, from the destructor.
+  void comm_audit_verify();
+
+  /// The world's auditor, for introspection; null when EXW_COMM_AUDIT=OFF.
+  comm_audit::Auditor* comm_auditor();
 
   /// Run fn(r) for every rank, potentially concurrently (one thread per
   /// rank body, blocking until all return). Rank bodies stay internally
@@ -186,18 +219,31 @@ class Runtime {
   }
 
   /// Sum a per-rank contribution into one global value, charging one
-  /// allreduce. The SPMD analogue of MPI_Allreduce(MPI_SUM).
-  double allreduce_sum(const std::vector<double>& per_rank_values);
+  /// allreduce. The SPMD analogue of MPI_Allreduce(MPI_SUM). Like
+  /// Transport::send/recv, each collective grows a defaulted source-
+  /// location parameter under the comm audit, so divergence reports name
+  /// the caller's call site.
+  double allreduce_sum(
+      const std::vector<double>& per_rank_values EXW_COMM_SITE_DECL);
 
   /// Elementwise allreduce over per-rank vectors of equal length.
   std::vector<double> allreduce_sum_vec(
-      const std::vector<std::vector<double>>& per_rank_values);
+      const std::vector<std::vector<double>>& per_rank_values
+          EXW_COMM_SITE_DECL);
 
-  GlobalIndex allreduce_sum(const std::vector<GlobalIndex>& per_rank_values);
-  GlobalIndex allreduce_max(const std::vector<GlobalIndex>& per_rank_values);
+  GlobalIndex allreduce_sum(
+      const std::vector<GlobalIndex>& per_rank_values EXW_COMM_SITE_DECL);
+  GlobalIndex allreduce_max(
+      const std::vector<GlobalIndex>& per_rank_values EXW_COMM_SITE_DECL);
 
  private:
   perf::Tracer tracer_;
+#if EXW_COMM_AUDIT_ENABLED
+  /// Declared between tracer_ and transport_: constructed after the
+  /// tracer it listens to, before the transport that feeds it, destroyed
+  /// in the reverse order.
+  std::unique_ptr<comm_audit::Auditor> audit_;
+#endif
   Transport transport_;
   int nranks_;
 };

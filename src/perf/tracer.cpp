@@ -127,7 +127,13 @@ void Tracer::pop_phase() {
   s.allocs += static_cast<long long>(t.allocs - a0);
   s.alloc_bytes += static_cast<double>(t.bytes - b0);
   alloc_snap_.pop_back();
+  const std::string closed = std::move(stack_.back());
   stack_.pop_back();
+  // Boundary hook last, with the pop fully applied, so a listener that
+  // throws (a failed boundary audit) leaves the phase stack consistent.
+  if (pop_listener_ != nullptr) {
+    pop_listener_->on_phase_pop(closed);
+  }
 }
 
 PhaseStats& Tracer::find_stats(const std::string& name) {

@@ -94,6 +94,21 @@ struct PhaseStats {
   double max_kernel_flops() const;
 };
 
+/// Phase-boundary hook: notified after each pop_phase, with the fully-
+/// qualified name of the phase that just closed. This is how boundary
+/// audits attach to the phase structure without the tracer knowing about
+/// them — par::comm_audit uses it to run its cross-rank collective-
+/// sequence comparison at every phase boundary. The notification runs on
+/// the orchestrator (pop_phase is contract-checked to be outside
+/// parallel regions) and may throw: a boundary audit that fails wants to
+/// surface at the boundary, exactly like the contract check that
+/// pop_phase already runs.
+class PhasePopListener {
+ public:
+  virtual ~PhasePopListener() = default;
+  virtual void on_phase_pop(const std::string& name) = 0;
+};
+
 /// Accumulates work by phase.
 class Tracer {
  public:
@@ -144,6 +159,13 @@ class Tracer {
   /// Reset all accumulated stats (phase registry is kept).
   void reset();
 
+  /// Install (or clear, with nullptr) the phase-boundary listener. At
+  /// most one listener; the tracer does not own it. The owner must
+  /// outlive the tracer or clear the hook first.
+  void set_phase_pop_listener(PhasePopListener* listener) {
+    pop_listener_ = listener;
+  }
+
  private:
   PhaseStats& stats_for(const std::string& name);
   /// Lookup without insertion — the hot accounting path. Never mutates
@@ -159,6 +181,7 @@ class Tracer {
   /// was pushed; the delta at pop is folded into that phase's `allocs`.
   /// Parallel to stack_ minus the root entry.
   std::vector<std::pair<unsigned long long, unsigned long long>> alloc_snap_;
+  PhasePopListener* pop_listener_ = nullptr;  ///< not owned; may be null
 };
 
 /// RAII phase guard.

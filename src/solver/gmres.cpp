@@ -100,19 +100,19 @@ SolveStats gmres_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
       auto& hj = h[static_cast<std::size_t>(j)];
       if (opts.ortho == OrthoMethod::kMgs) {
         // One reduction per projection + one for the norm.
-        for (int i = 0; i <= j; ++i) {
-          hj[static_cast<std::size_t>(i)] = w.dot(v[static_cast<std::size_t>(i)]);
-          w.axpy(-hj[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
+        for (std::size_t i = 0; i < static_cast<std::size_t>(j) + 1; ++i) {
+          hj[i] = w.dot(v[i]);
+          w.axpy(-hj[i], v[i]);
         }
         hj[static_cast<std::size_t>(j) + 1] = w.norm2();
       } else {
         // One fused reduction: [V^T w ; ||w||^2].
         const auto dots = fused_dots(v, static_cast<std::size_t>(j) + 1, w);
         double h_norm2 = 0;
-        for (int i = 0; i <= j; ++i) {
-          hj[static_cast<std::size_t>(i)] = dots[static_cast<std::size_t>(i)];
-          h_norm2 += dots[static_cast<std::size_t>(i)] * dots[static_cast<std::size_t>(i)];
-          w.axpy(-hj[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
+        for (std::size_t i = 0; i < static_cast<std::size_t>(j) + 1; ++i) {
+          hj[i] = dots[i];
+          h_norm2 += dots[i] * dots[i];
+          w.axpy(-hj[i], v[i]);
         }
         const double w_norm2 = dots[static_cast<std::size_t>(j) + 1];
         double corrected = w_norm2 - h_norm2;
@@ -128,11 +128,11 @@ SolveStats gmres_solve(const linalg::ParMatrix& a, const linalg::ParVector& b,
           const auto dots2 =
               fused_dots(v, static_cast<std::size_t>(j) + 1, w);
           double c_norm2 = 0;
-          for (int i = 0; i <= j; ++i) {
-            const double c = dots2[static_cast<std::size_t>(i)];
-            hj[static_cast<std::size_t>(i)] += c;
+          for (std::size_t i = 0; i < static_cast<std::size_t>(j) + 1; ++i) {
+            const double c = dots2[i];
+            hj[i] += c;
             c_norm2 += c * c;
-            w.axpy(-c, v[static_cast<std::size_t>(i)]);
+            w.axpy(-c, v[i]);
           }
           // The second pass removes only O(eps)-sized components, so its
           // own Pythagorean update is reliable unless w vanished entirely.

@@ -11,6 +11,7 @@
 #include "assembly/ij.hpp"
 #include "assembly/plan.hpp"
 #include "mesh/meshdb.hpp"
+#include "par/tags.hpp"
 #include "test_util.hpp"
 
 namespace exw::assembly {
@@ -469,10 +470,10 @@ TEST(Exchange, StrongIdCooRoundTripIsBitwise) {
   const std::vector<GlobalIndex> rows{
       GlobalIndex{0}, GlobalIndex{(std::int64_t{1} << 40) + 3}, kInvalidGlobal};
   const std::vector<Real> vals{1.5, -2.25, 0.0};
-  t.send<GlobalIndex>(RankId{0}, RankId{1}, /*tag=*/91, rows);
-  t.send<Real>(RankId{0}, RankId{1}, /*tag=*/92, vals);
-  const auto got_rows = t.recv<GlobalIndex>(RankId{1}, RankId{0}, 91);
-  const auto got_vals = t.recv<Real>(RankId{1}, RankId{0}, 92);
+  t.send<GlobalIndex>(RankId{0}, RankId{1}, par::tags::kTestRows, rows);
+  t.send<Real>(RankId{0}, RankId{1}, par::tags::kTestVals, vals);
+  const auto got_rows = t.recv<GlobalIndex>(RankId{1}, RankId{0}, par::tags::kTestRows);
+  const auto got_vals = t.recv<Real>(RankId{1}, RankId{0}, par::tags::kTestVals);
   ASSERT_EQ(got_rows.size(), rows.size());
   EXPECT_EQ(std::memcmp(got_rows.data(), rows.data(),
                         rows.size() * sizeof(GlobalIndex)),

@@ -1,0 +1,292 @@
+// Tests for the communication-determinism audit (par/comm_audit.hpp):
+// the per-rank ledger, cross-rank collective-sequence comparison at
+// phase boundaries / teardown, the unmatched-send scan, runtime tag-
+// registry enforcement, and the compile-time registry uniqueness check.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "par/comm_audit.hpp"
+#include "par/contract.hpp"
+#include "par/runtime.hpp"
+#include "par/tags.hpp"
+
+namespace exw {
+namespace {
+
+using par::Runtime;
+using par::contract::ScopedRankContext;
+namespace comm_audit = par::comm_audit;
+namespace tags = par::tags;
+
+// --- tag registry (compiles in every configuration) ----------------------
+
+// The registry's uniqueness contract is a static_assert in tags.hpp; the
+// checker itself must accept the committed registry and reject a
+// collision. A duplicate tag in kRegistry would fail the build, which is
+// the "tag-collision rejected" acceptance criterion.
+constexpr tags::Entry kColliding[] = {
+    {901, "a"},
+    {902, "b"},
+    {901, "c"},
+};
+static_assert(!tags::detail::all_unique(kColliding),
+              "duplicate-detection must reject a colliding registry");
+static_assert(tags::detail::all_unique(tags::kRegistry),
+              "the committed registry must be collision-free");
+static_assert(tags::registered(tags::kTestAudit));
+static_assert(!tags::registered(777));
+
+TEST(CommAuditConfig, EnabledMatchesBuildAndVerifyIsCleanOnIdleRuntime) {
+  EXPECT_EQ(comm_audit::enabled(), EXW_COMM_AUDIT_ENABLED != 0);
+  Runtime rt(2);
+  if (comm_audit::enabled()) {
+    EXPECT_NE(rt.comm_auditor(), nullptr);
+  } else {
+    EXPECT_EQ(rt.comm_auditor(), nullptr);
+  }
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+  EXPECT_FALSE(comm_audit::summary().empty());
+}
+
+TEST(CommAuditConfig, TagNamesResolveFromRegistry) {
+  EXPECT_STREQ(tags::name(tags::kPlanMatVals), "plan-mat-vals");
+  EXPECT_STREQ(tags::name(tags::kHaloValues), "halo-values");
+  EXPECT_STREQ(tags::name(777), "unregistered");
+}
+
+#if EXW_COMM_AUDIT_ENABLED
+
+// --- collective-sequence divergence --------------------------------------
+
+TEST(CommAudit, DivergentCollectiveKindThrowsNamingBothRanksAndSite) {
+  Runtime rt(2);
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<GlobalIndex> gs{GlobalIndex{1}, GlobalIndex{2}};
+  {
+    ScopedRankContext ctx(RankId{0});
+    (void)rt.allreduce_sum(xs);
+  }
+  {
+    ScopedRankContext ctx(RankId{1});
+    (void)rt.allreduce_max(gs);
+  }
+  try {
+    rt.comm_audit_verify();
+    FAIL() << "divergent collective sequence must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("allreduce_sum"), std::string::npos) << what;
+    EXPECT_NE(what.find("allreduce_max"), std::string::npos) << what;
+    // The call site named is THIS file — the defaulted source_location
+    // parameter captures the caller, not the runtime internals.
+    EXPECT_NE(what.find("test_comm_audit.cpp"), std::string::npos) << what;
+  }
+  // The divergence was reported once and the window advanced: teardown
+  // (destructor) stays quiet and a re-verify passes.
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+TEST(CommAudit, MissingParticipantReportsExtraCollective) {
+  Runtime rt(4);
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  {
+    ScopedRankContext ctx(RankId{2});
+    (void)rt.allreduce_sum(xs);
+  }
+  try {
+    rt.comm_audit_verify();
+    FAIL() << "a collective only rank 2 entered must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+  }
+}
+
+TEST(CommAudit, IdenticalRankSequencesPassAndWindowAdvances) {
+  Runtime rt(2);
+  const std::vector<double> xs{1.0, 2.0};
+  auto reduce_as = [&](RankId r) {
+    ScopedRankContext ctx(r);
+    (void)rt.allreduce_sum(xs);  // one call site shared by every rank
+  };
+  for (int r = 0; r < rt.nranks(); ++r) {
+    reduce_as(RankId{r});
+  }
+  ASSERT_NE(rt.comm_auditor(), nullptr);
+  EXPECT_EQ(rt.comm_auditor()->pending_collectives(RankId{0}), 1u);
+  EXPECT_EQ(rt.comm_auditor()->pending_collectives(RankId{1}), 1u);
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+  EXPECT_EQ(rt.comm_auditor()->pending_collectives(RankId{0}), 0u);
+  EXPECT_EQ(rt.comm_auditor()->pending_collectives(RankId{1}), 0u);
+}
+
+TEST(CommAudit, PhaseBoundaryRunsTheSequenceCheck) {
+  Runtime rt(2);
+  const std::vector<double> xs{1.0, 2.0};
+  rt.tracer().push_phase("divergent");
+  {
+    ScopedRankContext ctx(RankId{1});
+    (void)rt.allreduce_sum(xs);
+  }
+  // pop_phase notifies the auditor via the PhasePopListener hook; the
+  // rank-1-only collective must surface right at the boundary.
+  EXPECT_THROW(rt.tracer().pop_phase(), Error);
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+TEST(CommAudit, OrchestratorCollectivesOnlyAdvanceTheEpoch) {
+  Runtime rt(3);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  ASSERT_NE(rt.comm_auditor(), nullptr);
+  const unsigned long long e0 = rt.comm_auditor()->collective_epoch();
+  (void)rt.allreduce_sum(xs);
+  (void)rt.allreduce_sum_vec({{1.0}, {2.0}, {3.0}});
+  EXPECT_EQ(rt.comm_auditor()->collective_epoch(), e0 + 2);
+  for (int r = 0; r < rt.nranks(); ++r) {
+    EXPECT_EQ(rt.comm_auditor()->pending_collectives(RankId{r}), 0u);
+  }
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+TEST(CommAudit, EpochStampCatchesInterleavingDivergence) {
+  // Both ranks record the same rank-context collective from the same
+  // site, but rank 1 saw a global collective in between — on real
+  // hardware the two ranks would enter different collectives at once.
+  Runtime rt(2);
+  const std::vector<double> xs{1.0, 2.0};
+  auto reduce_as = [&](RankId r) {
+    ScopedRankContext ctx(r);
+    (void)rt.allreduce_sum(xs);
+  };
+  reduce_as(RankId{0});
+  (void)rt.allreduce_sum(xs);  // orchestrator: bumps the epoch
+  reduce_as(RankId{1});
+  EXPECT_THROW(rt.comm_audit_verify(), Error);
+}
+
+// --- point-to-point audits -----------------------------------------------
+
+TEST(CommAudit, UnmatchedSendExplicitVerifyThrowsNamingChannelAndSite) {
+  Runtime rt(2);
+  rt.transport().send<int>(RankId{0}, RankId{1}, tags::kTestAudit, {1, 2});
+  ASSERT_NE(rt.comm_auditor(), nullptr);
+  EXPECT_EQ(rt.comm_auditor()->unreceived_messages(), 1u);
+  try {
+    rt.comm_audit_verify();
+    FAIL() << "a sent-but-never-received message must fail the audit";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("never received"), std::string::npos) << what;
+    EXPECT_NE(what.find("test-audit"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_comm_audit.cpp"), std::string::npos) << what;
+  }
+  // Reported once; the pending record is dropped so teardown is quiet.
+  EXPECT_EQ(rt.comm_auditor()->unreceived_messages(), 0u);
+}
+
+TEST(CommAudit, UnmatchedSendAtTeardownCountsViolations) {
+  const auto before = comm_audit::report();
+  {
+    Runtime rt(2);
+    rt.transport().send<int>(RankId{0}, RankId{1}, tags::kTestAudit, {7});
+    // No recv, no explicit verify: ~Runtime's teardown scan must catch
+    // it without throwing (destructor context) and count it.
+  }
+  const auto after = comm_audit::report();
+  EXPECT_EQ(after.violations, before.violations + 1);
+  EXPECT_EQ(after.teardown_reports, before.teardown_reports + 1);
+}
+
+TEST(CommAudit, UnregisteredTagIsRejectedAtSend) {
+  Runtime rt(2);
+  constexpr int kBogusTag = 777;  // named, but absent from the registry
+  try {
+    rt.transport().send<int>(RankId{0}, RankId{1}, kBogusTag, {1});
+    FAIL() << "an unregistered tag must be rejected";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unregistered tag 777"), std::string::npos) << what;
+    EXPECT_NE(what.find("par/tags.hpp"), std::string::npos) << what;
+  }
+  // Rejected before the mailbox push: nothing was actually sent.
+  EXPECT_TRUE(rt.transport().drained());
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+TEST(CommAudit, PayloadElementTypeMismatchIsDetectedAtRecv) {
+  Runtime rt(2);
+  // 4 ints = 16 bytes; received as 2 doubles = same bytes, different
+  // element count. The transport deserializes happily — only the ledger
+  // can see the type punning across the channel.
+  rt.transport().send<int>(RankId{0}, RankId{1}, tags::kTestAudit,
+                           {1, 2, 3, 4});
+  try {
+    (void)rt.transport().recv<double>(RankId{1}, RankId{0},
+                                      tags::kTestAudit);
+    FAIL() << "cross-type recv must fail the payload audit";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("payload mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("test-audit"), std::string::npos) << what;
+  }
+  // The message was consumed and the mismatch reported once.
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+// --- ledger propagation through the thread pool --------------------------
+
+TEST(CommAudit, LedgerCountsRingExchangeThroughThreadPool) {
+  // Same two-region ring as the contract tests: every rank sends to its
+  // right neighbor in one parallel region (potentially on 4/8 pool
+  // threads, per EXW_NUM_THREADS) and receives from its left neighbor in
+  // the next. The per-rank ledgers must come out exact regardless of the
+  // thread count.
+  Runtime rt(8);
+  rt.parallel_for_ranks([&](RankId r) {
+    rt.transport().send<int>(r, RankId{(r.value() + 1) % 8},
+                             tags::kTestRing, {r.value()});
+  });
+  rt.parallel_for_ranks([&](RankId r) {
+    const auto got = rt.transport().recv<int>(
+        r, RankId{(r.value() + 7) % 8}, tags::kTestRing);
+    EXPECT_EQ(got[0], (r.value() + 7) % 8);
+  });
+  ASSERT_NE(rt.comm_auditor(), nullptr);
+  for (int r = 0; r < rt.nranks(); ++r) {
+    EXPECT_EQ(rt.comm_auditor()->rank_sends(RankId{r}), 1) << "rank " << r;
+    EXPECT_EQ(rt.comm_auditor()->rank_recvs(RankId{r}), 1) << "rank " << r;
+  }
+  EXPECT_EQ(rt.comm_auditor()->unreceived_messages(), 0u);
+  EXPECT_TRUE(rt.transport().drained());
+  EXPECT_NO_THROW(rt.comm_audit_verify());
+}
+
+TEST(CommAudit, ReportCountsRecordsAndChecks) {
+  const auto before = comm_audit::report();
+  {
+    Runtime rt(2);
+    const std::vector<double> xs{1.0, 2.0};
+    (void)rt.allreduce_sum(xs);
+    rt.transport().send<int>(RankId{0}, RankId{1}, tags::kTestAudit, {1});
+    (void)rt.transport().recv<int>(RankId{1}, RankId{0}, tags::kTestAudit);
+    rt.comm_audit_verify();
+  }
+  const auto after = comm_audit::report();
+  EXPECT_EQ(after.collectives, before.collectives + 1);
+  EXPECT_EQ(after.sends, before.sends + 1);
+  EXPECT_EQ(after.recvs, before.recvs + 1);
+  EXPECT_GE(after.final_checks, before.final_checks + 1);
+  EXPECT_EQ(after.violations, before.violations);
+}
+
+#endif  // EXW_COMM_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace exw

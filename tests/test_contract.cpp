@@ -12,6 +12,7 @@
 #include "linalg/parcsr.hpp"
 #include "linalg/parvector.hpp"
 #include "par/contract.hpp"
+#include "par/tags.hpp"
 #include "par/partition.hpp"
 #include "par/runtime.hpp"
 #include "par/thread_pool.hpp"
@@ -40,13 +41,13 @@ TEST(TransportRanks, OutOfRangeRankThrowsInsteadOfAliasing) {
   // Regression: shard() used to wrap out-of-range ids via modulo, so an
   // invalid dst silently landed in another rank's mailbox.
   par::Runtime rt(4);
-  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{4}, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().send<int>(RankId{-1}, RankId{2}, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{7}, 1, {1}), Error);
-  EXPECT_THROW(rt.transport().recv<int>(RankId{4}, RankId{0}, 1), Error);
-  EXPECT_THROW(rt.transport().recv<int>(RankId{0}, RankId{-2}, 1), Error);
-  EXPECT_THROW(rt.transport().has_message(RankId{5}, RankId{0}, 1), Error);
-  EXPECT_THROW(rt.transport().has_message(RankId{0}, RankId{4}, 1), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{4}, par::tags::kTestPing, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{-1}, RankId{2}, par::tags::kTestPing, {1}), Error);
+  EXPECT_THROW(rt.transport().send<int>(RankId{0}, RankId{7}, par::tags::kTestPing, {1}), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{4}, RankId{0}, par::tags::kTestPing), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{0}, RankId{-2}, par::tags::kTestPing), Error);
+  EXPECT_THROW(rt.transport().has_message(RankId{5}, RankId{0}, par::tags::kTestPing), Error);
+  EXPECT_THROW(rt.transport().has_message(RankId{0}, RankId{4}, par::tags::kTestPing), Error);
   // Nothing was delivered anywhere.
   EXPECT_TRUE(rt.transport().drained());
 }
@@ -61,7 +62,7 @@ TEST(Contract, WrongRankSendThrowsNamingBothRanks) {
     rt.parallel_for_ranks([&](RankId r) {
       if (r == RankId{1}) {
         // Rank body 1 impersonates rank 0 as the sender.
-        rt.transport().send<int>(RankId{0}, RankId{2}, 7, {42});
+        rt.transport().send<int>(RankId{0}, RankId{2}, par::tags::kTestPing, {42});
       }
     });
   });
@@ -72,19 +73,19 @@ TEST(Contract, WrongRankSendThrowsNamingBothRanks) {
 
 TEST(Contract, WrongRankRecvThrowsNamingBothRanks) {
   par::Runtime rt(4);
-  rt.transport().send<int>(RankId{0}, RankId{2}, 7, {42});
+  rt.transport().send<int>(RankId{0}, RankId{2}, par::tags::kTestPing, {42});
   const std::string msg = thrown_message([&] {
     rt.parallel_for_ranks([&](RankId r) {
       if (r == RankId{3}) {
         // Rank body 3 drains rank 2's mailbox.
-        rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
+        rt.transport().recv<int>(RankId{2}, RankId{0}, par::tags::kTestPing);
       }
     });
   });
   EXPECT_NE(msg.find("rank body 3"), std::string::npos) << msg;
   EXPECT_NE(msg.find("dst 2"), std::string::npos) << msg;
   // Drain the message on the orchestrator so nothing leaks into the next test.
-  (void)rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
+  (void)rt.transport().recv<int>(RankId{2}, RankId{0}, par::tags::kTestPing);
 }
 
 TEST(Contract, CrossRankParVectorWriteThrows) {
@@ -219,12 +220,12 @@ TEST(Contract, SameThreadMaySendTwiceOnOneChannel) {
   par::Runtime rt(2);
   rt.parallel_for_ranks([&](RankId r) {
     if (r == RankId{0}) {
-      rt.transport().send<int>(RankId{0}, RankId{1}, 7, {1});
-      rt.transport().send<int>(RankId{0}, RankId{1}, 7, {2});
+      rt.transport().send<int>(RankId{0}, RankId{1}, par::tags::kTestFifo, {1});
+      rt.transport().send<int>(RankId{0}, RankId{1}, par::tags::kTestFifo, {2});
     }
   });
-  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 7)[0], 1);
-  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 7)[0], 2);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, par::tags::kTestFifo)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, par::tags::kTestFifo)[0], 2);
 }
 
 TEST(Contract, OrchestratorIsUnrestrictedBetweenRegions) {
@@ -233,8 +234,8 @@ TEST(Contract, OrchestratorIsUnrestrictedBetweenRegions) {
   par::Runtime rt(3);
   linalg::ParVector v(rt, par::RowPartition::even(GlobalIndex{30}, 3));
   v.local(RankId{2})[0] = 4.0;
-  rt.transport().send<int>(RankId{1}, RankId{2}, 5, {9});
-  EXPECT_EQ(rt.transport().recv<int>(RankId{2}, RankId{1}, 5)[0], 9);
+  rt.transport().send<int>(RankId{1}, RankId{2}, par::tags::kTestRelay, {9});
+  EXPECT_EQ(rt.transport().recv<int>(RankId{2}, RankId{1}, par::tags::kTestRelay)[0], 9);
   rt.tracer().push_phase("ok");
   rt.tracer().kernel(RankId{1}, 1.0, 1.0);
   rt.tracer().pop_phase();
@@ -251,10 +252,10 @@ TEST(Contract, ReportCountsCheckedRegionsAndCalls) {
   (void)x.dot(y);
   rt.parallel_for_ranks([&](RankId r) { x.local(r)[0] += 1.0; });
   rt.parallel_for_ranks([&](RankId r) {
-    rt.transport().send<int>(r, RankId{(r.value() + 1) % 4}, 3, {1});
+    rt.transport().send<int>(r, RankId{(r.value() + 1) % 4}, par::tags::kTestRing, {1});
   });
   rt.parallel_for_ranks(
-      [&](RankId r) { (void)rt.transport().recv<int>(r, RankId{(r.value() + 3) % 4}, 3); });
+      [&](RankId r) { (void)rt.transport().recv<int>(r, RankId{(r.value() + 3) % 4}, par::tags::kTestRing); });
   const auto rep = par::contract::report();
   EXPECT_GE(rep.regions, 6);         // fill x2, dot, write, send, recv
   EXPECT_GE(rep.sends, 4);
@@ -284,8 +285,8 @@ TEST(Contract, NestedParallelForKeepsOuterRankContext) {
   rt.parallel_for_ranks([&](RankId r) {
     par::parallel_for(3, [&](int) {
       EXPECT_EQ(par::contract::current_rank(), r);
-      rt.transport().send<int>(r, r, 1, {1});
-      (void)rt.transport().recv<int>(r, r, 1);
+      rt.transport().send<int>(r, r, par::tags::kTestSelf, {1});
+      (void)rt.transport().recv<int>(r, r, par::tags::kTestSelf);
     });
   });
   EXPECT_TRUE(rt.transport().drained());

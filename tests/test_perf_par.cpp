@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "par/runtime.hpp"
+#include "par/tags.hpp"
 #include "par/thread_pool.hpp"
 #include "perf/machine_model.hpp"
 #include "perf/tracer.hpp"
@@ -131,24 +132,24 @@ TEST(Tracer, ResetClearsWorkKeepsPhases) {
 
 TEST(Transport, SendRecvRoundtrip) {
   par::Runtime rt(3);
-  rt.transport().send<int>(RankId{0}, RankId{2}, 7, {1, 2, 3});
-  EXPECT_TRUE(rt.transport().has_message(RankId{2}, RankId{0}, 7));
-  const auto msg = rt.transport().recv<int>(RankId{2}, RankId{0}, 7);
+  rt.transport().send<int>(RankId{0}, RankId{2}, par::tags::kTestPing, {1, 2, 3});
+  EXPECT_TRUE(rt.transport().has_message(RankId{2}, RankId{0}, par::tags::kTestPing));
+  const auto msg = rt.transport().recv<int>(RankId{2}, RankId{0}, par::tags::kTestPing);
   EXPECT_EQ(msg, (std::vector<int>{1, 2, 3}));
   EXPECT_TRUE(rt.transport().drained());
 }
 
 TEST(Transport, FifoPerChannel) {
   par::Runtime rt(2);
-  rt.transport().send<int>(RankId{0}, RankId{1}, 1, {1});
-  rt.transport().send<int>(RankId{0}, RankId{1}, 1, {2});
-  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 1)[0], 1);
-  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, 1)[0], 2);
+  rt.transport().send<int>(RankId{0}, RankId{1}, par::tags::kTestFifo, {1});
+  rt.transport().send<int>(RankId{0}, RankId{1}, par::tags::kTestFifo, {2});
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, par::tags::kTestFifo)[0], 1);
+  EXPECT_EQ(rt.transport().recv<int>(RankId{1}, RankId{0}, par::tags::kTestFifo)[0], 2);
 }
 
 TEST(Transport, RecvWithoutMessageThrows) {
   par::Runtime rt(2);
-  EXPECT_THROW(rt.transport().recv<int>(RankId{1}, RankId{0}, 9), Error);
+  EXPECT_THROW(rt.transport().recv<int>(RankId{1}, RankId{0}, par::tags::kTestEmpty), Error);
 }
 
 TEST(Runtime, AllreduceSumAndMax) {
@@ -216,15 +217,15 @@ TEST(Transport, ConcurrentSendsFromRankBodiesAreSafe) {
   par::Runtime rt(nranks);
   rt.parallel_for_ranks([&](RankId src) {
     for (RankId dst{0}; dst.value() < nranks; ++dst) {
-      rt.transport().send<int>(src, dst, 7, {src.value(), dst.value(), 1});
-      rt.transport().send<int>(src, dst, 7, {src.value(), dst.value(), 2});
+      rt.transport().send<int>(src, dst, par::tags::kTestRing, {src.value(), dst.value(), 1});
+      rt.transport().send<int>(src, dst, par::tags::kTestRing, {src.value(), dst.value(), 2});
     }
   });
   std::atomic<int> received{0};
   rt.parallel_for_ranks([&](RankId dst) {
     for (RankId src{0}; src.value() < nranks; ++src) {
-      const auto first = rt.transport().recv<int>(dst, src, 7);
-      const auto second = rt.transport().recv<int>(dst, src, 7);
+      const auto first = rt.transport().recv<int>(dst, src, par::tags::kTestRing);
+      const auto second = rt.transport().recv<int>(dst, src, par::tags::kTestRing);
       if (first == std::vector<int>{src.value(), dst.value(), 1} &&
           second == std::vector<int>{src.value(), dst.value(), 2}) {
         received.fetch_add(2);

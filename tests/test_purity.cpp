@@ -37,12 +37,6 @@ using testutil::laplace3d;
 using testutil::random_spd_ish;
 using testutil::random_vector;
 
-linalg::ParCsr distribute(par::Runtime& rt, const sparse::Csr& a) {
-  const auto rows =
-      par::RowPartition::even(GlobalIndex{a.nrows().value()}, rt.nranks());
-  return linalg::ParCsr::from_serial(rt, a, rows, rows);
-}
-
 // --- API available in every configuration --------------------------------
 
 TEST(Purity, EnabledMatchesBuildConfiguration) {
@@ -61,6 +55,14 @@ TEST(Purity, EnabledMatchesBuildConfiguration) {
 }
 
 #if EXW_PURITY_CHECKS_ENABLED
+
+// Inside the guard: with the sanitizer compiled out this helper has no
+// callers, and Release + -Werror rejects unused file-static functions.
+linalg::ParCsr distribute(par::Runtime& rt, const sparse::Csr& a) {
+  const auto rows =
+      par::RowPartition::even(GlobalIndex{a.nrows().value()}, rt.nranks());
+  return linalg::ParCsr::from_serial(rt, a, rows, rows);
+}
 
 /// Restore fatal mode on scope exit so a failing test can't poison the
 /// rest of the binary.
