@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "sparse/spgemm.hpp"
 
@@ -44,6 +45,13 @@ struct AmgConfig {
   Real jacobi_weight = 0.8;
   sparse::SpGemmAlgo spgemm = sparse::SpGemmAlgo::kHash;
   std::uint64_t pmis_seed = 42;
+  /// Storage precision of the hierarchy's operators, transfers, and work
+  /// vectors (DESIGN.md §16). kF32 runs the whole V-cycle — smoother
+  /// streams, halo payloads, transfer wires — through FP32 storage with
+  /// FP64 arithmetic between rounded stores, the iterative-refinement
+  /// split of Oliani et al.; the outer Krylov solve stays FP64. Part of
+  /// the cache key: flipping it forces a structural rebuild.
+  Precision precision = Precision::kF64;
 
   /// Memberwise equality — the HierarchyCache key: any knob change forces
   /// a structural rebuild.

@@ -92,6 +92,20 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
     levels_.back().a = std::move(a1);
   }
 
+  // Mixed-precision hierarchy (DESIGN.md §16): the whole setup above ran
+  // in FP64; demote every level's operator and transfer in one pass here,
+  // so the stored hierarchy is round(FP64 Galerkin chain) — the same
+  // values refresh_values reproduces. Must happen before the smoothers
+  // are built: their diagonal splits capture the demoted values.
+  if (cfg_.precision == Precision::kF32) {
+    for (auto& lvl : levels_) {
+      lvl.a.demote_values();
+      if (lvl.has_p) {
+        lvl.p.demote_values();
+      }
+    }
+  }
+
   // Smoothers + work vectors per level; dense LU on the coarsest.
   for (auto& lvl : levels_) {
     lvl.smoother = std::make_unique<Smoother>(lvl.a, cfg_.smoother,
@@ -100,6 +114,11 @@ void AmgHierarchy::setup(const linalg::ParCsr& a) {
     lvl.x = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
     lvl.b = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
     lvl.r = std::make_unique<linalg::ParVector>(rt, lvl.a.rows());
+    if (cfg_.precision == Precision::kF32) {
+      lvl.x->set_value_precision(Precision::kF32);
+      lvl.b->set_value_precision(Precision::kF32);
+      lvl.r->set_value_precision(Precision::kF32);
+    }
   }
   const auto& coarsest = levels_.back().a;
   coarse_lu_ = sparse::DenseLu(coarsest.to_serial());
@@ -137,8 +156,18 @@ void AmgHierarchy::refresh_values(const linalg::ParCsr& a) {
   });
 
   // Replay each transition: level l's refreshed operator feeds l+1.
+  // In mixed mode the chain runs in FP64 — replay t reads the fresh FP64
+  // values replay t-1 just wrote, not the rounded stores — and every
+  // level demotes once at the end. The FP32 storage invariant is broken
+  // only inside this call, and the result is bitwise-identical to a cold
+  // rebuild at the same values (round of the same FP64 Galerkin chain).
   for (std::size_t t = 0; t < replays_.size(); ++t) {
     replay_level(rt, *replays_[t], levels_[t].a, levels_[t + 1].a);
+  }
+  if (cfg_.precision == Precision::kF32) {
+    for (auto& lvl : levels_) {
+      lvl.a.demote_values();
+    }
   }
 
   // Re-split the smoothers against the refreshed operators. The coarse
@@ -176,14 +205,16 @@ void AmgHierarchy::cycle_level(std::size_t l, const linalg::ParVector& b,
 void AmgHierarchy::coarse_solve(const linalg::ParVector& b,
                                 linalg::ParVector& x) {
   // Gather, solve directly, scatter. Charged as one small collective plus
-  // an O(n^2) triangular-solve kernel on one rank.
+  // an O(n^2) triangular-solve kernel on one rank. A mixed hierarchy
+  // gathers/scatters float payloads (the vectors are FP32-tagged), so the
+  // collective bytes halve; the LU back-substitution itself stays FP64.
   par::Runtime& rt = levels_.back().a.runtime();
   const auto n = static_cast<double>(b.global_size().value());
-  rt.tracer().collective(n * sizeof(Real));
+  rt.tracer().collective(n * bytes_of(b.value_precision()));
   RealVector rhs = b.gather();
   coarse_lu_.solve_in_place(rhs);
   rt.tracer().kernel(RankId{0}, 2.0 * n * n, 8.0 * n * n);
-  rt.tracer().collective(n * sizeof(Real));
+  rt.tracer().collective(n * bytes_of(x.value_precision()));
   x.scatter(rhs);
 }
 

@@ -10,6 +10,7 @@ namespace exw::amg {
 
 LduSplit LduSplit::build(const linalg::ParCsr& a) {
   LduSplit out;
+  const Precision pr = a.value_precision();
   const int nranks = a.nranks();
   out.lower.resize(static_cast<std::size_t>(nranks));
   out.upper.resize(static_cast<std::size_t>(nranks));
@@ -46,8 +47,12 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
       up.row_ptr_mut()[static_cast<std::size_t>(i) + 1] =
           EntryOffset{up.cols_vec().size()};
       EXW_REQUIRE(d != 0.0, "zero diagonal in smoother setup");
-      dinv[static_cast<std::size_t>(i)] = 1.0 / d;
-      l1[static_cast<std::size_t>(i)] = 1.0 / (d + off_rank_l1);
+      // The split shares the matrix's storage plane: an FP32 operator
+      // gets FP32-rounded reciprocals (L/U values are copies of already
+      // rounded entries, so only the divisions need the store round).
+      dinv[static_cast<std::size_t>(i)] = store_value(1.0 / d, pr);
+      l1[static_cast<std::size_t>(i)] =
+          store_value(1.0 / (d + off_rank_l1), pr);
     }
     out.lower[static_cast<std::size_t>(r)] = std::move(lo);
     out.upper[static_cast<std::size_t>(r)] = std::move(up);
@@ -57,6 +62,7 @@ LduSplit LduSplit::build(const linalg::ParCsr& a) {
 
 EXW_WARM_FN
 void LduSplit::refresh_values(const linalg::ParCsr& a) {
+  const Precision pr = a.value_precision();
   a.runtime().parallel_for_ranks([&](RankId r) {
     const auto& b = a.block(r);
     const LocalIndex n = b.diag.nrows();
@@ -86,8 +92,9 @@ void LduSplit::refresh_values(const linalg::ParCsr& a) {
         off_rank_l1 += std::abs(b.offd.vals()[k]);
       }
       EXW_REQUIRE(d != 0.0, "zero diagonal in smoother refresh");
-      di[static_cast<std::size_t>(i)] = 1.0 / d;
-      l1[static_cast<std::size_t>(i)] = 1.0 / (d + off_rank_l1);
+      di[static_cast<std::size_t>(i)] = store_value(1.0 / d, pr);
+      l1[static_cast<std::size_t>(i)] =
+          store_value(1.0 / (d + off_rank_l1), pr);
     }
     EXW_REQUIRE(lo_k == lo.nnz() && up_k == up.nnz(),
                 "smoother refresh: triangular structure changed");
@@ -152,7 +159,7 @@ void Smoother::refresh_values() {
 
 void Smoother::apply(const linalg::ParVector& b, linalg::ParVector& x,
                      int sweeps) const {
-  for (int s = 0; s < sweeps; ++s) {
+  for (std::int64_t s = 0; s < sweeps; ++s) {
     switch (type_) {
       case SmootherType::kJacobi: sweep_jacobi(b, x, false); break;
       case SmootherType::kL1Jacobi: sweep_jacobi(b, x, true); break;
@@ -177,7 +184,7 @@ void Smoother::apply_multi(const linalg::ParMultiVector& b,
     case SmootherType::kJacobi:
     case SmootherType::kL1Jacobi:
     case SmootherType::kSgs2:
-      for (int s = 0; s < sweeps; ++s) {
+      for (std::int64_t s = 0; s < sweeps; ++s) {
         if (type_ == SmootherType::kSgs2) {
           sweep_sgs2_multi(b, x);
         } else {
@@ -209,8 +216,11 @@ void Smoother::apply_zero_multi(const linalg::ParMultiVector& r,
 
 void Smoother::sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
                             bool l1) const {
-  // x += w * Dinv * (b - A x).
+  // x += w * Dinv * (b - A x). The update arithmetic is FP64; stores into
+  // x round through the smoother's storage plane (the matrix precision).
+  const Precision pr = a_->value_precision();
   linalg::ParVector r(a_->runtime(), a_->rows());
+  r.set_value_precision(pr);
   a_->residual(b, x, r);
   auto& tracer = a_->runtime().tracer();
   a_->runtime().parallel_for_ranks([&](RankId rk) {
@@ -219,17 +229,22 @@ void Smoother::sweep_jacobi(const linalg::ParVector& b, linalg::ParVector& x,
     const auto& d = l1 ? ldu_.l1_dinv[static_cast<std::size_t>(rk)]
                        : ldu_.dinv[static_cast<std::size_t>(rk)];
     for (std::size_t i = 0; i < xl.size(); ++i) {
-      xl[i] += weight_ * d[i] * rl[i];
+      xl[i] = store_value(xl[i] + weight_ * d[i] * rl[i], pr);
     }
-    tracer.kernel(rk, 3.0 * static_cast<double>(xl.size()),
-                  4.0 * sizeof(Real) * static_cast<double>(xl.size()));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, 4.0 * bytes_of(pr) * static_cast<double>(xl.size()),
+                      f64, f32);
+    tracer.kernel_split_prec(rk, 3.0 * static_cast<double>(xl.size()), f64,
+                             f32, 0.0);
   });
 }
 
 void Smoother::sweep_jacobi_multi(const linalg::ParMultiVector& b,
                                   linalg::ParMultiVector& x, bool l1) const {
   // Lane c: x_c += w * Dinv * (b_c - A x_c), residual fused across lanes.
+  const Precision pr = a_->value_precision();
   linalg::ParMultiVector r(a_->runtime(), a_->rows(), x.ncomp());
+  r.set_value_precision(pr);
   a_->residual_multi(b, x, r);
   auto& tracer = a_->runtime().tracer();
   const auto nl = static_cast<double>(x.ncomp());
@@ -241,11 +256,15 @@ void Smoother::sweep_jacobi_multi(const linalg::ParMultiVector& b,
     const auto& rl = r.local(rk);
     for (std::size_t c = 0; c < x.ncomp(); ++c) {
       for (std::size_t i = 0; i < n; ++i) {
-        xl[c * n + i] += weight_ * d[i] * rl[c * n + i];
+        xl[c * n + i] =
+            store_value(xl[c * n + i] + weight_ * d[i] * rl[c * n + i], pr);
       }
     }
-    tracer.kernel(rk, 3.0 * nl * static_cast<double>(n),
-                  4.0 * sizeof(Real) * nl * static_cast<double>(n));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, 4.0 * bytes_of(pr) * nl * static_cast<double>(n),
+                      f64, f32);
+    tracer.kernel_split_prec(rk, 3.0 * nl * static_cast<double>(n), f64, f32,
+                             0.0);
   });
 }
 
@@ -253,6 +272,7 @@ void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
                                linalg::ParVector& x) const {
   // One round of neighbor communication, then a true sequential forward
   // GS sweep on the local rows (off-rank values frozen).
+  const Precision pr = a_->value_precision();
   const auto ext = a_->halo_exchange(x);
   auto& tracer = a_->runtime().tracer();
   a_->runtime().parallel_for_ranks([&](RankId rk) {
@@ -277,35 +297,44 @@ void Smoother::sweep_hybrid_gs(const linalg::ParVector& b,
                el[static_cast<std::size_t>(
                    blk.offd.cols()[k])];
       }
-      xl[static_cast<std::size_t>(i)] = acc / diag;
+      xl[static_cast<std::size_t>(i)] = store_value(acc / diag, pr);
     }
     const auto nnz = static_cast<double>(blk.diag.nnz() + blk.offd.nnz());
-    tracer.kernel_split(rk, 2.0 * nnz, nnz * sizeof(Real),
-                        nnz * sizeof(LocalIndex));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, nnz * bytes_of(pr), f64, f32);
+    tracer.kernel_split_prec(rk, 2.0 * nnz, f64, f32,
+                             nnz * sizeof(LocalIndex));
   });
 }
 
 void Smoother::jr_lower(RankId r, const RealVector& rhs, RealVector& g) const {
-  // Eqs. (5)-(7): g_0 = Dinv rhs; g_{j+1} = Dinv (rhs - L g_j).
+  // Eqs. (5)-(7): g_0 = Dinv rhs; g_{j+1} = Dinv (rhs - L g_j). The JR
+  // iterate is a smoother-internal stream: stores round through the
+  // matrix's storage plane and the value bytes price accordingly — this
+  // is the stream the mixed hierarchy halves.
+  const Precision pr = a_->value_precision();
   const auto& lo = ldu_.lower[static_cast<std::size_t>(r)];
   const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
   const std::size_t n = rhs.size();
   g.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    g[i] = d[i] * rhs[i];
+    g[i] = store_value(d[i] * rhs[i], pr);
   }
   RealVector lg(n);
   auto& tracer = a_->runtime().tracer();
   for (std::int64_t j = 0; j < inner_sweeps_; ++j) {
     lo.spmv(g, lg);
     for (std::size_t i = 0; i < n; ++i) {
-      g[i] = d[i] * (rhs[i] - lg[i]);
+      g[i] = store_value(d[i] * (rhs[i] - lg[i]), pr);
     }
-    tracer.kernel_split(
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr,
+                      bytes_of(pr) * (static_cast<double>(lo.nnz()) +
+                                      4.0 * static_cast<double>(n)),
+                      f64, f32);
+    tracer.kernel_split_prec(
         r, 2.0 * static_cast<double>(lo.nnz()) + 3.0 * static_cast<double>(n),
-        sizeof(Real) * static_cast<double>(lo.nnz()) +
-            4.0 * sizeof(Real) * static_cast<double>(n),
-        sizeof(LocalIndex) * static_cast<double>(lo.nnz()));
+        f64, f32, sizeof(LocalIndex) * static_cast<double>(lo.nnz()));
   }
 }
 
@@ -314,6 +343,7 @@ void Smoother::jr_lower_multi(RankId r, const RealVector& rhs,
   // Fused Eqs. (5)-(7): every lane runs the scalar recurrence g_0 =
   // Dinv rhs, g_{j+1} = Dinv (rhs - L g_j) bitwise-identically; the L
   // structure is streamed once per sweep for all lanes.
+  const Precision pr = a_->value_precision();
   const auto& lo = ldu_.lower[static_cast<std::size_t>(r)];
   const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
   const std::size_t n = d.size();
@@ -321,7 +351,7 @@ void Smoother::jr_lower_multi(RankId r, const RealVector& rhs,
   g.resize(lanes * n);
   for (std::size_t c = 0; c < lanes; ++c) {
     for (std::size_t i = 0; i < n; ++i) {
-      g[c * n + i] = d[i] * rhs[c * n + i];
+      g[c * n + i] = store_value(d[i] * rhs[c * n + i], pr);
     }
   }
   RealVector lg(lanes * n);
@@ -331,43 +361,52 @@ void Smoother::jr_lower_multi(RankId r, const RealVector& rhs,
     lo.spmv_multi(g, n, lg, n, lanes);
     for (std::size_t c = 0; c < lanes; ++c) {
       for (std::size_t i = 0; i < n; ++i) {
-        g[c * n + i] = d[i] * (rhs[c * n + i] - lg[c * n + i]);
+        g[c * n + i] =
+            store_value(d[i] * (rhs[c * n + i] - lg[c * n + i]), pr);
       }
     }
-    tracer.kernel_split(
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr,
+                      nl * bytes_of(pr) * (static_cast<double>(lo.nnz()) +
+                                           4.0 * static_cast<double>(n)),
+                      f64, f32);
+    tracer.kernel_split_prec(
         r,
         nl * (2.0 * static_cast<double>(lo.nnz()) + 3.0 * static_cast<double>(n)),
-        nl * (sizeof(Real) * static_cast<double>(lo.nnz()) +
-              4.0 * sizeof(Real) * static_cast<double>(n)),
-        sizeof(LocalIndex) * static_cast<double>(lo.nnz()));
+        f64, f32, sizeof(LocalIndex) * static_cast<double>(lo.nnz()));
   }
 }
 
 void Smoother::jr_upper(RankId r, const RealVector& rhs, RealVector& g) const {
+  const Precision pr = a_->value_precision();
   const auto& up = ldu_.upper[static_cast<std::size_t>(r)];
   const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
   const std::size_t n = rhs.size();
   g.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    g[i] = d[i] * rhs[i];
+    g[i] = store_value(d[i] * rhs[i], pr);
   }
   RealVector ug(n);
   auto& tracer = a_->runtime().tracer();
   for (std::int64_t j = 0; j < inner_sweeps_; ++j) {
     up.spmv(g, ug);
     for (std::size_t i = 0; i < n; ++i) {
-      g[i] = d[i] * (rhs[i] - ug[i]);
+      g[i] = store_value(d[i] * (rhs[i] - ug[i]), pr);
     }
-    tracer.kernel_split(
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr,
+                      bytes_of(pr) * (static_cast<double>(up.nnz()) +
+                                      4.0 * static_cast<double>(n)),
+                      f64, f32);
+    tracer.kernel_split_prec(
         r, 2.0 * static_cast<double>(up.nnz()) + 3.0 * static_cast<double>(n),
-        sizeof(Real) * static_cast<double>(up.nnz()) +
-            4.0 * sizeof(Real) * static_cast<double>(n),
-        sizeof(LocalIndex) * static_cast<double>(up.nnz()));
+        f64, f32, sizeof(LocalIndex) * static_cast<double>(up.nnz()));
   }
 }
 
 void Smoother::jr_upper_multi(RankId r, const RealVector& rhs,
                               std::size_t lanes, RealVector& g) const {
+  const Precision pr = a_->value_precision();
   const auto& up = ldu_.upper[static_cast<std::size_t>(r)];
   const auto& d = ldu_.dinv[static_cast<std::size_t>(r)];
   const std::size_t n = d.size();
@@ -375,7 +414,7 @@ void Smoother::jr_upper_multi(RankId r, const RealVector& rhs,
   g.resize(lanes * n);
   for (std::size_t c = 0; c < lanes; ++c) {
     for (std::size_t i = 0; i < n; ++i) {
-      g[c * n + i] = d[i] * rhs[c * n + i];
+      g[c * n + i] = store_value(d[i] * rhs[c * n + i], pr);
     }
   }
   RealVector ug(lanes * n);
@@ -385,33 +424,41 @@ void Smoother::jr_upper_multi(RankId r, const RealVector& rhs,
     up.spmv_multi(g, n, ug, n, lanes);
     for (std::size_t c = 0; c < lanes; ++c) {
       for (std::size_t i = 0; i < n; ++i) {
-        g[c * n + i] = d[i] * (rhs[c * n + i] - ug[c * n + i]);
+        g[c * n + i] =
+            store_value(d[i] * (rhs[c * n + i] - ug[c * n + i]), pr);
       }
     }
-    tracer.kernel_split(
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr,
+                      nl * bytes_of(pr) * (static_cast<double>(up.nnz()) +
+                                           4.0 * static_cast<double>(n)),
+                      f64, f32);
+    tracer.kernel_split_prec(
         r,
         nl * (2.0 * static_cast<double>(up.nnz()) + 3.0 * static_cast<double>(n)),
-        nl * (sizeof(Real) * static_cast<double>(up.nnz()) +
-              4.0 * sizeof(Real) * static_cast<double>(n)),
-        sizeof(LocalIndex) * static_cast<double>(up.nnz()));
+        f64, f32, sizeof(LocalIndex) * static_cast<double>(up.nnz()));
   }
 }
 
 void Smoother::sweep_two_stage(const linalg::ParVector& b,
                                linalg::ParVector& x) const {
   // x += Mtilde^-1 (b - A x) with Mtilde^-1 ~ (L+D)^-1 by inner JR.
+  const Precision pr = a_->value_precision();
   linalg::ParVector r(a_->runtime(), a_->rows());
+  r.set_value_precision(pr);
   a_->residual(b, x, r);
   a_->runtime().parallel_for_ranks([&](RankId rk) {
     RealVector g;
     jr_lower(rk, r.local(rk), g);
     auto& xl = x.local(rk);
     for (std::size_t i = 0; i < xl.size(); ++i) {
-      xl[i] += g[i];
+      xl[i] = store_value(xl[i] + g[i], pr);
     }
-    a_->runtime().tracer().kernel(
-        rk, static_cast<double>(xl.size()),
-        3.0 * sizeof(Real) * static_cast<double>(xl.size()));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, 3.0 * bytes_of(pr) * static_cast<double>(xl.size()),
+                      f64, f32);
+    a_->runtime().tracer().kernel_split_prec(
+        rk, static_cast<double>(xl.size()), f64, f32, 0.0);
   });
 }
 
@@ -419,7 +466,9 @@ void Smoother::sweep_sgs2(const linalg::ParVector& b,
                           linalg::ParVector& x) const {
   // Symmetric two-stage GS: M = (L+D) D^-1 (D+U), both triangular solves
   // approximated by inner JR sweeps (compact form of Eqs. 11-14).
+  const Precision pr = a_->value_precision();
   linalg::ParVector r(a_->runtime(), a_->rows());
+  r.set_value_precision(pr);
   a_->residual(b, x, r);
   a_->runtime().parallel_for_ranks([&](RankId rk) {
     RealVector g, h, t;
@@ -428,16 +477,18 @@ void Smoother::sweep_sgs2(const linalg::ParVector& b,
     // rhs for the backward stage: D * g.
     t.resize(g.size());
     for (std::size_t i = 0; i < g.size(); ++i) {
-      t[i] = g[i] / d[i];
+      t[i] = store_value(g[i] / d[i], pr);
     }
     jr_upper(rk, t, h);
     auto& xl = x.local(rk);
     for (std::size_t i = 0; i < xl.size(); ++i) {
-      xl[i] += h[i];
+      xl[i] = store_value(xl[i] + h[i], pr);
     }
-    a_->runtime().tracer().kernel(
-        rk, 2.0 * static_cast<double>(xl.size()),
-        4.0 * sizeof(Real) * static_cast<double>(xl.size()));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, 4.0 * bytes_of(pr) * static_cast<double>(xl.size()),
+                      f64, f32);
+    a_->runtime().tracer().kernel_split_prec(
+        rk, 2.0 * static_cast<double>(xl.size()), f64, f32, 0.0);
   });
 }
 
@@ -446,7 +497,9 @@ void Smoother::sweep_sgs2_multi(const linalg::ParMultiVector& b,
   // Fused symmetric two-stage GS: one multi-residual, then the forward
   // and backward JR stages stream L/U once per inner sweep for all
   // lanes. Each lane's arithmetic is exactly sweep_sgs2's.
+  const Precision pr = a_->value_precision();
   linalg::ParMultiVector r(a_->runtime(), a_->rows(), x.ncomp());
+  r.set_value_precision(pr);
   a_->residual_multi(b, x, r);
   const std::size_t lanes = x.ncomp();
   const auto nl = static_cast<double>(lanes);
@@ -459,17 +512,19 @@ void Smoother::sweep_sgs2_multi(const linalg::ParMultiVector& b,
     t.resize(g.size());
     for (std::size_t c = 0; c < lanes; ++c) {
       for (std::size_t i = 0; i < n; ++i) {
-        t[c * n + i] = g[c * n + i] / d[i];
+        t[c * n + i] = store_value(g[c * n + i] / d[i], pr);
       }
     }
     jr_upper_multi(rk, t, lanes, h);
     auto& xl = x.local(rk);
     for (std::size_t i = 0; i < xl.size(); ++i) {
-      xl[i] += h[i];
+      xl[i] = store_value(xl[i] + h[i], pr);
     }
-    a_->runtime().tracer().kernel(
-        rk, 2.0 * nl * static_cast<double>(n),
-        4.0 * sizeof(Real) * nl * static_cast<double>(n));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(pr, 4.0 * bytes_of(pr) * nl * static_cast<double>(n),
+                      f64, f32);
+    a_->runtime().tracer().kernel_split_prec(
+        rk, 2.0 * nl * static_cast<double>(n), f64, f32, 0.0);
   });
 }
 
@@ -485,10 +540,14 @@ void Smoother::sweep_chebyshev(const linalg::ParVector& b,
   const Real delta = 0.5 * (lmax - lmin);
   const int degree = std::max(1, inner_sweeps_ + 1);
 
+  const Precision pr = a_->value_precision();
   par::Runtime& rt = a_->runtime();
   linalg::ParVector r(rt, a_->rows());
   linalg::ParVector d(rt, a_->rows());
   linalg::ParVector dinv_r(rt, a_->rows());
+  r.set_value_precision(pr);
+  d.set_value_precision(pr);
+  dinv_r.set_value_precision(pr);
   a_->residual(b, x, r);
 
   auto scale_dinv = [&](const linalg::ParVector& src, linalg::ParVector& dst) {
@@ -497,10 +556,13 @@ void Smoother::sweep_chebyshev(const linalg::ParVector& b,
       auto& out = dst.local(rk);
       const auto& in = src.local(rk);
       for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = dv[i] * in[i];
+        out[i] = store_value(dv[i] * in[i], pr);
       }
-      rt.tracer().kernel(rk, static_cast<double>(out.size()),
-                         3.0 * sizeof(Real) * static_cast<double>(out.size()));
+      double f64 = 0, f32 = 0;
+      split_value_bytes(
+          pr, 3.0 * bytes_of(pr) * static_cast<double>(out.size()), f64, f32);
+      rt.tracer().kernel_split_prec(rk, static_cast<double>(out.size()), f64,
+                                    f32, 0.0);
     });
   };
 
@@ -508,7 +570,7 @@ void Smoother::sweep_chebyshev(const linalg::ParVector& b,
   scale_dinv(r, d);
   d.scale(1.0 / theta);
   Real sigma = theta / delta;
-  for (int k = 0; k < degree; ++k) {
+  for (std::int64_t k = 0; k < degree; ++k) {
     x.axpy(1.0, d);
     if (k + 1 == degree) break;
     a_->matvec(d, dinv_r);     // dinv_r = A d (reuse as scratch)

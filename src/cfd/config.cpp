@@ -10,6 +10,7 @@ SimConfig SimConfig::baseline() {
   // optimizations — hypre's general assembly path, RCB decomposition,
   // a single inner GS sweep, and untuned BoomerAMG parameters.
   SimConfig cfg;
+  cfg.precond_precision = Precision::kF64;  // mixed precision came later
   cfg.partition = assembly::PartitionMethod::kRcb;
   cfg.assembly_algo = assembly::GlobalAssemblyAlgo::kGeneral;
   cfg.use_amg_cache = false;  // baseline rebuilds AMG setup every solve

@@ -32,6 +32,15 @@ struct SimConfig {
   /// result it reproduces bitwise; other algos always assemble cold.
   bool use_assembly_plan = true;
 
+  /// Storage precision of *both* preconditioners (pressure AMG hierarchy
+  /// and momentum/scalar SGS2 twin). kF32 is the mixed-precision
+  /// configuration (DESIGN.md §16): FP64 outer GMRES, FP32 preconditioner
+  /// storage, demote/promote only at the preconditioner boundary —
+  /// roughly halving the smoother value streams, V-cycle halo payloads,
+  /// and coarse-level collective bytes that dominate the strong-scaling
+  /// limit. kF64 is the classic full-precision setup (baseline()).
+  Precision precond_precision = Precision::kF32;
+
   // Pressure-Poisson: AMG-preconditioned one-reduce GMRES (§4.2).
   amg::AmgConfig pressure_amg;
   solver::GmresOptions pressure_gmres{

@@ -102,7 +102,7 @@ solver::SmootherPrecond& Simulation::momentum_smoother(MeshBlock& blk,
   if (!slot.precond || slot.epoch != blk.mom_cache.structure_epoch) {
     slot.precond = std::make_unique<solver::SmootherPrecond>(
         blk.mom_cache.matrix, amg::SmootherType::kSgs2, cfg_.sgs_outer_sweeps,
-        cfg_.sgs_inner_sweeps);
+        cfg_.sgs_inner_sweeps, cfg_.precond_precision);
     slot.epoch = blk.mom_cache.structure_epoch;
     stats.smoother_rebuilds += 1;
   } else {
@@ -233,7 +233,7 @@ void Simulation::exchange_fringe_values() {
     MeshBlock& rec = blocks_[static_cast<std::size_t>(c.mesh)];
     const MeshBlock& don = blocks_[static_cast<std::size_t>(c.donor_mesh)];
     Real su = 0, sv = 0, sw = 0, sp = 0, ss = 0;
-    for (int k = 0; k < 8; ++k) {
+    for (std::size_t k = 0; k < 8; ++k) {
       const auto d = static_cast<std::size_t>(c.donors[static_cast<std::size_t>(k)]);
       const Real wk = c.weights[static_cast<std::size_t>(k)];
       su += wk * don.u[d];
@@ -513,13 +513,17 @@ void Simulation::solve_continuity(MeshBlock& blk) {
   amg::HierarchyCache& pc = blk.prs_precond;
   {
     perf::PhaseScope ph(tracer, "setup");
+    // The sim-level precision knob rides into the AMG config here so it
+    // participates in the cache key: toggling it forces a rebuild.
+    amg::AmgConfig acfg = cfg_.pressure_amg;
+    acfg.precision = cfg_.precond_precision;
     const std::uint64_t gen = blk.prs_graph->generation();
     const bool must_rebuild =
-        !cfg_.use_amg_cache || pc.stale(gen, cfg_.pressure_amg) ||
+        !cfg_.use_amg_cache || pc.stale(gen, acfg) ||
         pc.solves_since_rebuild() >= cfg_.amg_rebuild_lag ||
         pc.stagnating(cfg_.amg_stagnation_ratio);
     if (must_rebuild) {
-      pc.rebuild(a, cfg_.pressure_amg, gen, /*freeze=*/cfg_.use_amg_cache);
+      pc.rebuild(a, acfg, gen, /*freeze=*/cfg_.use_amg_cache);
       prs_stats_.amg_rebuilds += 1;
     } else {
       EXW_PURITY_REGION("picard-amg-refresh");
@@ -683,7 +687,7 @@ void Simulation::step() {
   scl_stats_ = EquationStats{};
 
   perf::PhaseScope nli(tracer, "nli");
-  for (int picard = 0; picard < cfg_.picard_iters; ++picard) {
+  for (std::int64_t picard = 0; picard < cfg_.picard_iters; ++picard) {
     exchange_fringe_values();
     for (auto& blk : blocks_) {
       solve_momentum(blk);

@@ -4,14 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/precision.hpp"
 #include "linalg/parvector.hpp"
 #include "perf/purity.hpp"
 
 namespace exw::linalg {
 
 namespace {
-constexpr double kRead = sizeof(Real);
-
 std::size_t active_lanes(std::size_t ncomp,
                          std::span<const std::uint8_t> mask) {
   if (mask.empty()) {
@@ -34,6 +33,21 @@ ParMultiVector::ParMultiVector(par::Runtime& rt, par::RowPartition rows,
   local_.resize(static_cast<std::size_t>(rows_.nranks()));
   for (RankId r{0}; r.value() < rows_.nranks(); ++r) {
     local_[static_cast<std::size_t>(r)].assign(ncomp_ * local_n(r), 0.0);
+  }
+}
+
+void ParMultiVector::set_value_precision(Precision p) {
+  if (p == prec_) {
+    return;
+  }
+  prec_ = p;
+  if (p == Precision::kF32) {
+    // Cold (re)tagging: establish the storage invariant, no charge.
+    rt_->parallel_for_ranks([&](RankId r) {
+      for (Real& v : local_[static_cast<std::size_t>(r)]) {
+        v = demote_value(v);
+      }
+    });
   }
 }
 
@@ -70,10 +84,14 @@ Real ParMultiVector::at(std::size_t lane, GlobalIndex g) const {
 }
 
 void ParMultiVector::fill(Real value) {
+  const Real sv = store_value(value, prec_);
   rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
-    std::fill(x.begin(), x.end(), value);
-    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(x.size()));
+    std::fill(x.begin(), x.end(), sv);
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * static_cast<double>(x.size()),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
@@ -82,12 +100,50 @@ void ParMultiVector::copy_from(const ParMultiVector& other) {
   EXW_REQUIRE(other.global_size() == global_size(),
               "multivector size mismatch");
   rt_->parallel_for_ranks([&](RankId r) {
-    local_[static_cast<std::size_t>(r)] =
-        other.local_[static_cast<std::size_t>(r)];
-    rt_->tracer().kernel(
-        r, 0.0,
-        2.0 * kRead *
-            static_cast<double>(local_[static_cast<std::size_t>(r)].size()));
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = other.local_[static_cast<std::size_t>(r)];
+    if (prec_ == Precision::kF32 && other.prec_ == Precision::kF64) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        y[i] = demote_value(xs[i]);
+      }
+    } else {
+      y = xs;
+    }
+    const auto n = static_cast<double>(y.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(other.prec_, bytes_of(other.prec_) * n, f64, f32);
+    split_value_bytes(prec_, bytes_of(prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
+  });
+}
+
+EXW_WARM_FN
+void ParMultiVector::copy_lanes(const ParMultiVector& src,
+                                std::span<const std::uint8_t> mask) {
+  EXW_PURITY_REGION("multivector-copy-lanes");
+  EXW_REQUIRE(src.ncomp_ == ncomp_, "multivector lane count mismatch");
+  EXW_REQUIRE(src.global_size() == global_size(), "multivector size mismatch");
+  EXW_REQUIRE(mask.empty() || mask.size() == ncomp_,
+              "lane mask size mismatch");
+  const auto na = static_cast<double>(active_lanes(ncomp_, mask));
+  rt_->parallel_for_ranks([&](RankId r) {
+    const std::size_t n = local_n(r);
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = src.local_[static_cast<std::size_t>(r)];
+    const bool demote = prec_ == Precision::kF32 &&
+                        src.prec_ == Precision::kF64;
+    for (std::size_t c = 0; c < ncomp_; ++c) {
+      if (!mask.empty() && mask[c] == 0) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        y[c * n + i] = demote ? demote_value(xs[c * n + i]) : xs[c * n + i];
+      }
+    }
+    double f64 = 0, f32 = 0;
+    split_value_bytes(src.prec_, bytes_of(src.prec_) * na * static_cast<double>(n),
+                      f64, f32);
+    split_value_bytes(prec_, bytes_of(prec_) * na * static_cast<double>(n),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
@@ -106,11 +162,14 @@ void ParMultiVector::scale_lanes(std::span<const Real> alpha,
       if (!mask.empty() && mask[c] == 0) continue;
       const Real a = alpha[c];
       for (std::size_t i = 0; i < n; ++i) {
-        x[c * n + i] *= a;
+        x[c * n + i] = store_value(x[c * n + i] * a, prec_);
       }
     }
-    rt_->tracer().kernel(r, na * static_cast<double>(n),
-                         2.0 * kRead * na * static_cast<double>(n));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, 2.0 * bytes_of(prec_) * na * static_cast<double>(n),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, na * static_cast<double>(n), f64, f32,
+                                    0.0);
   });
 }
 
@@ -133,11 +192,16 @@ void ParMultiVector::axpy_lanes(std::span<const Real> alpha,
       if (!mask.empty() && mask[c] == 0) continue;
       const Real a = alpha[c];
       for (std::size_t i = 0; i < n; ++i) {
-        y[c * n + i] += a * xs[c * n + i];
+        y[c * n + i] = store_value(y[c * n + i] + a * xs[c * n + i], prec_);
       }
     }
-    rt_->tracer().kernel(r, 2.0 * na * static_cast<double>(n),
-                         3.0 * kRead * na * static_cast<double>(n));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, 2.0 * bytes_of(prec_) * na * static_cast<double>(n),
+                      f64, f32);
+    split_value_bytes(x.prec_, bytes_of(x.prec_) * na * static_cast<double>(n),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * na * static_cast<double>(n), f64,
+                                    f32, 0.0);
   });
 }
 
@@ -164,9 +228,11 @@ std::vector<double> ParMultiVector::dots(const ParMultiVector& other) const {
       }
       p[c] = s;
     }
-    rt_->tracer().kernel(
-        r, 2.0 * static_cast<double>(ncomp_) * static_cast<double>(n),
-        2.0 * kRead * static_cast<double>(ncomp_) * static_cast<double>(n));
+    const double nc = static_cast<double>(ncomp_) * static_cast<double>(n);
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * nc, f64, f32);
+    split_value_bytes(other.prec_, bytes_of(other.prec_) * nc, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * nc, f64, f32, 0.0);
   });
   return rt_->allreduce_sum_vec(partial);
 }
@@ -181,10 +247,14 @@ std::vector<double> ParMultiVector::norms() const {
 
 void ParMultiVector::lane_fill(std::size_t lane, Real value) {
   EXW_REQUIRE(lane < ncomp_, "multivector lane out of range");
+  const Real sv = store_value(value, prec_);
   rt_->parallel_for_ranks([&](RankId r) {
     auto s = lane_span(r, lane);
-    std::fill(s.begin(), s.end(), value);
-    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(s.size()));
+    std::fill(s.begin(), s.end(), sv);
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * static_cast<double>(s.size()),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
@@ -197,10 +267,13 @@ void ParMultiVector::lane_axpy(std::size_t lane, Real alpha,
     auto y = lane_span(r, lane);
     const auto xs = x.lane_span(r, lane);
     for (std::size_t i = 0; i < y.size(); ++i) {
-      y[i] += alpha * xs[i];
+      y[i] = store_value(y[i] + alpha * xs[i], prec_);
     }
-    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
-                         3.0 * kRead * static_cast<double>(y.size()));
+    const auto n = static_cast<double>(y.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, 2.0 * bytes_of(prec_) * n, f64, f32);
+    split_value_bytes(x.prec_, bytes_of(x.prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * n, f64, f32, 0.0);
   });
 }
 
@@ -214,8 +287,12 @@ double ParMultiVector::lane_norm2(std::size_t lane) const {
       s += v * v;
     }
     partial[static_cast<std::size_t>(r)] = s;
-    rt_->tracer().kernel(r, 2.0 * static_cast<double>(x.size()),
-                         2.0 * kRead * static_cast<double>(x.size()));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_,
+                      2.0 * bytes_of(prec_) * static_cast<double>(x.size()),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * static_cast<double>(x.size()),
+                                    f64, f32, 0.0);
   });
   return std::sqrt(rt_->allreduce_sum(partial));
 }
@@ -227,8 +304,20 @@ void ParMultiVector::set_lane(std::size_t lane, const ParVector& src) {
   rt_->parallel_for_ranks([&](RankId r) {
     auto dst = lane_span(r, lane);
     const auto& s = src.local(r);
-    std::copy(s.begin(), s.end(), dst.begin());
-    rt_->tracer().kernel(r, 0.0, 2.0 * kRead * static_cast<double>(s.size()));
+    if (prec_ == Precision::kF32 &&
+        src.value_precision() == Precision::kF64) {
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        dst[i] = demote_value(s[i]);
+      }
+    } else {
+      std::copy(s.begin(), s.end(), dst.begin());
+    }
+    const auto n = static_cast<double>(s.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(src.value_precision(),
+                      bytes_of(src.value_precision()) * n, f64, f32);
+    split_value_bytes(prec_, bytes_of(prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
@@ -239,8 +328,20 @@ void ParMultiVector::extract_lane(std::size_t lane, ParVector& dst) const {
   rt_->parallel_for_ranks([&](RankId r) {
     const auto s = lane_span(r, lane);
     auto& d = dst.local(r);
-    std::copy(s.begin(), s.end(), d.begin());
-    rt_->tracer().kernel(r, 0.0, 2.0 * kRead * static_cast<double>(s.size()));
+    if (dst.value_precision() == Precision::kF32 &&
+        prec_ == Precision::kF64) {
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        d[i] = demote_value(s[i]);
+      }
+    } else {
+      std::copy(s.begin(), s.end(), d.begin());
+    }
+    const auto n = static_cast<double>(s.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * n, f64, f32);
+    split_value_bytes(dst.value_precision(),
+                      bytes_of(dst.value_precision()) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 

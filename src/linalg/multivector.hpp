@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "par/contract.hpp"
 #include "par/partition.hpp"
@@ -63,11 +64,23 @@ class ParMultiVector {
   Real& at(std::size_t lane, GlobalIndex g);
   Real at(std::size_t lane, GlobalIndex g) const;
 
+  /// Storage precision of the value plane — same contract as
+  /// ParVector::set_value_precision (stores round through FP32 when
+  /// tagged, contents demoted at tagging, charges priced per precision).
+  Precision value_precision() const { return prec_; }
+  void set_value_precision(Precision p);
+
   // --- fused charged operations (one kernel per rank, one collective
   // --- per reduction, regardless of lane count) --------------------------
 
   void fill(Real value);
   void copy_from(const ParMultiVector& other);
+  /// Lane c = (lane c of src) for lanes with mask[c] != 0; other lanes
+  /// are untouched (same frozen-lane rule as scale_lanes/axpy_lanes).
+  /// Copies are bitwise for matching precisions, demoted f64 -> f32
+  /// otherwise. An empty mask means all lanes.
+  void copy_lanes(const ParMultiVector& src,
+                  std::span<const std::uint8_t> mask = {});
   /// Lane c *= alpha[c]. Lanes with mask[c] == 0 are skipped entirely
   /// (not even multiplied by their alpha — a converged component's lane
   /// must stay bitwise-frozen). An empty mask means all lanes.
@@ -99,6 +112,7 @@ class ParMultiVector {
   par::RowPartition rows_;
   std::size_t ncomp_ = 0;
   std::vector<RealVector> local_;
+  Precision prec_ = Precision::kF64;
 };
 
 }  // namespace exw::linalg

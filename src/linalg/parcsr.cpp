@@ -61,11 +61,60 @@ void ParCsr::build_comm_pkg() {
   }
 }
 
+void ParCsr::demote_values() {
+  prec_ = Precision::kF32;
+  rt_->parallel_for_ranks([&](RankId r) {
+    RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
+    for (Real& v : blk.diag.vals_vec()) v = demote_value(v);
+    for (Real& v : blk.offd.vals_vec()) v = demote_value(v);
+    const auto nnz = static_cast<double>(blk.diag.nnz() + blk.offd.nnz());
+    // One pass: read the fp64 value, write the fp32 storage.
+    rt_->tracer().kernel_split_prec(r, nnz, sizeof(double) * nnz,
+                                    sizeof(float) * nnz, 0.0);
+  });
+}
+
+EXW_WARM_FN
+void ParCsr::copy_demoted_values_from(const ParCsr& src) {
+  EXW_PURITY_REGION("parcsr-demote-refresh");
+  EXW_REQUIRE(prec_ == Precision::kF32,
+              "demoted refresh targets an fp32-tagged matrix");
+  EXW_REQUIRE(src.nranks() == nranks(), "demoted refresh rank mismatch");
+  rt_->parallel_for_ranks([&](RankId r) {
+    RankBlock& dst = blocks_[static_cast<std::size_t>(r)];
+    const RankBlock& s = src.blocks_[static_cast<std::size_t>(r)];
+    EXW_REQUIRE(s.diag.nnz() == dst.diag.nnz() &&
+                    s.offd.nnz() == dst.offd.nnz(),
+                "demoted refresh structure mismatch");
+    auto dv = dst.diag.vals_mut();
+    const auto sv = s.diag.vals();
+    const auto dn = EntryOffset{static_cast<std::int64_t>(dst.diag.nnz())};
+    for (EntryOffset k{0}; k < dn; ++k) {
+      dv[k] = demote_value(sv[k]);
+    }
+    auto ov = dst.offd.vals_mut();
+    const auto so = s.offd.vals();
+    const auto on = EntryOffset{static_cast<std::int64_t>(dst.offd.nnz())};
+    for (EntryOffset k{0}; k < on; ++k) {
+      ov[k] = demote_value(so[k]);
+    }
+    const auto nnz = static_cast<double>(dst.diag.nnz() + dst.offd.nnz());
+    rt_->tracer().kernel_split_prec(r, nnz, sizeof(double) * nnz,
+                                    sizeof(float) * nnz, 0.0);
+  });
+}
+
 EXW_WARM_FN
 void ParCsr::set_values_from_plan(RankId r, const ValueFillPlan& plan,
                                   std::span<const Real> stacked) {
   EXW_PURITY_REGION("parcsr-value-fill");
   EXW_CONTRACT_CHECK_WRITE(r, "ParCsr::set_values_from_plan(r)");
+  // Note: a value refill writes raw FP64 values even into an FP32-tagged
+  // matrix — the AMG value replay deliberately runs the whole Galerkin
+  // chain in FP64 and demotes every level once at the end, so refresh
+  // stays bitwise-identical to a cold rebuild. A caller that refills an
+  // FP32 matrix owns the follow-up demote_values() pass before the next
+  // kernel consumes it (AmgHierarchy::refresh_values does).
   RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
   EXW_REQUIRE(plan.seg_ptr.size() == plan.dest.size() + 1 &&
                   (plan.perm.empty() || plan.seg_ptr.back() == plan.perm.size()),
@@ -175,17 +224,33 @@ std::vector<double> ParCsr::nnz_per_rank() const {
 std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
   auto& transport = rt_->transport();
   const int nranks = rows_.nranks();
+  // FP32-tagged vectors ship their halos as float: lossless (stores
+  // round through float, so every held value is FP32-representable) and
+  // the Transport's sizeof(T)-based message charge halves by itself.
+  const bool f32 = x.value_precision() == Precision::kF32;
   // Pack + send owned values requested by neighbors.
   rt_->parallel_for_ranks([&](RankId r) {
     for (const auto& send : comm_.sends[static_cast<std::size_t>(r)]) {
-      RealVector buf(send.idx.size());
       const auto& xl = x.local(r);
-      for (std::size_t i = 0; i < send.idx.size(); ++i) {
-        buf[i] = xl[static_cast<std::size_t>(send.idx[i])];
+      const double pack_bytes =
+          2.0 * bytes_of(x.value_precision()) *
+          static_cast<double>(send.idx.size());
+      if (f32) {
+        std::vector<float> buf(send.idx.size());
+        for (std::size_t i = 0; i < send.idx.size(); ++i) {
+          buf[i] =
+              static_cast<float>(xl[static_cast<std::size_t>(send.idx[i])]);
+        }
+        rt_->tracer().kernel_split_prec(r, 0.0, 0.0, pack_bytes, 0.0);
+        transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
+      } else {
+        RealVector buf(send.idx.size());
+        for (std::size_t i = 0; i < send.idx.size(); ++i) {
+          buf[i] = xl[static_cast<std::size_t>(send.idx[i])];
+        }
+        rt_->tracer().kernel(r, 0.0, pack_bytes);
+        transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
       }
-      rt_->tracer().kernel(r, 0.0,
-                           2.0 * sizeof(Real) * static_cast<double>(buf.size()));
-      transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
     }
   });
   // Receive in col_map order (all sends completed at the region barrier).
@@ -194,9 +259,15 @@ std::vector<RealVector> ParCsr::halo_exchange(const ParVector& x) const {
     auto& e = ext[static_cast<std::size_t>(r)];
     e.reserve(blocks_[static_cast<std::size_t>(r)].col_map.size());
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
-      auto buf = transport.recv<Real>(r, recv.src, tags::kHaloValues);
-      EXW_ASSERT(checked_narrow<LocalIndex>(buf.size()) == recv.count);
-      e.insert(e.end(), buf.begin(), buf.end());
+      if (f32) {
+        auto buf = transport.recv<float>(r, recv.src, tags::kHaloValues);
+        EXW_ASSERT(checked_narrow<LocalIndex>(buf.size()) == recv.count);
+        e.insert(e.end(), buf.begin(), buf.end());  // exact promotion
+      } else {
+        auto buf = transport.recv<Real>(r, recv.src, tags::kHaloValues);
+        EXW_ASSERT(checked_narrow<LocalIndex>(buf.size()) == recv.count);
+        e.insert(e.end(), buf.begin(), buf.end());
+      }
     }
   });
   return ext;
@@ -214,13 +285,22 @@ void ParCsr::matvec(const ParVector& x, ParVector& y, Real alpha,
     if (b.offd.nnz() > 0) {
       b.offd.spmv(ext[static_cast<std::size_t>(r)], yl, alpha, 1.0);
     }
+    if (y.value_precision() == Precision::kF32) {
+      // Fused diag+offd accumulation in fp64 registers, one rounded
+      // store into the FP32-tagged result.
+      for (Real& v : yl) v = demote_value(v);
+    }
     // Same total traffic as before the index/value split: matrix values
-    // + gathered x are value bytes, the column indices are index bytes.
+    // + gathered x are value bytes, the column indices are index bytes —
+    // each value stream priced at its container's storage precision.
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
-    rt_->tracer().kernel_split(
-        r, 2.0 * nnz,
-        nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(yl.size()),
-        nnz * sizeof(LocalIndex));
+    const auto ny = static_cast<double>(yl.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, nnz * bytes_of(prec_), f64, f32);
+    split_value_bytes(y.value_precision(),
+                      2.0 * bytes_of(y.value_precision()) * ny, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * nnz, f64, f32,
+                                    nnz * sizeof(LocalIndex));
   });
 }
 
@@ -235,21 +315,39 @@ std::vector<RealVector> ParCsr::halo_exchange_multi(
   auto& transport = rt_->transport();
   const int nranks = rows_.nranks();
   const std::size_t lanes = x.ncomp();
+  const bool f32 = x.value_precision() == Precision::kF32;
   // Pack every lane's requested values into one buffer per neighbor,
   // lane-major, so the per-message latency is paid once for all lanes.
+  // FP32-tagged multivectors ship float payloads (lossless, see
+  // halo_exchange).
   rt_->parallel_for_ranks([&](RankId r) {
     for (const auto& send : comm_.sends[static_cast<std::size_t>(r)]) {
-      RealVector buf(lanes * send.idx.size());
-      for (std::size_t l = 0; l < lanes; ++l) {
-        const auto xl = x.lane_span(r, l);
-        for (std::size_t i = 0; i < send.idx.size(); ++i) {
-          buf[l * send.idx.size() + i] =
-              xl[static_cast<std::size_t>(send.idx[i])];
+      const double pack_bytes =
+          2.0 * bytes_of(x.value_precision()) *
+          static_cast<double>(lanes * send.idx.size());
+      if (f32) {
+        std::vector<float> buf(lanes * send.idx.size());
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const auto xl = x.lane_span(r, l);
+          for (std::size_t i = 0; i < send.idx.size(); ++i) {
+            buf[l * send.idx.size() + i] = static_cast<float>(
+                xl[static_cast<std::size_t>(send.idx[i])]);
+          }
         }
+        rt_->tracer().kernel_split_prec(r, 0.0, 0.0, pack_bytes, 0.0);
+        transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
+      } else {
+        RealVector buf(lanes * send.idx.size());
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const auto xl = x.lane_span(r, l);
+          for (std::size_t i = 0; i < send.idx.size(); ++i) {
+            buf[l * send.idx.size() + i] =
+                xl[static_cast<std::size_t>(send.idx[i])];
+          }
+        }
+        rt_->tracer().kernel(r, 0.0, pack_bytes);
+        transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
       }
-      rt_->tracer().kernel(r, 0.0,
-                           2.0 * sizeof(Real) * static_cast<double>(buf.size()));
-      transport.send(r, send.dst, tags::kHaloValues, std::move(buf));
     }
   });
   // Receive in col_map order; lane c's halo values land in the plane
@@ -262,15 +360,21 @@ std::vector<RealVector> ParCsr::halo_exchange_multi(
     e.assign(lanes * m, 0.0);
     std::size_t offset = 0;
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
-      auto buf = transport.recv<Real>(r, recv.src, tags::kHaloValues);
-      const auto count = static_cast<std::size_t>(recv.count);
-      EXW_ASSERT(buf.size() == lanes * count);
-      for (std::size_t l = 0; l < lanes; ++l) {
-        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(l * count),
-                  buf.begin() + static_cast<std::ptrdiff_t>((l + 1) * count),
-                  e.begin() + static_cast<std::ptrdiff_t>(l * m + offset));
+      const auto scatter = [&](const auto& buf) {
+        const auto count = static_cast<std::size_t>(recv.count);
+        EXW_ASSERT(buf.size() == lanes * count);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          std::copy(buf.begin() + static_cast<std::ptrdiff_t>(l * count),
+                    buf.begin() + static_cast<std::ptrdiff_t>((l + 1) * count),
+                    e.begin() + static_cast<std::ptrdiff_t>(l * m + offset));
+        }
+        offset += count;
+      };
+      if (f32) {
+        scatter(transport.recv<float>(r, recv.src, tags::kHaloValues));
+      } else {
+        scatter(transport.recv<Real>(r, recv.src, tags::kHaloValues));
       }
-      offset += count;
     }
   });
   return ext;
@@ -296,15 +400,22 @@ void ParCsr::matvec_multi(const ParMultiVector& x, ParMultiVector& y,
       b.offd.spmv_multi(ext[static_cast<std::size_t>(r)], m, yl, ys, lanes,
                         alpha, 1.0);
     }
+    if (y.value_precision() == Precision::kF32) {
+      for (Real& v : yl) v = demote_value(v);
+    }
     // The fused pass streams matrix values, x gathers, and y updates
     // once per lane — but the column indices only once for all lanes:
     // that one-index-read-per-ncomp-value-lanes is the whole point.
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
     const auto nl = static_cast<double>(lanes);
-    rt_->tracer().kernel_split(
-        r, 2.0 * nnz * nl,
-        nl * (nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(ys)),
-        nnz * sizeof(LocalIndex));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, nl * nnz * bytes_of(prec_), f64, f32);
+    split_value_bytes(y.value_precision(),
+                      nl * 2.0 * bytes_of(y.value_precision()) *
+                          static_cast<double>(ys),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * nnz * nl, f64, f32,
+                                    nnz * sizeof(LocalIndex));
   });
 }
 
@@ -335,34 +446,65 @@ void ParCsr::matvec_transpose(const ParVector& x, ParVector& y, Real alpha,
       b.offd.spmv_transpose(x.local(r), buf, alpha, 0.0);
     }
     const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
-    rt_->tracer().kernel_split(
-        r, 2.0 * nnz,
-        nnz * sizeof(Real) + sizeof(Real) * 2.0 * static_cast<double>(yl.size()),
-        nnz * sizeof(LocalIndex));
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, nnz * bytes_of(prec_), f64, f32);
+    split_value_bytes(y.value_precision(),
+                      2.0 * bytes_of(y.value_precision()) *
+                          static_cast<double>(yl.size()),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * nnz, f64, f32,
+                                    nnz * sizeof(LocalIndex));
   });
   // Reverse-direction exchange: each recv run in col_map order becomes a
-  // send back to its source rank.
+  // send back to its source rank. An FP32-tagged operator (AMG
+  // restriction in the mixed hierarchy) ships float contributions — the
+  // rounding a real FP32 MPI buffer applies; deterministic because the
+  // partition is fixed.
+  const bool f32_wire = prec_ == Precision::kF32;
   rt_->parallel_for_ranks([&](RankId r) {
     std::size_t offset = 0;
+    const auto& contrib = offd_contrib[static_cast<std::size_t>(r)];
     for (const auto& recv : comm_.recvs[static_cast<std::size_t>(r)]) {
-      RealVector buf(offd_contrib[static_cast<std::size_t>(r)].begin() +
-                         static_cast<std::ptrdiff_t>(offset),
-                     offd_contrib[static_cast<std::size_t>(r)].begin() +
-                         static_cast<std::ptrdiff_t>(offset + static_cast<std::size_t>(recv.count)));
-      transport.send(r, recv.src, tags::kHaloValues, std::move(buf));
-      offset += static_cast<std::size_t>(recv.count);
+      const auto count = static_cast<std::size_t>(recv.count);
+      if (f32_wire) {
+        std::vector<float> buf(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          buf[i] = static_cast<float>(contrib[offset + i]);
+        }
+        transport.send(r, recv.src, tags::kHaloValues, std::move(buf));
+      } else {
+        RealVector buf(contrib.begin() + static_cast<std::ptrdiff_t>(offset),
+                       contrib.begin() +
+                           static_cast<std::ptrdiff_t>(offset + count));
+        transport.send(r, recv.src, tags::kHaloValues, std::move(buf));
+      }
+      offset += count;
     }
   });
   rt_->parallel_for_ranks([&](RankId owner) {
     auto& yl = y.local(owner);
     for (const auto& send : comm_.sends[static_cast<std::size_t>(owner)]) {
-      auto buf = transport.recv<Real>(owner, send.dst, tags::kHaloValues);
-      EXW_ASSERT(buf.size() == send.idx.size());
-      for (std::size_t i = 0; i < buf.size(); ++i) {
-        yl[static_cast<std::size_t>(send.idx[i])] += buf[i];
+      const auto scatter_add = [&](const auto& buf) {
+        EXW_ASSERT(buf.size() == send.idx.size());
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          yl[static_cast<std::size_t>(send.idx[i])] += buf[i];
+        }
+        double f64 = 0, f32 = 0;
+        split_value_bytes(y.value_precision(),
+                          3.0 * bytes_of(y.value_precision()) *
+                              static_cast<double>(buf.size()),
+                          f64, f32);
+        rt_->tracer().kernel_split_prec(
+            owner, static_cast<double>(buf.size()), f64, f32, 0.0);
+      };
+      if (f32_wire) {
+        scatter_add(transport.recv<float>(owner, send.dst, tags::kHaloValues));
+      } else {
+        scatter_add(transport.recv<Real>(owner, send.dst, tags::kHaloValues));
       }
-      rt_->tracer().kernel(owner, static_cast<double>(buf.size()),
-                           3.0 * sizeof(Real) * static_cast<double>(buf.size()));
+    }
+    if (y.value_precision() == Precision::kF32) {
+      for (Real& v : yl) v = demote_value(v);
     }
   });
 }

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "linalg/multivector.hpp"
 #include "linalg/parmatrix.hpp"
@@ -102,6 +103,23 @@ class ParCsr final : public ParMatrix {
   void set_values_from_plan(RankId r, const ValueFillPlan& plan,
                             std::span<const Real> stacked);
 
+  /// Storage precision of the value arrays (indices are never demoted).
+  /// An FP32-tagged matrix holds only FP32-representable values, its
+  /// kernels price the value stream at 4 bytes/entry, and V-cycle
+  /// transfer payloads serialize as float (DESIGN.md §16).
+  Precision value_precision() const { return prec_; }
+
+  /// Demote every diag/offd value in place and tag the matrix kF32.
+  /// Cold setup operation (AMG hierarchy construction); charges one
+  /// value-stream pass per rank. Throws on FP32 range overflow.
+  void demote_values();
+
+  /// Warm value-only refresh from an FP64 twin with identical structure:
+  /// demote src's values straight into this matrix's FP32 storage, no
+  /// allocation, structure untouched. The mixed-precision analogue of
+  /// set_values_from_plan for preconditioner rebinds.
+  void copy_demoted_values_from(const ParCsr& src);
+
   GlobalIndex nnz_of_rank(RankId r) const;
   GlobalIndex global_nnz() const override;
   /// Per-rank nonzero counts — the quantity of Figs. 5 and 10.
@@ -153,6 +171,7 @@ class ParCsr final : public ParMatrix {
   par::RowPartition cols_;
   std::vector<RankBlock> blocks_;
   CommPkg comm_;
+  Precision prec_ = Precision::kF64;
 };
 
 /// Rows of a distributed matrix fetched from other ranks, with *global*

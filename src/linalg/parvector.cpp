@@ -14,6 +14,22 @@ namespace {
 constexpr double kRead = sizeof(Real);
 }  // namespace
 
+void ParVector::set_value_precision(Precision p) {
+  if (p == prec_) {
+    return;
+  }
+  prec_ = p;
+  if (p == Precision::kF32) {
+    // Establish the storage invariant on whatever is already held.
+    // Cold (re)tagging, not a modeled kernel: no charge.
+    rt_->parallel_for_ranks([&](RankId r) {
+      for (Real& v : local_[static_cast<std::size_t>(r)]) {
+        v = demote_value(v);
+      }
+    });
+  }
+}
+
 ParVector::ParVector(par::Runtime& rt, par::RowPartition rows)
     : rt_(&rt), rows_(std::move(rows)) {
   EXW_REQUIRE(rows_.nranks() == rt.nranks(),
@@ -43,6 +59,8 @@ void ParVector::set_values_from_plan(RankId r, std::span<const Real> owned,
                                      std::span<const Real> recv) {
   EXW_PURITY_REGION("parvector-value-fill");
   EXW_CONTRACT_CHECK_WRITE(r, "ParVector::set_values_from_plan(r)");
+  EXW_REQUIRE(prec_ == Precision::kF64,
+              "value-fill plans refill fp64 vectors (assembly plane)");
   auto& x = local_[static_cast<std::size_t>(r)];
   EXW_REQUIRE(owned.size() == x.size(),
               "owned RHS must be dense over local rows");
@@ -63,29 +81,49 @@ void ParVector::set_values_from_plan(RankId r, std::span<const Real> owned,
 }
 
 void ParVector::fill(Real value) {
+  const Real sv = store_value(value, prec_);
   rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
-    std::fill(x.begin(), x.end(), value);
-    rt_->tracer().kernel(r, 0.0, kRead * static_cast<double>(x.size()));
+    std::fill(x.begin(), x.end(), sv);
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * static_cast<double>(x.size()),
+                      f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
 void ParVector::copy_from(const ParVector& other) {
   EXW_REQUIRE(other.global_size() == global_size(), "vector size mismatch");
   rt_->parallel_for_ranks([&](RankId r) {
-    local_[static_cast<std::size_t>(r)] = other.local_[static_cast<std::size_t>(r)];
-    rt_->tracer().kernel(
-        r, 0.0,
-        2.0 * kRead * static_cast<double>(local_[static_cast<std::size_t>(r)].size()));
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = other.local_[static_cast<std::size_t>(r)];
+    if (prec_ == Precision::kF32 && other.prec_ == Precision::kF64) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        y[i] = demote_value(xs[i]);
+      }
+    } else {
+      // Same precision, or f64 <- f32: source values already
+      // representable in the destination storage.
+      y = xs;
+    }
+    const auto n = static_cast<double>(y.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(other.prec_, bytes_of(other.prec_) * n, f64, f32);
+    split_value_bytes(prec_, bytes_of(prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 0.0, f64, f32, 0.0);
   });
 }
 
 void ParVector::scale(Real alpha) {
   rt_->parallel_for_ranks([&](RankId r) {
     auto& x = local_[static_cast<std::size_t>(r)];
-    for (auto& v : x) v *= alpha;
-    rt_->tracer().kernel(r, static_cast<double>(x.size()),
-                         2.0 * kRead * static_cast<double>(x.size()));
+    for (auto& v : x) v = store_value(v * alpha, prec_);
+    double f64 = 0, f32 = 0;
+    split_value_bytes(
+        prec_, 2.0 * bytes_of(prec_) * static_cast<double>(x.size()), f64,
+        f32);
+    rt_->tracer().kernel_split_prec(r, static_cast<double>(x.size()), f64,
+                                    f32, 0.0);
   });
 }
 
@@ -95,10 +133,13 @@ void ParVector::axpy(Real alpha, const ParVector& x) {
     auto& y = local_[static_cast<std::size_t>(r)];
     const auto& xs = x.local_[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < y.size(); ++i) {
-      y[i] += alpha * xs[i];
+      y[i] = store_value(y[i] + alpha * xs[i], prec_);
     }
-    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
-                         3.0 * kRead * static_cast<double>(y.size()));
+    const auto n = static_cast<double>(y.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, 2.0 * bytes_of(prec_) * n, f64, f32);
+    split_value_bytes(x.prec_, bytes_of(x.prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * n, f64, f32, 0.0);
   });
 }
 
@@ -108,10 +149,13 @@ void ParVector::aypx(Real alpha, const ParVector& x) {
     auto& y = local_[static_cast<std::size_t>(r)];
     const auto& xs = x.local_[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < y.size(); ++i) {
-      y[i] = alpha * y[i] + xs[i];
+      y[i] = store_value(alpha * y[i] + xs[i], prec_);
     }
-    rt_->tracer().kernel(r, 2.0 * static_cast<double>(y.size()),
-                         3.0 * kRead * static_cast<double>(y.size()));
+    const auto n = static_cast<double>(y.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, 2.0 * bytes_of(prec_) * n, f64, f32);
+    split_value_bytes(x.prec_, bytes_of(x.prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * n, f64, f32, 0.0);
   });
 }
 
@@ -126,8 +170,11 @@ double ParVector::dot(const ParVector& other) const {
       s += x[i] * y[i];
     }
     partial[static_cast<std::size_t>(r)] = s;
-    rt_->tracer().kernel(r, 2.0 * static_cast<double>(x.size()),
-                         2.0 * kRead * static_cast<double>(x.size()));
+    const auto n = static_cast<double>(x.size());
+    double f64 = 0, f32 = 0;
+    split_value_bytes(prec_, bytes_of(prec_) * n, f64, f32);
+    split_value_bytes(other.prec_, bytes_of(other.prec_) * n, f64, f32);
+    rt_->tracer().kernel_split_prec(r, 2.0 * n, f64, f32, 0.0);
   });
   return rt_->allreduce_sum(partial);
 }
@@ -180,6 +227,9 @@ void ParVector::scatter(const RealVector& global) {
                   static_cast<std::ptrdiff_t>(rows_.first_row(r).value()),
               global.begin() + static_cast<std::ptrdiff_t>(rows_.end_row(r).value()),
               x.begin());
+    if (prec_ == Precision::kF32) {
+      for (Real& v : x) v = demote_value(v);
+    }
   });
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/precision.hpp"
 #include "common/types.hpp"
 #include "par/contract.hpp"
 #include "par/partition.hpp"
@@ -48,9 +49,20 @@ class ParVector {
     return local_[static_cast<std::size_t>(r)];
   }
 
-  /// Element access by global index (test/debug convenience; not charged).
+  /// Element access by global index (test/debug convenience; not charged,
+  /// and a mutable at() bypasses the FP32 store-rounding invariant —
+  /// charged operations below maintain it).
   Real& at(GlobalIndex g);
   Real at(GlobalIndex g) const;
+
+  /// Storage precision of the value plane (DESIGN.md §16). Tagging a
+  /// vector kF32 demotes its current contents and makes every charged
+  /// store round through float (store_value), so the invariant "an FP32
+  /// vector holds only FP32-representable values" holds and float halo
+  /// serialization of its data is lossless. Untagged vectors are plain
+  /// FP64. Tagging is a cold setup operation and is not charged.
+  Precision value_precision() const { return prec_; }
+  void set_value_precision(Precision p);
 
   /// Warm-path refill of rank r's local block: copy the dense owned
   /// values, then scatter-add the received contributions reduced through
@@ -90,6 +102,7 @@ class ParVector {
   par::Runtime* rt_ = nullptr;
   par::RowPartition rows_;
   std::vector<RealVector> local_;
+  Precision prec_ = Precision::kF64;
 };
 
 }  // namespace exw::linalg

@@ -104,6 +104,7 @@ std::string summary();
 enum class OpKind : int {
   kAllreduceSum = 0,
   kAllreduceSumVec,
+  kAllreduceSumVecOverlapped,
   kAllreduceMax,
   kSend,
   kRecv,

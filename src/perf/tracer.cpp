@@ -23,8 +23,15 @@ double PhaseStats::modeled_time(const MachineModel& m) const {
   const int nranks = checked_narrow<int>(rank.size());
   const double avg_coll_bytes =
       collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
-  return worst + static_cast<double>(collectives) *
-                     m.allreduce_time(avg_coll_bytes, nranks);
+  const double avg_ovl_bytes =
+      overlapped_collectives > 0
+          ? overlapped_coll_bytes / static_cast<double>(overlapped_collectives)
+          : 0.0;
+  return worst +
+         static_cast<double>(collectives) *
+             m.allreduce_time(avg_coll_bytes, nranks) +
+         static_cast<double>(overlapped_collectives) *
+             m.allreduce_overlapped_time(avg_ovl_bytes, nranks);
 }
 
 double PhaseStats::compute_time(const MachineModel& m) const {
@@ -47,8 +54,15 @@ double PhaseStats::comm_time(const MachineModel& m) const {
   const int nranks = checked_narrow<int>(rank.size());
   const double avg_coll_bytes =
       collectives > 0 ? coll_bytes / static_cast<double>(collectives) : 0.0;
-  return worst + static_cast<double>(collectives) *
-                     m.allreduce_time(avg_coll_bytes, nranks);
+  const double avg_ovl_bytes =
+      overlapped_collectives > 0
+          ? overlapped_coll_bytes / static_cast<double>(overlapped_collectives)
+          : 0.0;
+  return worst +
+         static_cast<double>(collectives) *
+             m.allreduce_time(avg_coll_bytes, nranks) +
+         static_cast<double>(overlapped_collectives) *
+             m.allreduce_overlapped_time(avg_ovl_bytes, nranks);
 }
 
 long PhaseStats::total_kernels() const {
@@ -79,6 +93,16 @@ double PhaseStats::total_index_bytes() const {
 
 double PhaseStats::total_value_bytes() const {
   return total_bytes() - total_index_bytes();
+}
+
+double PhaseStats::total_value_bytes_f32() const {
+  double n = 0;
+  for (const auto& w : rank) n += w.value_bytes_f32;
+  return n;
+}
+
+double PhaseStats::total_value_bytes_f64() const {
+  return total_value_bytes() - total_value_bytes_f32();
 }
 
 double PhaseStats::max_kernel_flops() const {
@@ -148,6 +172,11 @@ void Tracer::kernel(RankId r, double flops, double bytes) {
 
 void Tracer::kernel_split(RankId r, double flops, double value_bytes,
                           double index_bytes) {
+  kernel_split_prec(r, flops, value_bytes, 0.0, index_bytes);
+}
+
+void Tracer::kernel_split_prec(RankId r, double flops, double value_bytes_f64,
+                               double value_bytes_f32, double index_bytes) {
   EXW_ASSERT(r.value() >= 0 && r.value() < nranks_);
   EXW_CONTRACT_CHECK(par::contract::check_kernel_charge(r));
   // Rank r's flops/bytes/kernels are written only by the thread running
@@ -159,8 +188,9 @@ void Tracer::kernel_split(RankId r, double flops, double value_bytes,
   for (const auto& name : stack_) {
     auto& w = find_stats(name).rank[static_cast<std::size_t>(r)];
     w.flops += flops;
-    w.bytes += value_bytes + index_bytes;
+    w.bytes += value_bytes_f64 + value_bytes_f32 + index_bytes;
     w.index_bytes += index_bytes;
+    w.value_bytes_f32 += value_bytes_f32;
     w.kernels += 1;
     w.max_kernel_flops = std::max(w.max_kernel_flops, flops);
   }
@@ -201,6 +231,14 @@ void Tracer::collective(double bytes) {
   }
 }
 
+void Tracer::collective_overlapped(double bytes) {
+  for (const auto& name : stack_) {
+    auto& s = stats_for(name);
+    s.overlapped_collectives += 1;
+    s.overlapped_coll_bytes += bytes;
+  }
+}
+
 double Tracer::phase_time(const std::string& name,
                           const MachineModel& m) const {
   return phase(name).modeled_time(m);
@@ -223,6 +261,8 @@ void Tracer::reset() {
     std::fill(s.rank.begin(), s.rank.end(), RankWork{});
     s.collectives = 0;
     s.coll_bytes = 0;
+    s.overlapped_collectives = 0;
+    s.overlapped_coll_bytes = 0;
     s.messages = 0;
     s.allocs = 0;
     s.alloc_bytes = 0;

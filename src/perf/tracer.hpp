@@ -45,6 +45,13 @@ struct RankWork {
   /// lanes; this label is what makes that saving auditable
   /// (bench_momentum_fused hard-fails on it).
   double index_bytes = 0;
+  /// Portion of the *value* traffic (bytes - index_bytes) that streamed
+  /// FP32 storage. Same labeled-subset discipline as index_bytes: the
+  /// charge is already priced inside `bytes` (at 4 bytes/value, the
+  /// kernel's actual stream), this label only makes the per-precision
+  /// ledger auditable — bench_mixed_precision hard-fails on the
+  /// smoother-stream FP64/FP32 ratio (DESIGN.md §16).
+  double value_bytes_f32 = 0;
   long kernels = 0;
   double msg_bytes = 0;
   long msgs = 0;
@@ -60,6 +67,14 @@ struct PhaseStats {
   std::vector<RankWork> rank;
   long collectives = 0;
   double coll_bytes = 0;
+  /// Collectives whose latency is hidden behind overlapped local work
+  /// (pipelined Krylov: the reduction is in flight while the next
+  /// SpMV+precond runs). They are NOT counted in `collectives`; modeled
+  /// time prices them with MachineModel::allreduce_overlapped_time —
+  /// bandwidth still paid, latency hidden — so a pipelined solver's
+  /// blocking-collective count is directly comparable in benches.
+  long overlapped_collectives = 0;
+  double overlapped_coll_bytes = 0;
   /// Exact point-to-point message count. Kept separately from the
   /// per-rank `msgs` charges: a message is charged to both endpoints
   /// unless dst == src (self-routed triples in assembly), so halving the
@@ -88,6 +103,9 @@ struct PhaseStats {
   /// Index-structure traffic (subset of total_bytes) and its complement.
   double total_index_bytes() const;
   double total_value_bytes() const;
+  /// Per-precision split of total_value_bytes (f32 label + complement).
+  double total_value_bytes_f32() const;
+  double total_value_bytes_f64() const;
   /// Heap allocations observed while the phase was open (see `allocs`).
   long long total_allocs() const { return allocs; }
   /// Largest single kernel charged by any rank in this phase (flops).
@@ -139,6 +157,13 @@ class Tracer {
   void kernel_split(RankId r, double flops, double value_bytes,
                     double index_bytes);
 
+  /// Full split: value traffic by precision plus index structure (total
+  /// charged = f64 + f32 + index). Kernels streaming FP32-tagged storage
+  /// charge their value bytes through the f32 lane so the per-precision
+  /// ledger stays meaningful; kernel_split() labels everything f64.
+  void kernel_split_prec(RankId r, double flops, double value_bytes_f64,
+                         double value_bytes_f32, double index_bytes);
+
   /// One message of `bytes` from src to dst; charged to both endpoints
   /// (once if dst == src). Safe to call from concurrent rank bodies:
   /// both endpoint charges are atomic, since any rank may be charged as
@@ -147,6 +172,11 @@ class Tracer {
 
   /// One allreduce-style collective with `bytes` payload per rank.
   void collective(double bytes);
+
+  /// One collective whose latency is overlapped with independent local
+  /// work (pipelined Krylov). Counted separately from collective() —
+  /// modeled time prices only its bandwidth term (see PhaseStats).
+  void collective_overlapped(double bytes);
 
   /// Modeled seconds of a phase ("" = whole program) on machine `m`.
   double phase_time(const std::string& name, const MachineModel& m) const;

@@ -13,6 +13,7 @@
 #include "linalg/parcsr.hpp"
 #include "linalg/parvector.hpp"
 #include "perf/purity.hpp"
+#include "perf/tracer.hpp"
 
 namespace exw::solver {
 
@@ -52,16 +53,36 @@ class IdentityPrecond final : public Preconditioner {
 /// One AMG V-cycle from a zero initial guess. Owns its hierarchy when
 /// built from a matrix, or borrows one managed elsewhere (the
 /// amg::HierarchyCache kept across Picard solves by cfd::Simulation).
+///
+/// With a mixed-precision hierarchy (AmgConfig::precision == kF32) the
+/// precision boundary lives here, iterative-refinement style: the FP64
+/// residual demotes into an FP32 scratch once per application, the whole
+/// V-cycle runs on FP32 storage, and the correction promotes back into
+/// the caller's FP64 vector. The outer Krylov space never sees rounded
+/// storage. Work inside apply() lands in a nested "precond" phase so
+/// benches can split preconditioner traffic from the outer solve.
 class AmgPrecond final : public Preconditioner {
  public:
   AmgPrecond(const linalg::ParCsr& a, const amg::AmgConfig& cfg)
       : owned_(std::make_unique<amg::AmgHierarchy>(a, cfg)),
-        h_(owned_.get()) {}
+        h_(owned_.get()) {
+    init_mixed_scratch();
+  }
 
   /// Borrow an externally owned hierarchy (must outlive the precond).
-  explicit AmgPrecond(amg::AmgHierarchy& h) : h_(&h) {}
+  explicit AmgPrecond(amg::AmgHierarchy& h) : h_(&h) { init_mixed_scratch(); }
 
   void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
+    perf::PhaseScope ph(r.runtime().tracer(), "precond");
+    if (rb_) {
+      // FP64 -> FP32 demote at the boundary (charged by copy_from), FP32
+      // V-cycle, FP32 -> FP64 promote of the correction (lossless).
+      rb_->copy_from(r);
+      zb_->fill(0.0);
+      h_->vcycle(*rb_, *zb_);
+      z.copy_from(*zb_);
+      return;
+    }
     z.fill(0.0);
     h_->vcycle(r, z);
   }
@@ -69,8 +90,22 @@ class AmgPrecond final : public Preconditioner {
   const amg::AmgHierarchy& hierarchy() const { return *h_; }
 
  private:
+  void init_mixed_scratch() {
+    if (h_->config().precision != Precision::kF32) {
+      return;
+    }
+    const auto& fine = h_->level(0).a;
+    rb_ = std::make_unique<linalg::ParVector>(fine.runtime(), fine.rows());
+    zb_ = std::make_unique<linalg::ParVector>(fine.runtime(), fine.rows());
+    rb_->set_value_precision(Precision::kF32);
+    zb_->set_value_precision(Precision::kF32);
+  }
+
   std::unique_ptr<amg::AmgHierarchy> owned_;
   amg::AmgHierarchy* h_ = nullptr;
+  /// FP32 boundary scratch (residual in, correction out); null in the
+  /// full-FP64 configuration.
+  std::unique_ptr<linalg::ParVector> rb_, zb_;
 };
 
 /// `outer` sweeps of a relaxation scheme from a zero initial guess
@@ -81,57 +116,116 @@ class AmgPrecond final : public Preconditioner {
 /// reuses the same sparsity with new values, refresh_values() rebinds
 /// the split in place — one value-only streaming pass, roughly a third
 /// of the setup traffic and no allocation — instead of rebuilding.
+/// With `precision == kF32` the precond owns a demoted FP32 twin of the
+/// matrix: the smoother is built on (and refreshed from) the twin, its
+/// scratch streams price at 4 bytes/value, and apply() demotes/promotes
+/// at the boundary exactly like AmgPrecond. The caller's matrix stays
+/// FP64 — it is still the operator of the outer Krylov solve.
 class SmootherPrecond final : public Preconditioner {
  public:
   SmootherPrecond(const linalg::ParCsr& a, amg::SmootherType type,
-                  int outer_sweeps, int inner_sweeps)
-      : a_(&a), smoother_(a, type, inner_sweeps, /*jacobi_weight=*/1.0),
+                  int outer_sweeps, int inner_sweeps,
+                  Precision precision = Precision::kF64)
+      : a_(&a), prec_(precision), a32_(make_twin(a, precision)),
+        smoother_(precision == Precision::kF32 ? a32_ : a, type, inner_sweeps,
+                  /*jacobi_weight=*/1.0),
         outer_(outer_sweeps) {
+    if (prec_ == Precision::kF32) {
+      rb_ = std::make_unique<linalg::ParVector>(a.runtime(), a.rows());
+      zb_ = std::make_unique<linalg::ParVector>(a.runtime(), a.rows());
+      rb_->set_value_precision(Precision::kF32);
+      zb_->set_value_precision(Precision::kF32);
+    }
     charge(/*rebuild=*/true);
   }
 
   void apply(const linalg::ParVector& r, linalg::ParVector& z) override {
+    perf::PhaseScope ph(a_->runtime().tracer(), "precond");
+    if (rb_) {
+      rb_->copy_from(r);
+      smoother_.apply_zero(*rb_, *zb_, outer_);
+      z.copy_from(*zb_);
+      return;
+    }
     smoother_.apply_zero(r, z, outer_);
   }
 
   void apply_multi(const linalg::ParMultiVector& r,
                    linalg::ParMultiVector& z) override {
+    perf::PhaseScope ph(a_->runtime().tracer(), "precond");
+    if (prec_ == Precision::kF32) {
+      if (!rbm_ || rbm_->ncomp() != r.ncomp()) {
+        rbm_ = std::make_unique<linalg::ParMultiVector>(a_->runtime(),
+                                                        a_->rows(), r.ncomp());
+        zbm_ = std::make_unique<linalg::ParMultiVector>(a_->runtime(),
+                                                        a_->rows(), r.ncomp());
+        rbm_->set_value_precision(Precision::kF32);
+        zbm_->set_value_precision(Precision::kF32);
+      }
+      rbm_->copy_from(r);
+      smoother_.apply_zero_multi(*rbm_, *zbm_, outer_);
+      z.copy_from(*zbm_);
+      return;
+    }
     smoother_.apply_zero_multi(r, z, outer_);
   }
 
   /// Re-read the matrix's current values into the existing L/D/U split
-  /// (structure must be unchanged — throws otherwise).
+  /// (structure must be unchanged — throws otherwise). In mixed mode the
+  /// FP32 twin re-demotes from the refreshed FP64 matrix first.
   EXW_WARM_FN void refresh_values() {
     EXW_PURITY_REGION("smoother-precond-rebind");
+    if (prec_ == Precision::kF32) {
+      a32_.copy_demoted_values_from(*a_);
+    }
     smoother_.refresh_values();
     charge(/*rebuild=*/false);
   }
 
  private:
+  static linalg::ParCsr make_twin(const linalg::ParCsr& a, Precision p) {
+    if (p != Precision::kF32) {
+      return {};
+    }
+    linalg::ParCsr twin = a;
+    twin.demote_values();
+    return twin;
+  }
+
   void charge(bool rebuild) {
     // Build streams structure (cols twice: classify + store) and values
     // into the split plus the dinv/l1 pass; a value rebind re-walks the
     // structure once but only rewrites values and the inverse diagonals.
+    // Value streams price at the smoother matrix's storage precision.
     auto& rt = a_->runtime();
+    const Precision pr = prec_;
+    const double vb = bytes_of(pr);
     rt.parallel_for_ranks([&](RankId r) {
       const auto& b = a_->block(r);
       const auto nnz = static_cast<double>(b.diag.nnz() + b.offd.nnz());
       const auto n = static_cast<double>(b.diag.nrows().value());
+      double f64 = 0, f32 = 0;
       if (rebuild) {
-        rt.tracer().kernel_split(r, nnz, 2.0 * sizeof(Real) * nnz +
-                                            3.0 * sizeof(Real) * n,
-                                 2.0 * sizeof(LocalIndex) * nnz);
+        split_value_bytes(pr, 2.0 * vb * nnz + 3.0 * vb * n, f64, f32);
+        rt.tracer().kernel_split_prec(r, nnz, f64, f32,
+                                      2.0 * sizeof(LocalIndex) * nnz);
       } else {
-        rt.tracer().kernel_split(r, nnz, 2.0 * sizeof(Real) * nnz +
-                                            2.0 * sizeof(Real) * n,
-                                 sizeof(LocalIndex) * nnz);
+        split_value_bytes(pr, 2.0 * vb * nnz + 2.0 * vb * n, f64, f32);
+        rt.tracer().kernel_split_prec(r, nnz, f64, f32,
+                                      sizeof(LocalIndex) * nnz);
       }
     });
   }
 
   const linalg::ParCsr* a_;
+  Precision prec_ = Precision::kF64;
+  /// Demoted twin (empty in the FP64 configuration); must be declared
+  /// before the smoother, which may bind to it.
+  linalg::ParCsr a32_;
   amg::Smoother smoother_;
   int outer_;
+  std::unique_ptr<linalg::ParVector> rb_, zb_;
+  std::unique_ptr<linalg::ParMultiVector> rbm_, zbm_;
 };
 
 }  // namespace exw::solver

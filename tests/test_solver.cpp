@@ -74,7 +74,8 @@ TEST_P(GmresSweep, RespectsInitialGuess) {
 INSTANTIATE_TEST_SUITE_P(
     OrthoAndRanks, GmresSweep,
     ::testing::Combine(::testing::Values(OrthoMethod::kMgs,
-                                         OrthoMethod::kOneReduce),
+                                         OrthoMethod::kOneReduce,
+                                         OrthoMethod::kPipelined),
                        ::testing::Values(1, 2, 5)));
 
 TEST(Gmres, RestartStillConverges) {
